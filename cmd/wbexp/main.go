@@ -1,0 +1,192 @@
+// Command wbexp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	wbexp -list
+//	wbexp -exp fig3            # one experiment
+//	wbexp -exp fig6 -plot      # with a stacked-bar rendition
+//	wbexp -all -n 2000000      # everything, 2M instructions per run
+//
+// Each figure experiment prints one row per benchmark with the total
+// write-buffer stall percentage and its (L2-read-access / buffer-full /
+// load-hazard) split, one column per configuration — the textual analogue
+// of the paper's stacked-bar charts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiment"
+	"repro/internal/stats"
+	"repro/internal/svgplot"
+	"repro/internal/textplot"
+)
+
+func main() {
+	var (
+		expID = flag.String("exp", "", "experiment id (fig3..fig13, table4..table7, abl-*)")
+		all   = flag.Bool("all", false, "run every experiment")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+		n     = flag.Uint64("n", 1_000_000, "dynamic instructions per benchmark run")
+		plot  = flag.Bool("plot", false, "also render figure experiments as stacked bars")
+		svg   = flag.String("svg", "", "directory to write one SVG figure per configuration column")
+	)
+	flag.Parse()
+	if *svg != "" {
+		if err := os.MkdirAll(*svg, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "wbexp: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	switch {
+	case *list:
+		for _, e := range experiment.All() {
+			fmt.Printf("%-18s %s\n", e.ID, e.Title)
+		}
+	case *all:
+		for _, e := range experiment.All() {
+			runOne(e, *n, *plot, *svg)
+		}
+	case *expID != "":
+		e, ok := experiment.ByID(*expID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "wbexp: unknown experiment %q (try -list)\n", *expID)
+			os.Exit(1)
+		}
+		runOne(e, *n, *plot, *svg)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runOne(e experiment.Experiment, n uint64, plot bool, svgDir string) {
+	rep := e.Run(experiment.Options{Instructions: n})
+	if _, err := rep.WriteTo(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "wbexp: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println()
+	figureLike := strings.HasPrefix(e.ID, "fig") || e.ID == "summary"
+	if plot && figureLike {
+		renderPlot(rep)
+	}
+	if svgDir != "" && figureLike {
+		if err := writeSVGs(rep, svgDir); err != nil {
+			fmt.Fprintf(os.Stderr, "wbexp: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeSVGs renders one SVG per configuration column of a figure report.
+func writeSVGs(rep *experiment.Report, dir string) error {
+	for col := 1; col < len(rep.Columns); col++ {
+		chart := &svgplot.Chart{
+			Title:  fmt.Sprintf("%s [%s]", rep.ID, rep.Columns[col]),
+			XLabel: "stall cycles, % of total time",
+		}
+		for _, row := range rep.Rows {
+			r, f, l, ok := parseCell(row[col])
+			if !ok {
+				continue
+			}
+			chart.Bars = append(chart.Bars, svgplot.Bar{
+				Label: row[0],
+				Segments: []svgplot.Segment{
+					{Value: r, Label: stats.L2ReadAccess.String(), Color: "#2b2b2b"},
+					{Value: f, Label: stats.BufferFull.String(), Color: "#9b9b9b"},
+					{Value: l, Label: stats.LoadHazard.String(), Color: "#e3e3e3"},
+				},
+			})
+		}
+		if len(chart.Bars) == 0 {
+			continue
+		}
+		name := fmt.Sprintf("%s-%s.svg", rep.ID, sanitize(rep.Columns[col]))
+		fh, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := chart.Render(fh); err != nil {
+			fh.Close()
+			return err
+		}
+		if err := fh.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", filepath.Join(dir, name))
+	}
+	return nil
+}
+
+// sanitize maps a configuration label to a safe file-name fragment.
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}
+
+// renderPlot turns the last configuration column of a figure report into a
+// stacked-bar chart.  Cells look like "5.32 (0.41/4.02/0.89)".
+func renderPlot(rep *experiment.Report) {
+	for col := 1; col < len(rep.Columns); col++ {
+		chart := &textplot.Chart{
+			Title:  fmt.Sprintf("%s [%s]", rep.ID, rep.Columns[col]),
+			Legend: "R=" + stats.L2ReadAccess.String() + " F=" + stats.BufferFull.String() + " L=" + stats.LoadHazard.String(),
+		}
+		for _, row := range rep.Rows {
+			r, f, l, ok := parseCell(row[col])
+			if !ok {
+				continue
+			}
+			chart.Bars = append(chart.Bars, textplot.Bar{
+				Label: row[0],
+				Segments: []textplot.Segment{
+					{Value: r, Glyph: 'R'},
+					{Value: f, Glyph: 'F'},
+					{Value: l, Glyph: 'L'},
+				},
+			})
+		}
+		if len(chart.Bars) > 0 {
+			if err := chart.Render(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "wbexp: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func parseCell(cell string) (r, f, l float64, ok bool) {
+	open := strings.IndexByte(cell, '(')
+	closing := strings.IndexByte(cell, ')')
+	if open < 0 || closing < open {
+		return 0, 0, 0, false
+	}
+	parts := strings.Split(cell[open+1:closing], "/")
+	if len(parts) != 3 {
+		return 0, 0, 0, false
+	}
+	vals := make([]float64, 3)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return 0, 0, 0, false
+		}
+		vals[i] = v
+	}
+	return vals[0], vals[1], vals[2], true
+}

@@ -1,0 +1,43 @@
+package main
+
+import "testing"
+
+func TestParseCell(t *testing.T) {
+	r, f, l, ok := parseCell(" 5.32 (0.41/4.02/0.89)")
+	if !ok {
+		t.Fatal("well-formed cell rejected")
+	}
+	if r != 0.41 || f != 4.02 || l != 0.89 {
+		t.Errorf("parsed (%v,%v,%v)", r, f, l)
+	}
+}
+
+func TestParseCellRejectsGarbage(t *testing.T) {
+	for _, cell := range []string{
+		"",
+		"5.32",
+		"5.32 (0.41/4.02)",
+		"5.32 (a/b/c)",
+		") 5.32 (",
+	} {
+		if _, _, _, ok := parseCell(cell); ok {
+			t.Errorf("cell %q unexpectedly parsed", cell)
+		}
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	cases := map[string]string{
+		"1M-L2,mm=25":   "1M-L2_mm_25",
+		"retire-at-8":   "retire-at-8",
+		"wcache 8/α":    "wcache_8__",
+		"flush-full":    "flush-full",
+		"4x32B":         "4x32B",
+		"2.5-something": "2.5-something",
+	}
+	for in, want := range cases {
+		if got := sanitize(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

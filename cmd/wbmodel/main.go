@@ -1,0 +1,65 @@
+// Command wbmodel queries the analytic write-buffer model: given a store
+// allocation rate and the machine's latencies, it prints the predicted
+// blocking probability and occupancy distribution, or answers the design
+// question directly ("how deep must the buffer be?").
+//
+// Usage:
+//
+//	wbmodel -alloc 0.08                        # baseline geometry
+//	wbmodel -alloc 0.10 -depth 12 -retire 10   # a lazy configuration
+//	wbmodel -alloc 0.08 -target 0.001 -headroom 6   # minimum-depth query
+//
+// The allocation rate is the fraction of cycles carrying a store that
+// cannot merge: storeFraction × (1 − writeBufferHitRate).  For the paper's
+// benchmarks that is typically 0.03–0.12 (Tables 4 and 5).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analytic"
+)
+
+func main() {
+	var (
+		alloc    = flag.Float64("alloc", 0.08, "allocating stores per cycle")
+		lat      = flag.Int("lat", 6, "L2 write latency in cycles")
+		depth    = flag.Int("depth", 4, "buffer depth")
+		retire   = flag.Int("retire", 2, "retire-at high-water mark")
+		target   = flag.Float64("target", 0, "if > 0, find the minimum depth with P(block) <= target")
+		headroom = flag.Int("headroom", 6, "headroom to hold fixed for the minimum-depth query")
+	)
+	flag.Parse()
+
+	if *target > 0 {
+		d, ok := analytic.MinDepthFor(*target, *alloc, *lat, *headroom, 32)
+		if !ok {
+			fmt.Printf("no depth up to 32 reaches P(block) <= %v at headroom %d;\n", *target, *headroom)
+			fmt.Println("with occupancy-based retirement, headroom — not depth — bounds blocking.")
+			os.Exit(1)
+		}
+		fmt.Printf("minimum depth: %d (retire-at-%d, headroom %d)\n", d, d-*headroom, *headroom)
+		return
+	}
+
+	pred, err := analytic.Solve(analytic.Params{
+		AllocRate: *alloc, ServiceLat: *lat, Depth: *depth, HighWater: *retire,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wbmodel:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("buffer: %d-deep, retire-at-%d, %d-cycle writes, %.3f allocs/cycle\n\n",
+		*depth, *retire, *lat, *alloc)
+	fmt.Printf("P(store blocks)   %.5f\n", pred.PBlocked)
+	fmt.Printf("mean occupancy    %.3f entries\n", pred.MeanOccupancy)
+	fmt.Printf("port utilisation  %.3f\n\n", pred.Utilization)
+	fmt.Println("occupancy distribution (store's view):")
+	for k, p := range pred.Occupancy {
+		bar := strings.Repeat("#", int(p*60+0.5))
+		fmt.Printf("  %2d %7.4f %s\n", k, p, bar)
+	}
+}

@@ -1,0 +1,23 @@
+// Package repro is a from-scratch Go reproduction of Skadron & Clark,
+// "Design Issues and Tradeoffs for Write Buffers" (HPCA 1997).
+//
+// The repository contains an instruction-level timing simulator for the
+// paper's machine model (internal/sim), the coalescing write buffer that is
+// the paper's subject (internal/core), set-associative cache models
+// (internal/cache), a 17-benchmark SPEC92-like workload suite
+// (internal/workload), and an experiment harness that regenerates every
+// table and figure of the paper's evaluation (internal/experiment).
+//
+// Entry points:
+//
+//	cmd/wbexp    — regenerate any table or figure (wbexp -exp fig5)
+//	cmd/wbsim    — run one benchmark on one configuration
+//	cmd/wbtrace  — inspect benchmark reference streams
+//	examples/    — runnable demos of the library API
+//
+// bench_test.go in this directory holds one testing.B benchmark per paper
+// item, so `go test -bench=.` sweeps the whole evaluation.
+//
+// See DESIGN.md for the system inventory and the per-experiment index, and
+// EXPERIMENTS.md for measured-vs-paper results.
+package repro

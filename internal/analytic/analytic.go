@@ -1,0 +1,238 @@
+// Package analytic provides a discrete-time Markov-chain model of an
+// occupancy-governed write buffer — the analytical companion to the
+// simulator, in the spirit of Smith's queueing analysis of write-through
+// updating (J. ACM 26(1), 1979), which the paper cites as the early
+// treatment of write-buffer depth.
+//
+// The model captures the paper's retire-at-N buffer as a single-server
+// queue observed once per processor cycle:
+//
+//   - with probability AllocRate, the cycle carries a store that must
+//     allocate a new entry (merging stores never enter the queue — fold
+//     the write-buffer hit rate into AllocRate);
+//   - the server (the L2 port) begins writing the head entry whenever
+//     occupancy is at or above the high-water mark, takes ServiceLat
+//     cycles per entry, and cannot be preempted;
+//   - a store arriving at a full buffer blocks the processor.
+//
+// Solve computes the chain's stationary distribution by power iteration
+// (the state space is tiny: (Depth+1) × (ServiceLat+1) states) and derives
+// the metrics designers care about: the probability an arriving store
+// finds the buffer full, and the occupancy distribution the paper's
+// headroom rule-of-thumb summarises.
+//
+// The model ignores the feedback of blocking on the arrival process (a
+// stalled processor sends no stores) and all load-side port contention, so
+// it is an optimistic approximation that is accurate in the low-stall
+// regime — exactly the regime a designer is trying to reach.  The
+// validation test compares it against the full simulator on a matching
+// synthetic workload.
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params describes the buffer being modelled.
+type Params struct {
+	// AllocRate is the probability that a cycle carries an allocating
+	// store: storeFraction × (1 − writeBufferHitRate).
+	AllocRate float64
+	// ServiceLat is the L2 write latency in cycles.
+	ServiceLat int
+	// Depth is the number of buffer entries.
+	Depth int
+	// HighWater is the retire-at-N mark: retirement runs while occupancy
+	// is at or above it.
+	HighWater int
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.AllocRate < 0 || p.AllocRate >= 1 {
+		return fmt.Errorf("analytic: alloc rate %v outside [0,1)", p.AllocRate)
+	}
+	if p.ServiceLat < 1 {
+		return fmt.Errorf("analytic: service latency %d < 1", p.ServiceLat)
+	}
+	if p.Depth < 1 {
+		return fmt.Errorf("analytic: depth %d < 1", p.Depth)
+	}
+	if p.HighWater < 1 || p.HighWater > p.Depth {
+		return fmt.Errorf("analytic: high-water mark %d outside [1,%d]", p.HighWater, p.Depth)
+	}
+	return nil
+}
+
+// Prediction is the solved model.
+type Prediction struct {
+	// PBlocked is the probability an arriving store finds the buffer full
+	// (Bernoulli arrivals see time averages, so this is the stationary
+	// probability of the full state).
+	PBlocked float64
+	// MeanOccupancy is the time-averaged number of valid entries.
+	MeanOccupancy float64
+	// Occupancy[k] is the stationary probability of k valid entries.
+	Occupancy []float64
+	// Utilization is the fraction of cycles the L2 port spends writing.
+	Utilization float64
+}
+
+// Solve computes the stationary distribution.
+func Solve(p Params) (Prediction, error) {
+	if err := p.Validate(); err != nil {
+		return Prediction{}, err
+	}
+	// State (o, r, pend): o entries valid, r cycles of the in-flight write
+	// left (0 = idle), pend set while a blocked store is waiting for a
+	// slot — the processor is stalled then and generates no arrivals, the
+	// feedback the paper's buffer-full stall creates.
+	L := p.ServiceLat
+	nStates := (p.Depth + 1) * (L + 1) * 2
+	idx := func(o, r, pend int) int { return (o*(L+1)+r)*2 + pend }
+
+	cur := make([]float64, nStates)
+	next := make([]float64, nStates)
+	cur[idx(0, 0, 0)] = 1
+
+	pred := Prediction{Occupancy: make([]float64, p.Depth+1)}
+	var arrivals, blocked float64
+
+	// One cycle: (1) start service if idle and occupancy is at the mark;
+	// (2) advance service, completing a departure at zero (and re-arming
+	// back-to-back for the next cycle); (3) a pending store takes the
+	// freed slot; (4) otherwise an arrival comes with probability
+	// AllocRate and either allocates or becomes pending.  When record is
+	// true the pass accumulates the metrics: occupancy as observed at the
+	// arrival point, utilisation as the fraction of busy port cycles, and
+	// blocking as the fraction of arrivals finding the buffer full.
+	step := func(o, r, pend int, pr float64, record bool) {
+		if r == 0 && o >= p.HighWater {
+			r = L
+		}
+		if r > 0 {
+			if record {
+				pred.Utilization += pr
+			}
+			r--
+			if r == 0 {
+				o--
+				// Back-to-back: the next write is admitted now and
+				// occupies the port from the next cycle on.
+				if o >= p.HighWater {
+					r = L
+				}
+			}
+		}
+		if pend == 1 {
+			if o < p.Depth {
+				// The waiting store allocates; the processor resumes
+				// next cycle (no new arrival this cycle).
+				o++
+				pend = 0
+			}
+			next[idx(o, r, pend)] += pr
+			return
+		}
+		if record {
+			pred.Occupancy[o] += pr
+			pred.MeanOccupancy += float64(o) * pr
+			arrivals += pr * p.AllocRate
+			if o == p.Depth {
+				blocked += pr * p.AllocRate
+			}
+		}
+		if o < p.Depth {
+			next[idx(o+1, r, 0)] += pr * p.AllocRate
+			next[idx(o, r, 0)] += pr * (1 - p.AllocRate)
+		} else {
+			next[idx(o, r, 1)] += pr * p.AllocRate // store blocks, stalling the processor
+			next[idx(o, r, 0)] += pr * (1 - p.AllocRate)
+		}
+	}
+
+	pass := func(record bool) float64 {
+		for i := range next {
+			next[i] = 0
+		}
+		for o := 0; o <= p.Depth; o++ {
+			for r := 0; r <= L; r++ {
+				for pend := 0; pend <= 1; pend++ {
+					if pr := cur[idx(o, r, pend)]; pr > 0 {
+						step(o, r, pend, pr, record)
+					}
+				}
+			}
+		}
+		var diff float64
+		for i := range cur {
+			diff += math.Abs(next[i] - cur[i])
+		}
+		cur, next = next, cur
+		return diff
+	}
+
+	const (
+		maxIter = 200_000
+		eps     = 1e-13
+	)
+	for iter := 0; iter < maxIter; iter++ {
+		if pass(false) < eps {
+			break
+		}
+	}
+	pass(true) // metric pass over the stationary distribution
+
+	// Normalise arrival-point metrics: the occupancy distribution and the
+	// blocking probability condition on the processor running.
+	var running float64
+	for _, pr := range pred.Occupancy {
+		running += pr
+	}
+	if running > 0 {
+		for i := range pred.Occupancy {
+			pred.Occupancy[i] /= running
+		}
+		pred.MeanOccupancy /= running
+	}
+	if arrivals > 0 {
+		pred.PBlocked = blocked / arrivals
+	}
+	// Guard the [0,1] ranges against accumulated rounding.
+	pred.PBlocked = clamp01(pred.PBlocked)
+	pred.Utilization = clamp01(pred.Utilization)
+	return pred, nil
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// MinDepthFor returns the smallest depth whose predicted blocking
+// probability is at or below target, holding the headroom (depth minus
+// high-water mark) fixed — the design question Figures 4 and 5 answer by
+// simulation.  It returns depth and ok=false if no depth up to maxDepth
+// suffices.
+func MinDepthFor(target float64, alloc float64, serviceLat, headroom, maxDepth int) (int, bool) {
+	for d := headroom + 1; d <= maxDepth; d++ {
+		hwm := d - headroom
+		if hwm < 1 {
+			hwm = 1
+		}
+		pred, err := Solve(Params{AllocRate: alloc, ServiceLat: serviceLat, Depth: d, HighWater: hwm})
+		if err != nil {
+			return 0, false
+		}
+		if pred.PBlocked <= target {
+			return d, true
+		}
+	}
+	return 0, false
+}

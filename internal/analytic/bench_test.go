@@ -1,0 +1,21 @@
+package analytic
+
+import "testing"
+
+func BenchmarkSolveBaseline(b *testing.B) {
+	p := Params{AllocRate: 0.08, ServiceLat: 6, Depth: 4, HighWater: 2}
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveDeep(b *testing.B) {
+	p := Params{AllocRate: 0.10, ServiceLat: 10, Depth: 16, HighWater: 8}
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

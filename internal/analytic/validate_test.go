@@ -1,0 +1,79 @@
+package analytic_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/analytic"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// bernoulliStores builds the stream the model assumes: each instruction is
+// an allocating store (to a fresh line, so it can never merge) with
+// probability q, else a plain instruction.  No loads, so the L2 port is
+// contended only by retirements — the model's world, in the simulator.
+func bernoulliStores(q float64, n int, seed uint64) trace.Stream {
+	r := rng.New(seed)
+	refs := make([]trace.Ref, n)
+	line := mem.Addr(0)
+	for i := range refs {
+		if r.Bool(q) {
+			line += 32
+			refs[i] = trace.Ref{Kind: trace.Store, Addr: line}
+		} else {
+			refs[i] = trace.Ref{Kind: trace.Exec}
+		}
+	}
+	return trace.NewSliceStream(refs)
+}
+
+// TestModelMatchesSimulator validates the Markov chain against the full
+// simulator on matched workloads across the design space.  The model
+// ignores blocking feedback (a stalled processor stops generating stores),
+// so it overestimates blocking slightly; the tolerances reflect that.
+func TestModelMatchesSimulator(t *testing.T) {
+	cases := []struct {
+		q          float64
+		depth, hwm int
+	}{
+		{0.05, 4, 2},
+		{0.10, 4, 2},
+		{0.10, 8, 2},
+		{0.08, 12, 10},
+		{0.12, 6, 4},
+	}
+	const n = 400_000
+	for _, tc := range cases {
+		pred, err := analytic.Solve(analytic.Params{
+			AllocRate: tc.q, ServiceLat: 6, Depth: tc.depth, HighWater: tc.hwm,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := sim.Baseline().WithDepth(tc.depth).WithRetire(core.RetireAt{N: tc.hwm})
+		m := sim.MustNew(cfg)
+		m.Run(bernoulliStores(tc.q, n, 42))
+		c := m.Counters()
+		if err := c.Check(); err != nil {
+			t.Fatal(err)
+		}
+		simBlock := float64(c.BlockedStores) / float64(c.Stores)
+		simOcc := m.MeanOccupancy()
+
+		// Blocking probability: within 20% relative or 0.005 absolute.
+		if diff := math.Abs(simBlock - pred.PBlocked); diff > 0.005 && diff > 0.2*pred.PBlocked {
+			t.Errorf("q=%.2f d=%d hwm=%d: blocking sim %.4f vs model %.4f",
+				tc.q, tc.depth, tc.hwm, simBlock, pred.PBlocked)
+		}
+		// Mean occupancy (model: time-average at arrival points; sim:
+		// store-observed): within 0.5 entries.
+		if math.Abs(simOcc-pred.MeanOccupancy) > 0.5 {
+			t.Errorf("q=%.2f d=%d hwm=%d: occupancy sim %.2f vs model %.2f",
+				tc.q, tc.depth, tc.hwm, simOcc, pred.MeanOccupancy)
+		}
+	}
+}

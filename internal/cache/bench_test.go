@@ -1,0 +1,46 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func BenchmarkReadHit(b *testing.B) {
+	c := New(Config{SizeBytes: 8 << 10, LineBytes: 32, Assoc: 1})
+	c.Fill(0x100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Read(0x100)
+	}
+}
+
+func BenchmarkReadMissFill(b *testing.B) {
+	c := New(Config{SizeBytes: 8 << 10, LineBytes: 32, Assoc: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := mem.Addr(i) * 32
+		if !c.Read(addr) {
+			c.Fill(addr)
+		}
+	}
+}
+
+func BenchmarkReadSetAssociative(b *testing.B) {
+	c := New(Config{SizeBytes: 1 << 20, LineBytes: 32, Assoc: 4})
+	for i := 0; i < 1024; i++ {
+		c.Fill(mem.Addr(i) * 32)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Read(mem.Addr(i%1024) * 32)
+	}
+}
+
+func BenchmarkWriteAllocate(b *testing.B) {
+	c := New(Config{SizeBytes: 128 << 10, LineBytes: 32, Assoc: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.WriteAllocate(mem.Addr(i%8192) * 32)
+	}
+}

@@ -1,0 +1,321 @@
+// Package core implements the paper's primary contribution: a coalescing
+// write buffer with configurable depth, width, retirement order and policy,
+// and load-hazard policy.
+//
+// The buffer itself is pure bookkeeping — entries, tags, per-word valid
+// bits, FIFO order, and the "head is being retired" flag.  All *timing*
+// (when retirements start, how long the L2 port is busy, how many cycles a
+// stalled instruction waits) lives in internal/sim, which drives the buffer
+// through the methods defined here.  Keeping time out of this package makes
+// every policy decision unit-testable in isolation.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Entry is one write-buffer slot: an address-aligned group of words with a
+// tag and per-word valid bits, exactly as described in Section 2.2 of the
+// paper.
+type Entry struct {
+	// Tag identifies the entry's block: the address right-shifted by the
+	// entry width (line tag for cache-line-wide entries, word tag for the
+	// non-coalescing width-1 configuration).
+	Tag mem.Addr
+	// Valid has bit i set when word i of the entry holds fresh data.
+	Valid uint64
+	// AllocCycle is the cycle at which the entry was created; the aging
+	// retirement extension (21064/21164 behaviour) uses it.
+	AllocCycle uint64
+}
+
+// FullMask returns the valid mask of a completely written entry of w words.
+func FullMask(w int) uint64 { return (1 << uint(w)) - 1 }
+
+// Config describes a write buffer.
+type Config struct {
+	// Depth is the number of entries ("4-deep", "12-deep", …).
+	Depth int
+	// WordsPerEntry is the entry width in words.  The paper's coalescing
+	// buffers are cache-line wide (4 words of 8 bytes); a non-coalescing
+	// buffer has width 1.
+	WordsPerEntry int
+	// Geometry supplies the word/line layout used to derive tags and word
+	// masks from byte addresses.
+	Geometry mem.Geometry
+}
+
+// DefaultConfig is the paper's baseline geometry: 4 entries, cache-line
+// wide (Table 2).
+func DefaultConfig() Config {
+	return Config{Depth: 4, WordsPerEntry: mem.WordsPerLine, Geometry: mem.DefaultGeometry}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Depth < 1 {
+		return fmt.Errorf("core: depth %d < 1", c.Depth)
+	}
+	if c.WordsPerEntry < 1 || c.WordsPerEntry > 64 {
+		return fmt.Errorf("core: words per entry %d outside [1,64]", c.WordsPerEntry)
+	}
+	if c.WordsPerEntry > c.Geometry.WordsPerLine() {
+		return fmt.Errorf("core: entry width %d words exceeds line width %d",
+			c.WordsPerEntry, c.Geometry.WordsPerLine())
+	}
+	if c.Geometry.WordsPerLine()%c.WordsPerEntry != 0 {
+		return fmt.Errorf("core: entry width %d words does not divide line width %d",
+			c.WordsPerEntry, c.Geometry.WordsPerLine())
+	}
+	return nil
+}
+
+// Stats counts buffer-level events.  Cycle-denominated figures live in the
+// simulator's stall counters; these are pure event counts.
+type Stats struct {
+	Allocations uint64 // stores that created a new entry
+	Merges      uint64 // stores that coalesced into an existing entry ("WB hits")
+	Retirements uint64 // entries written to L2 by the buffer's own policy
+	Flushes     uint64 // entries written to L2 because a load hazard forced it
+	LoadProbes  uint64 // L1 load misses that checked the buffer
+	LoadHits    uint64 // probes that found their block active
+}
+
+// Buffer is the write buffer.  entries[0] is the FIFO head — the next entry
+// to retire.  At most the head can be in the middle of retirement
+// (retirement order is FIFO, Table 2), tracked by the retiring flag.
+type Buffer struct {
+	cfg      Config
+	entries  []Entry
+	retiring bool
+	stats    Stats
+
+	wordsShift uint // log2(WordsPerEntry); tag = addr >> (wordShift + wordsShift)
+}
+
+// NewBuffer constructs a write buffer; it panics on an invalid Config.
+func NewBuffer(cfg Config) *Buffer {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Buffer{
+		cfg:        cfg,
+		entries:    make([]Entry, 0, cfg.Depth),
+		wordsShift: mem.Log2(cfg.WordsPerEntry),
+	}
+}
+
+// Config returns the buffer's configuration.
+func (b *Buffer) Config() Config { return b.cfg }
+
+// Stats returns a copy of the event counters.
+func (b *Buffer) Stats() Stats { return b.stats }
+
+// ResetStats zeroes the event counters without touching contents.
+func (b *Buffer) ResetStats() { b.stats = Stats{} }
+
+// EntryTag maps a byte address to its entry tag.  With line-wide entries
+// this is the line tag; with width-1 entries it is the word tag, so two
+// stores coalesce only when they hit the same word.
+func (b *Buffer) EntryTag(addr mem.Addr) mem.Addr {
+	return addr >> (mem.Log2(b.cfg.Geometry.WordBytes()) + b.wordsShift)
+}
+
+// wordMask returns the in-entry valid bit for addr.
+func (b *Buffer) wordMask(addr mem.Addr) uint64 {
+	idx := b.cfg.Geometry.WordIndex(addr) & (b.cfg.WordsPerEntry - 1)
+	return 1 << uint(idx)
+}
+
+// Occupancy returns the number of valid entries, including one mid-retirement.
+func (b *Buffer) Occupancy() int { return len(b.entries) }
+
+// IsFull reports whether no entry can be allocated.
+func (b *Buffer) IsFull() bool { return len(b.entries) == b.cfg.Depth }
+
+// IsEmpty reports whether the buffer holds no entries.
+func (b *Buffer) IsEmpty() bool { return len(b.entries) == 0 }
+
+// Retiring reports whether the FIFO head is currently being written to L2.
+func (b *Buffer) Retiring() bool { return b.retiring }
+
+// Entries returns a copy of the current entries in FIFO order (head first);
+// intended for tests and diagnostics.
+func (b *Buffer) Entries() []Entry {
+	out := make([]Entry, len(b.entries))
+	copy(out, b.entries)
+	return out
+}
+
+// Head returns the FIFO head entry.  It panics when empty, because callers
+// must consult Occupancy first (the simulator always does).
+func (b *Buffer) Head() Entry {
+	if len(b.entries) == 0 {
+		panic("core: Head of empty buffer")
+	}
+	return b.entries[0]
+}
+
+// FindMerge returns the index of an entry the store to addr may coalesce
+// into, or -1.  Per Section 2.2, stores cannot merge into the entry being
+// retired, but may update any other entry while a retirement is under way.
+func (b *Buffer) FindMerge(addr mem.Addr) int {
+	tag := b.EntryTag(addr)
+	start := 0
+	if b.retiring {
+		start = 1
+	}
+	for i := start; i < len(b.entries); i++ {
+		if b.entries[i].Tag == tag {
+			return i
+		}
+	}
+	return -1
+}
+
+// Store applies a store to the buffer: it merges when possible, allocates
+// when a slot is free, and otherwise reports failure so the simulator can
+// charge a buffer-full stall and retry after a retirement completes.
+// The returned kind tells the caller which path was taken.
+type StoreResult uint8
+
+const (
+	// StoreMerged means the store coalesced into an existing entry.
+	StoreMerged StoreResult = iota
+	// StoreAllocated means the store created a new entry.
+	StoreAllocated
+	// StoreBlocked means the buffer was full and the store must wait.
+	StoreBlocked
+)
+
+// Store attempts to insert the store at addr at the given cycle.
+func (b *Buffer) Store(addr mem.Addr, cycle uint64) StoreResult {
+	if i := b.FindMerge(addr); i >= 0 {
+		b.entries[i].Valid |= b.wordMask(addr)
+		b.stats.Merges++
+		return StoreMerged
+	}
+	if b.IsFull() {
+		return StoreBlocked
+	}
+	b.entries = append(b.entries, Entry{
+		Tag:        b.EntryTag(addr),
+		Valid:      b.wordMask(addr),
+		AllocCycle: cycle,
+	})
+	b.stats.Allocations++
+	return StoreAllocated
+}
+
+// Insert appends a pre-formed entry at the FIFO tail — the write-cache
+// victim path, where a whole evicted block enters the (victim) buffer at
+// once.  It panics when full; callers must check IsFull first.
+func (b *Buffer) Insert(e Entry) {
+	if b.IsFull() {
+		panic("core: Insert into a full buffer")
+	}
+	b.entries = append(b.entries, e)
+	b.stats.Allocations++
+}
+
+// Probe checks whether an L1 load miss to addr hits in the buffer — the
+// load-hazard detection of Section 2.2.  A hazard occurs when the *block*
+// is active, even if the needed word is not valid (the L2 copy is stale
+// either way).  The retiring head counts: its data is still in the buffer.
+// It returns the FIFO index of the hit entry and whether the needed word
+// itself is valid (read-from-WB can only forward when it is).
+func (b *Buffer) Probe(addr mem.Addr) (idx int, wordValid, hit bool) {
+	b.stats.LoadProbes++
+	tag := b.EntryTag(addr)
+	for i := range b.entries {
+		if b.entries[i].Tag == tag {
+			b.stats.LoadHits++
+			return i, b.entries[i].Valid&b.wordMask(addr) != 0, true
+		}
+	}
+	return -1, false, false
+}
+
+// Find returns the FIFO index of the entry holding addr's block, or -1.
+// Unlike Probe it records no statistics; the simulator uses it to re-locate
+// a hazard's entry after an in-flight retirement completes.
+func (b *Buffer) Find(addr mem.Addr) int {
+	tag := b.EntryTag(addr)
+	for i := range b.entries {
+		if b.entries[i].Tag == tag {
+			return i
+		}
+	}
+	return -1
+}
+
+// BeginRetire marks the FIFO head as being written to L2.  It panics when
+// the buffer is empty or a retirement is already in flight; the simulator's
+// port arbitration makes those states unreachable.
+func (b *Buffer) BeginRetire() Entry {
+	if len(b.entries) == 0 {
+		panic("core: BeginRetire on empty buffer")
+	}
+	if b.retiring {
+		panic("core: BeginRetire while a retirement is in flight")
+	}
+	b.retiring = true
+	return b.entries[0]
+}
+
+// CompleteRetire frees the head entry whose write to L2 has finished.
+func (b *Buffer) CompleteRetire() {
+	if !b.retiring {
+		panic("core: CompleteRetire without BeginRetire")
+	}
+	b.retiring = false
+	b.entries = b.entries[1:]
+	b.stats.Retirements++
+}
+
+// AbandonRetire clears the in-flight flag without freeing the entry.  No
+// paper policy needs it, but tests exercising illegal sequences do.
+func (b *Buffer) AbandonRetire() { b.retiring = false }
+
+// FlushPrefix removes entries [0, n) in FIFO order, counting them as
+// flushes.  Callers must have waited for any in-flight retirement to
+// complete first (the paper lets an under-way transaction finish).
+func (b *Buffer) FlushPrefix(n int) []Entry {
+	if b.retiring {
+		panic("core: FlushPrefix during an in-flight retirement")
+	}
+	if n < 0 || n > len(b.entries) {
+		panic(fmt.Sprintf("core: FlushPrefix(%d) with occupancy %d", n, len(b.entries)))
+	}
+	flushed := make([]Entry, n)
+	copy(flushed, b.entries[:n])
+	b.entries = b.entries[n:]
+	b.stats.Flushes += uint64(n)
+	return flushed
+}
+
+// FlushAll removes every entry (the flush-full policy).
+func (b *Buffer) FlushAll() []Entry { return b.FlushPrefix(len(b.entries)) }
+
+// FlushOne removes only the entry at FIFO index i (the flush-item-only
+// policy), preserving the order of the rest.
+func (b *Buffer) FlushOne(i int) Entry {
+	if b.retiring {
+		panic("core: FlushOne during an in-flight retirement")
+	}
+	if i < 0 || i >= len(b.entries) {
+		panic(fmt.Sprintf("core: FlushOne(%d) with occupancy %d", i, len(b.entries)))
+	}
+	e := b.entries[i]
+	b.entries = append(b.entries[:i], b.entries[i+1:]...)
+	b.stats.Flushes++
+	return e
+}
+
+// AddrOf reconstructs the base byte address of an entry's block, for
+// presenting to the L2 model.
+func (b *Buffer) AddrOf(e Entry) mem.Addr {
+	return e.Tag << (mem.Log2(b.cfg.Geometry.WordBytes()) + b.wordsShift)
+}

@@ -1,0 +1,136 @@
+package core
+
+import "fmt"
+
+// HazardPolicy selects what happens when an L1 load miss hits an active
+// block in the write buffer (Section 2.2, Figure 2).
+type HazardPolicy uint8
+
+const (
+	// FlushFull flushes the entire write buffer (Alpha 21064).
+	FlushFull HazardPolicy = iota
+	// FlushPartial flushes entries in FIFO order up to and including the
+	// hit entry (Alpha 21164).
+	FlushPartial
+	// FlushItemOnly flushes only the hit entry (Chu & Gottipati's
+	// suggestion).
+	FlushItemOnly
+	// ReadFromWB reads the data directly out of the buffer without
+	// flushing anything; a hazard whose needed word is invalid still
+	// requires an L2 access, whose fill merges with the buffered words.
+	ReadFromWB
+)
+
+// String implements fmt.Stringer, using the paper's policy names.
+func (p HazardPolicy) String() string {
+	switch p {
+	case FlushFull:
+		return "flush-full"
+	case FlushPartial:
+		return "flush-partial"
+	case FlushItemOnly:
+		return "flush-item-only"
+	case ReadFromWB:
+		return "read-from-WB"
+	default:
+		return fmt.Sprintf("hazard-policy(%d)", uint8(p))
+	}
+}
+
+// HazardPolicies lists every policy in the paper's order of increasing
+// precision.
+var HazardPolicies = []HazardPolicy{FlushFull, FlushPartial, FlushItemOnly, ReadFromWB}
+
+// RetirementPolicy decides when the buffer's FIFO head may begin an
+// autonomous retirement.  The simulator calls NextStart whenever the state
+// it depends on may have changed and schedules the retirement for the
+// returned cycle (subject to L2-port availability).
+//
+// Implementations must be monotone: with unchanged buffer state, a later
+// `now` must never yield an earlier start.
+type RetirementPolicy interface {
+	// NextStart returns the earliest cycle >= now at which a retirement
+	// may begin, and whether one may begin at all before the buffer state
+	// next changes.
+	//
+	//   occ        — current occupancy (valid entries, incl. one retiring)
+	//   headAlloc  — AllocCycle of the FIFO head (undefined when occ == 0)
+	//   lastStart  — cycle the previous retirement started (0 if none)
+	//   now        — current cycle
+	NextStart(occ int, headAlloc, lastStart, now uint64) (uint64, bool)
+	// Name returns the paper's name for the policy.
+	Name() string
+}
+
+// RetireAt is the paper's occupancy-based family: retire the FIFO head
+// whenever occupancy is at or above the high-water mark N ("retire-at-N").
+// The optional Timeout adds the Alphas' aging rule: a buffer left below the
+// high-water mark still retires its head once the head is Timeout cycles
+// old (256 on the 21064, 64 on the 21164).  Timeout 0 disables aging,
+// matching the paper's baseline.
+type RetireAt struct {
+	N       int
+	Timeout uint64
+}
+
+// NextStart implements RetirementPolicy.
+func (r RetireAt) NextStart(occ int, headAlloc, lastStart, now uint64) (uint64, bool) {
+	if occ >= r.N {
+		return now, true
+	}
+	if r.Timeout > 0 && occ >= 1 {
+		due := headAlloc + r.Timeout
+		if due < now {
+			due = now
+		}
+		return due, true
+	}
+	return 0, false
+}
+
+// Name implements RetirementPolicy.
+func (r RetireAt) Name() string {
+	if r.Timeout > 0 {
+		return fmt.Sprintf("retire-at-%d+age-%d", r.N, r.Timeout)
+	}
+	return fmt.Sprintf("retire-at-%d", r.N)
+}
+
+// FixedRate retires one entry every Interval cycles whenever the buffer is
+// non-empty, regardless of occupancy — the policy Jouppi considered, which
+// the paper argues an occupancy-based policy should always beat.  It is
+// included for the ablation benchmark.
+type FixedRate struct {
+	Interval uint64
+}
+
+// NextStart implements RetirementPolicy.
+func (f FixedRate) NextStart(occ int, headAlloc, lastStart, now uint64) (uint64, bool) {
+	if occ == 0 {
+		return 0, false
+	}
+	due := lastStart + f.Interval
+	if due < now {
+		due = now
+	}
+	return due, true
+}
+
+// Name implements RetirementPolicy.
+func (f FixedRate) Name() string { return fmt.Sprintf("fixed-rate-%d", f.Interval) }
+
+// Eager retires whenever the buffer is non-empty (retire-at-1): maximal
+// draining, minimal coalescing.  Equivalent to RetireAt{N: 1} but named for
+// readability in sweeps.
+type Eager struct{}
+
+// NextStart implements RetirementPolicy.
+func (Eager) NextStart(occ int, headAlloc, lastStart, now uint64) (uint64, bool) {
+	if occ >= 1 {
+		return now, true
+	}
+	return 0, false
+}
+
+// Name implements RetirementPolicy.
+func (Eager) Name() string { return "retire-at-1" }

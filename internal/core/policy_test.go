@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHazardPolicyString(t *testing.T) {
+	cases := map[HazardPolicy]string{
+		FlushFull:       "flush-full",
+		FlushPartial:    "flush-partial",
+		FlushItemOnly:   "flush-item-only",
+		ReadFromWB:      "read-from-WB",
+		HazardPolicy(9): "hazard-policy(9)",
+	}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", p, got, want)
+		}
+	}
+	if len(HazardPolicies) != 4 {
+		t.Errorf("HazardPolicies has %d entries, want 4", len(HazardPolicies))
+	}
+}
+
+func TestRetireAtBasic(t *testing.T) {
+	p := RetireAt{N: 2}
+	if _, ok := p.NextStart(0, 0, 0, 100); ok {
+		t.Error("empty buffer should not retire")
+	}
+	if _, ok := p.NextStart(1, 0, 0, 100); ok {
+		t.Error("occupancy below high-water mark should not retire without aging")
+	}
+	start, ok := p.NextStart(2, 0, 0, 100)
+	if !ok || start != 100 {
+		t.Errorf("at high-water mark: (%d,%v), want (100,true)", start, ok)
+	}
+	start, ok = p.NextStart(4, 0, 0, 100)
+	if !ok || start != 100 {
+		t.Errorf("above high-water mark: (%d,%v), want (100,true)", start, ok)
+	}
+	if p.Name() != "retire-at-2" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+func TestRetireAtAging(t *testing.T) {
+	p := RetireAt{N: 2, Timeout: 64}
+	// Lone entry allocated at cycle 10 becomes due at 74.
+	start, ok := p.NextStart(1, 10, 0, 20)
+	if !ok || start != 74 {
+		t.Errorf("aging lone entry: (%d,%v), want (74,true)", start, ok)
+	}
+	// Already past due: retire now, never in the past.
+	start, ok = p.NextStart(1, 10, 0, 200)
+	if !ok || start != 200 {
+		t.Errorf("overdue lone entry: (%d,%v), want (200,true)", start, ok)
+	}
+	// Occupancy at the mark ignores aging and goes immediately.
+	start, ok = p.NextStart(2, 10, 0, 20)
+	if !ok || start != 20 {
+		t.Errorf("at mark with aging: (%d,%v), want (20,true)", start, ok)
+	}
+	if p.Name() != "retire-at-2+age-64" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+func TestFixedRate(t *testing.T) {
+	p := FixedRate{Interval: 10}
+	if _, ok := p.NextStart(0, 0, 5, 100); ok {
+		t.Error("fixed-rate must not retire an empty buffer")
+	}
+	start, ok := p.NextStart(3, 0, 95, 100)
+	if !ok || start != 105 {
+		t.Errorf("next tick: (%d,%v), want (105,true)", start, ok)
+	}
+	start, ok = p.NextStart(3, 0, 5, 100)
+	if !ok || start != 100 {
+		t.Errorf("overdue tick clamps to now: (%d,%v), want (100,true)", start, ok)
+	}
+	if p.Name() != "fixed-rate-10" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+func TestEager(t *testing.T) {
+	p := Eager{}
+	if _, ok := p.NextStart(0, 0, 0, 50); ok {
+		t.Error("eager must not retire an empty buffer")
+	}
+	start, ok := p.NextStart(1, 0, 0, 50)
+	if !ok || start != 50 {
+		t.Errorf("eager: (%d,%v), want (50,true)", start, ok)
+	}
+	if p.Name() != "retire-at-1" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+// Property: every policy returns a start >= now (never schedules in the
+// past) and is monotone in now.
+func TestPolicyMonotoneProperty(t *testing.T) {
+	policies := []RetirementPolicy{
+		RetireAt{N: 2}, RetireAt{N: 4, Timeout: 64}, FixedRate{Interval: 7}, Eager{},
+	}
+	for _, p := range policies {
+		f := func(occ8 uint8, headAlloc, lastStart uint16, now uint16, delta uint8) bool {
+			occ := int(occ8 % 16)
+			n1, ok1 := p.NextStart(occ, uint64(headAlloc), uint64(lastStart), uint64(now))
+			if ok1 && n1 < uint64(now) {
+				return false
+			}
+			later := uint64(now) + uint64(delta)
+			n2, ok2 := p.NextStart(occ, uint64(headAlloc), uint64(lastStart), later)
+			if ok1 != ok2 {
+				return false
+			}
+			return !ok1 || n2 >= n1
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", p.Name(), err)
+		}
+	}
+}

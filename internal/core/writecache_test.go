@@ -1,0 +1,172 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func newWC(depth int) *WriteCache {
+	cfg := DefaultConfig()
+	cfg.Depth = depth
+	return NewWriteCache(cfg)
+}
+
+func TestWriteCacheStoreMergeAllocate(t *testing.T) {
+	w := newWC(2)
+	if _, has := w.Store(0x100, 1); has {
+		t.Fatal("first store evicted from an empty cache")
+	}
+	if _, has := w.Store(0x108, 2); has {
+		t.Fatal("same-line store evicted")
+	}
+	s := w.Stats()
+	if s.Allocations != 1 || s.Merges != 1 {
+		t.Fatalf("stats = %+v, want 1 alloc + 1 merge", s)
+	}
+	if w.Occupancy() != 1 {
+		t.Fatalf("occupancy = %d, want 1", w.Occupancy())
+	}
+}
+
+func TestWriteCacheNewPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewWriteCache with depth 0 did not panic")
+		}
+	}()
+	NewWriteCache(Config{Depth: 0, WordsPerEntry: 4, Geometry: mem.DefaultGeometry})
+}
+
+func TestWriteCacheLRUEviction(t *testing.T) {
+	w := newWC(2)
+	w.Store(0x000, 1) // A
+	w.Store(0x040, 2) // B; A is now LRU
+	w.Store(0x008, 3) // touch A: B becomes LRU
+	victim, has := w.Store(0x080, 4)
+	if !has {
+		t.Fatal("full cache did not evict")
+	}
+	if victim.Tag != w.EntryTag(0x040) {
+		t.Fatalf("evicted tag %#x, want B's (LRU)", victim.Tag)
+	}
+	if victim.Valid != 0b0001 {
+		t.Fatalf("victim valid mask = %04b, want 0001", victim.Valid)
+	}
+	if w.Stats().Retirements != 1 {
+		t.Fatal("eviction not counted as a retirement")
+	}
+}
+
+func TestWriteCacheProbeRefreshesLRU(t *testing.T) {
+	w := newWC(2)
+	w.Store(0x000, 1) // A
+	w.Store(0x040, 2) // B
+	// Read A: A becomes MRU, so the next eviction takes B.
+	if wordValid, hit := w.Probe(0x000); !hit || !wordValid {
+		t.Fatalf("probe of stored word = (%v,%v)", wordValid, hit)
+	}
+	victim, _ := w.Store(0x080, 3)
+	if victim.Tag != w.EntryTag(0x040) {
+		t.Fatal("probe did not refresh LRU order")
+	}
+}
+
+func TestWriteCacheProbeWordInvalid(t *testing.T) {
+	w := newWC(2)
+	w.Store(0x100, 1)
+	wordValid, hit := w.Probe(0x118) // same line, unwritten word
+	if !hit || wordValid {
+		t.Fatalf("probe = (%v,%v), want block hit with invalid word", wordValid, hit)
+	}
+	if _, hit := w.Probe(0x200); hit {
+		t.Fatal("probe of absent block hit")
+	}
+	s := w.Stats()
+	if s.LoadProbes != 2 || s.LoadHits != 1 {
+		t.Fatalf("probe stats = %+v", s)
+	}
+}
+
+func TestWriteCacheDrainAllLRUOrder(t *testing.T) {
+	w := newWC(4)
+	w.Store(0x000, 1)
+	w.Store(0x040, 2)
+	w.Store(0x080, 3)
+	w.Store(0x008, 4) // touch A last
+	drained := w.DrainAll()
+	if len(drained) != 3 {
+		t.Fatalf("drained %d entries, want 3", len(drained))
+	}
+	// Oldest first: B, C, then A (A was touched last).
+	if drained[0].Tag != w.EntryTag(0x040) || drained[2].Tag != w.EntryTag(0x000) {
+		t.Fatalf("drain order wrong: %v", drained)
+	}
+	if !w.IsEmpty() {
+		t.Fatal("cache not empty after drain")
+	}
+	if w.Stats().Flushes != 3 {
+		t.Fatal("drained entries not counted as flushes")
+	}
+}
+
+func TestWriteCacheAddrOfAndString(t *testing.T) {
+	w := newWC(2)
+	w.Store(0x12348, 1)
+	var e Entry
+	for _, d := range w.DrainAll() {
+		e = d
+	}
+	if got := w.AddrOf(e); got != 0x12340 {
+		t.Errorf("AddrOf = %#x, want 0x12340", got)
+	}
+	if !strings.Contains(w.String(), "0/2") {
+		t.Errorf("String = %q", w.String())
+	}
+}
+
+// Property: occupancy never exceeds depth; evictions happen exactly when a
+// store misses a full cache; alloc count = evictions + drains + resident.
+func TestWriteCacheInvariantsProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		w := newWC(4)
+		for _, op := range ops {
+			addr := mem.Addr(op%96) * 8
+			wasFull := w.Occupancy() == 4
+			_, evicted := w.Store(addr, uint64(op))
+			if evicted && !wasFull {
+				return false
+			}
+			if w.Occupancy() > 4 {
+				return false
+			}
+		}
+		s := w.Stats()
+		return s.Allocations == s.Retirements+s.Flushes+uint64(w.Occupancy())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a store followed by a probe of the same word always hits with
+// the word valid, whatever came before.
+func TestWriteCacheStoreThenProbeProperty(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		w := newWC(4)
+		for _, a := range addrs {
+			addr := mem.Addr(a) &^ 7
+			w.Store(addr, 0)
+			wordValid, hit := w.Probe(addr)
+			if !hit || !wordValid {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,121 @@
+package experiment
+
+import (
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// The ablation experiments cover design alternatives the paper discusses
+// but does not plot: Jouppi's fixed-rate retirement (Section 2.2), the
+// non-coalescing width-1 buffer, the Alphas' aging timeout, the
+// UltraSPARC's occupancy-threshold L2 priority, the realistic-I-cache
+// L2-I-fetch stalls of Section 4.3, and charging fetch-on-write for
+// partial-line L2 write misses.
+func init() {
+	registerExperiment(stallFigure("abl-fixedrate",
+		"Occupancy-based vs fixed-rate retirement (Jouppi), base geometry",
+		func() []ConfigSpec {
+			return []ConfigSpec{
+				{Label: "retire-at-2", Cfg: sim.Baseline()},
+				{Label: "fixed-rate-8", Cfg: sim.Baseline().WithRetire(core.FixedRate{Interval: 8})},
+				{Label: "fixed-rate-16", Cfg: sim.Baseline().WithRetire(core.FixedRate{Interval: 16})},
+				{Label: "fixed-rate-32", Cfg: sim.Baseline().WithRetire(core.FixedRate{Interval: 32})},
+			}
+		},
+		"the paper argues occupancy policies should always beat fixed-rate ones"))
+
+	registerExperiment(stallFigure("abl-noncoalescing",
+		"Coalescing (line-wide) vs non-coalescing (word-wide) buffer",
+		func() []ConfigSpec {
+			wide := sim.Baseline()
+			narrow := sim.Baseline()
+			narrow.WB.WordsPerEntry = 1
+			narrow16 := narrow.WithDepth(16)
+			return []ConfigSpec{
+				{Label: "4x32B", Cfg: wide},
+				{Label: "4x8B", Cfg: narrow},
+				{Label: "16x8B", Cfg: narrow16},
+			}
+		},
+		"a width-1 buffer holds the same bytes at 16 entries but cannot aggregate write traffic"))
+
+	registerExperiment(stallFigure("abl-aging",
+		"Aging timeout for lone entries (21064: 256 cycles, 21164: 64 cycles)",
+		func() []ConfigSpec {
+			return []ConfigSpec{
+				{Label: "no-aging", Cfg: sim.Baseline()},
+				{Label: "age-256", Cfg: sim.Baseline().WithRetire(core.RetireAt{N: 2, Timeout: 256})},
+				{Label: "age-64", Cfg: sim.Baseline().WithRetire(core.RetireAt{N: 2, Timeout: 64})},
+			}
+		},
+		"aging drains lone entries early, trading load-hazard exposure for extra L2 traffic"))
+
+	registerExperiment(stallFigure("abl-priority",
+		"Pure read-bypassing vs UltraSPARC-style occupancy-threshold write priority",
+		func() []ConfigSpec {
+			bypass := sim.Baseline().WithDepth(8).WithRetire(core.RetireAt{N: 2})
+			thresh6 := bypass
+			thresh6.WriteThreshold = 6
+			thresh4 := bypass
+			thresh4.WriteThreshold = 4
+			return []ConfigSpec{
+				{Label: "read-bypass", Cfg: bypass},
+				{Label: "write-prio@6", Cfg: thresh6},
+				{Label: "write-prio@4", Cfg: thresh4},
+			}
+		}))
+
+	registerExperiment(stallFigure("abl-icache",
+		"Perfect vs statistically modelled I-cache (Section 4.3 L2-I-fetch stalls)",
+		func() []ConfigSpec {
+			withMisses := func(rate float64) sim.Config {
+				c := sim.Baseline()
+				c.IMissRate = rate
+				c.ISeed = 2029
+				return c
+			}
+			return []ConfigSpec{
+				{Label: "perfect-I", Cfg: sim.Baseline()},
+				{Label: "imiss-1%", Cfg: withMisses(0.01)},
+				{Label: "imiss-5%", Cfg: withMisses(0.05)},
+			}
+		},
+		"cells fold the extra L2-I-fetch category into the total; I-fetch service time is charged to the fetch itself"))
+
+	registerExperiment(stallFigure("abl-issuewidth",
+		"Issue width 1/2/4 (Section 4.3: store density rises with superscalarness)",
+		func() []ConfigSpec {
+			return []ConfigSpec{
+				{Label: "1-wide", Cfg: sim.Baseline()},
+				{Label: "2-wide", Cfg: sim.Baseline().WithIssueWidth(2)},
+				{Label: "4-wide", Cfg: sim.Baseline().WithIssueWidth(4)},
+			}
+		},
+		"wider issue compresses compute time, so memory traffic per cycle — and every stall category — grows"))
+
+	registerExperiment(stallFigure("abl-datapath",
+		"Full- vs half-line-wide L2 datapath (Section 4.3: slower retirements and flushes)",
+		func() []ConfigSpec {
+			half := sim.Baseline()
+			half.WriteTransferCycles = 3 // a second transfer beat for the other half line
+			quarter := sim.Baseline()
+			quarter.WriteTransferCycles = 9
+			return []ConfigSpec{
+				{Label: "full-width", Cfg: sim.Baseline()},
+				{Label: "half-width", Cfg: half},
+				{Label: "quarter-width", Cfg: quarter},
+			}
+		}))
+
+	registerExperiment(stallFigure("abl-wmiss-fetch",
+		"Flat-latency L2 writes (paper model) vs charging fetch-on-write for partial-line write misses",
+		func() []ConfigSpec {
+			flat := sim.Baseline().WithL2(512 << 10)
+			charged := flat
+			charged.ChargeWriteMissFetch = true
+			return []ConfigSpec{
+				{Label: "flat-6cyc", Cfg: flat},
+				{Label: "fetch-on-write", Cfg: charged},
+			}
+		}))
+}

@@ -1,0 +1,175 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation: Figure 3 (baseline stalls) through Figure 13 (memory
+// latency), and Tables 4 through 7.  Each experiment runs a set of machine
+// configurations over the benchmark suite and formats the results the way
+// the paper reports them — stall cycles as a percentage of execution time,
+// split into the three write-buffer-induced categories.
+//
+// The per-experiment index in DESIGN.md maps every experiment ID here to
+// the paper item it reproduces; EXPERIMENTS.md records measured-vs-paper
+// outcomes.
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Options controls experiment execution.
+type Options struct {
+	// Instructions is the dynamic instruction count per benchmark run.
+	// Zero selects the default of one million.
+	Instructions uint64
+	// Benchmarks overrides the benchmark list (default: the full suite).
+	Benchmarks []workload.Benchmark
+}
+
+func (o Options) instructions() uint64 {
+	if o.Instructions == 0 {
+		return 1_000_000
+	}
+	return o.Instructions
+}
+
+func (o Options) benchmarks() []workload.Benchmark {
+	if o.Benchmarks == nil {
+		return workload.All()
+	}
+	return o.Benchmarks
+}
+
+// Measurement is the outcome of one (benchmark, configuration) run.
+type Measurement struct {
+	Bench string
+	Label string
+	C     stats.Counters
+	WBHit float64 // write-buffer store hit rate
+	L1Hit float64 // L1 load hit rate
+	L2Hit float64 // finite-L2 demand-read hit rate (1 for perfect L2)
+}
+
+// Run executes one benchmark on one configuration.  The first quarter of
+// the stream is warm-up: it executes normally but is excluded from the
+// statistics, so cold-start misses do not distort hit rates the way they
+// would not in the paper's full-execution runs.
+func Run(b workload.Benchmark, label string, cfg sim.Config, n uint64) Measurement {
+	m := sim.MustNew(cfg)
+	warmRun(m, b.Stream(n), n)
+	c := m.Counters()
+	l2 := 1.0
+	if cfg.L2 != nil {
+		l2 = m.L2Stats().ReadHitRate()
+	}
+	return Measurement{
+		Bench: b.Name,
+		Label: label,
+		C:     c,
+		WBHit: m.WBStoreHitRate(),
+		L1Hit: c.L1LoadHitRate(),
+		L2Hit: l2,
+	}
+}
+
+// ConfigSpec pairs a configuration with its display label.
+type ConfigSpec struct {
+	Label string
+	Cfg   sim.Config
+}
+
+// RunMatrix runs every benchmark against every configuration, in parallel
+// across the machine's cores, and returns measurements indexed as
+// [benchmark][config] following the input orders.
+func RunMatrix(benches []workload.Benchmark, specs []ConfigSpec, n uint64) [][]Measurement {
+	out := make([][]Measurement, len(benches))
+	for i := range out {
+		out[i] = make([]Measurement, len(specs))
+	}
+	type job struct{ bi, ci int }
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				out[j.bi][j.ci] = Run(benches[j.bi], specs[j.ci].Label, specs[j.ci].Cfg, n)
+			}
+		}()
+	}
+	for bi := range benches {
+		for ci := range specs {
+			jobs <- job{bi, ci}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// Experiment is one reproducible paper item.
+type Experiment struct {
+	// ID is the lookup key: "fig3" … "fig13", "table4" … "table7", or an
+	// ablation id like "abl-fixedrate".
+	ID string
+	// Title describes the experiment, echoing the paper's caption.
+	Title string
+	// Run executes the experiment and formats its report.
+	Run func(Options) *Report
+}
+
+var experimentRegistry = map[string]Experiment{}
+
+func registerExperiment(e Experiment) {
+	if _, dup := experimentRegistry[e.ID]; dup {
+		panic(fmt.Sprintf("experiment: duplicate id %q", e.ID))
+	}
+	experimentRegistry[e.ID] = e
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	e, ok := experimentRegistry[id]
+	return e, ok
+}
+
+// IDs returns all experiment IDs, figures first, then tables, then
+// ablations, each in numeric order.
+func IDs() []string {
+	ids := make([]string, 0, len(experimentRegistry))
+	for id := range experimentRegistry {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return idKey(ids[i]) < idKey(ids[j]) })
+	return ids
+}
+
+// All returns every experiment in IDs() order.
+func All() []Experiment {
+	ids := IDs()
+	out := make([]Experiment, len(ids))
+	for i, id := range ids {
+		out[i] = experimentRegistry[id]
+	}
+	return out
+}
+
+// idKey produces a sortable key: fig3 < fig10 < table4 < abl-*.
+func idKey(id string) string {
+	var prefix string
+	var num int
+	if n, _ := fmt.Sscanf(id, "fig%d", &num); n == 1 {
+		prefix = "0fig"
+	} else if n, _ := fmt.Sscanf(id, "table%d", &num); n == 1 {
+		prefix = "1table"
+	} else {
+		prefix = "2" + id
+	}
+	return fmt.Sprintf("%s%04d%s", prefix, num, id)
+}

@@ -1,0 +1,29 @@
+package experiment
+
+import (
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// The summary experiment renders Section 3.5's conclusions as one table:
+// the paper's recommended configurations side by side, from the Alpha
+// 21064-like baseline to the deep read-from-WB buffer with 4 entries of
+// headroom that wins overall.
+func init() {
+	registerExperiment(stallFigure("summary",
+		"Putting it all together (Section 3.5): the recommended configurations compared",
+		func() []ConfigSpec {
+			return []ConfigSpec{
+				{Label: "baseline(21064)", Cfg: sim.Baseline()},
+				{Label: "6-deep FF", Cfg: sim.Baseline().WithDepth(6)},
+				{Label: "8-deep FP",
+					Cfg: sim.Baseline().WithDepth(8).WithHazard(core.FlushPartial)},
+				{Label: "8-deep FIO",
+					Cfg: sim.Baseline().WithDepth(8).WithHazard(core.FlushItemOnly)},
+				{Label: "12d/r8 RWB",
+					Cfg: sim.Baseline().WithDepth(12).WithRetire(core.RetireAt{N: 8}).WithHazard(core.ReadFromWB)},
+			}
+		},
+		"the paper: use a deep read-from-WB buffer with 4-6 entries of headroom; "+
+			"failing that, a simple 6- or 8-deep flush-full/partial buffer with retire-at-2"))
+}

@@ -1,0 +1,127 @@
+// Package mem provides the address arithmetic shared by every component of
+// the memory-hierarchy simulator: byte addresses, machine words, and cache
+// lines (blocks).
+//
+// The machine modelled by this repository follows the paper's Alpha-like
+// conventions: the smallest writable datum is an 8-byte word and a cache
+// line is 32 bytes (four words).  Both granularities are configurable, but
+// every size must be a power of two so that masks, not divisions, do the
+// work on the simulator's hot path.
+package mem
+
+import "fmt"
+
+// Addr is a byte address in the simulated machine's physical address space.
+type Addr uint64
+
+// Default geometry used throughout the paper (Table 1 / Table 2).
+const (
+	// WordBytes is the size of the smallest writable datum.  The DEC
+	// Alphas modelled by the paper write 4- or 8-byte quantities; we model
+	// the 8-byte granularity tracked by the write buffer's valid bits.
+	WordBytes = 8
+	// LineBytes is the cache-line size used by both cache levels and by
+	// each write-buffer entry ("cache-line-wide", 32 B).
+	LineBytes = 32
+	// WordsPerLine is the number of valid bits a write-buffer entry needs.
+	WordsPerLine = LineBytes / WordBytes
+)
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// Log2 returns floor(log2(n)) for n > 0.  It panics on n <= 0 because the
+// simulator only ever derives shifts from validated power-of-two sizes.
+func Log2(n int) uint {
+	if n <= 0 {
+		panic(fmt.Sprintf("mem: Log2 of non-positive %d", n))
+	}
+	var s uint
+	for n > 1 {
+		n >>= 1
+		s++
+	}
+	return s
+}
+
+// Geometry captures a line/word layout and pre-computes the masks used to
+// split an address into (line tag, word index, byte offset).
+type Geometry struct {
+	lineBytes int
+	wordBytes int
+	lineShift uint
+	wordShift uint
+	wordMask  Addr // mask of the word-index bits inside a line
+}
+
+// DefaultGeometry is the paper's 32-byte line / 8-byte word layout.
+var DefaultGeometry = MustGeometry(LineBytes, WordBytes)
+
+// NewGeometry validates the layout and returns a Geometry.
+// lineBytes and wordBytes must be powers of two with wordBytes <= lineBytes.
+func NewGeometry(lineBytes, wordBytes int) (Geometry, error) {
+	if !IsPow2(lineBytes) {
+		return Geometry{}, fmt.Errorf("mem: line size %d is not a power of two", lineBytes)
+	}
+	if !IsPow2(wordBytes) {
+		return Geometry{}, fmt.Errorf("mem: word size %d is not a power of two", wordBytes)
+	}
+	if wordBytes > lineBytes {
+		return Geometry{}, fmt.Errorf("mem: word size %d exceeds line size %d", wordBytes, lineBytes)
+	}
+	g := Geometry{
+		lineBytes: lineBytes,
+		wordBytes: wordBytes,
+		lineShift: Log2(lineBytes),
+		wordShift: Log2(wordBytes),
+	}
+	g.wordMask = Addr(lineBytes/wordBytes - 1)
+	return g, nil
+}
+
+// MustGeometry is NewGeometry for statically known-good layouts.
+func MustGeometry(lineBytes, wordBytes int) Geometry {
+	g, err := NewGeometry(lineBytes, wordBytes)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// LineBytes returns the cache-line size in bytes.
+func (g Geometry) LineBytes() int { return g.lineBytes }
+
+// WordBytes returns the word size in bytes.
+func (g Geometry) WordBytes() int { return g.wordBytes }
+
+// WordsPerLine returns how many words a line holds.
+func (g Geometry) WordsPerLine() int { return g.lineBytes / g.wordBytes }
+
+// LineTag returns the line-granular tag of addr: the address with the
+// intra-line offset bits stripped (still shifted, so distinct lines map to
+// distinct consecutive integers).
+func (g Geometry) LineTag(addr Addr) Addr { return addr >> g.lineShift }
+
+// LineBase returns the first byte address of the line containing addr.
+func (g Geometry) LineBase(addr Addr) Addr {
+	return addr &^ Addr(g.lineBytes-1)
+}
+
+// WordIndex returns the index of addr's word within its line,
+// in [0, WordsPerLine).
+func (g Geometry) WordIndex(addr Addr) int {
+	return int((addr >> g.wordShift) & g.wordMask)
+}
+
+// WordMask returns a bitmask with the bit for addr's word set.  The write
+// buffer uses these masks as per-entry valid bits.
+func (g Geometry) WordMask(addr Addr) uint64 {
+	return 1 << uint(g.WordIndex(addr))
+}
+
+// SameLine reports whether two addresses fall in the same cache line.
+func (g Geometry) SameLine(a, b Addr) bool { return g.LineTag(a) == g.LineTag(b) }
+
+// AddrOfLine reconstructs the base byte address of a line tag produced by
+// LineTag.
+func (g Geometry) AddrOfLine(tag Addr) Addr { return tag << g.lineShift }

@@ -1,0 +1,188 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIsPow2(t *testing.T) {
+	cases := []struct {
+		n    int
+		want bool
+	}{
+		{0, false}, {-1, false}, {-8, false},
+		{1, true}, {2, true}, {4, true}, {32, true}, {1 << 20, true},
+		{3, false}, {6, false}, {31, false}, {33, false},
+	}
+	for _, c := range cases {
+		if got := IsPow2(c.n); got != c.want {
+			t.Errorf("IsPow2(%d) = %v, want %v", c.n, got, c.want)
+		}
+	}
+}
+
+func TestLog2(t *testing.T) {
+	for shift := uint(0); shift < 40; shift++ {
+		n := 1 << shift
+		if got := Log2(n); got != shift {
+			t.Errorf("Log2(%d) = %d, want %d", n, got, shift)
+		}
+	}
+}
+
+func TestLog2PanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Log2(0) did not panic")
+		}
+	}()
+	Log2(0)
+}
+
+func TestNewGeometryValidation(t *testing.T) {
+	if _, err := NewGeometry(33, 8); err == nil {
+		t.Error("expected error for non-power-of-two line size")
+	}
+	if _, err := NewGeometry(32, 7); err == nil {
+		t.Error("expected error for non-power-of-two word size")
+	}
+	if _, err := NewGeometry(8, 32); err == nil {
+		t.Error("expected error for word larger than line")
+	}
+	g, err := NewGeometry(32, 8)
+	if err != nil {
+		t.Fatalf("NewGeometry(32, 8): %v", err)
+	}
+	if g.LineBytes() != 32 || g.WordBytes() != 8 || g.WordsPerLine() != 4 {
+		t.Errorf("geometry = %d/%d/%d, want 32/8/4",
+			g.LineBytes(), g.WordBytes(), g.WordsPerLine())
+	}
+}
+
+func TestMustGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGeometry(3, 8) did not panic")
+		}
+	}()
+	MustGeometry(3, 8)
+}
+
+func TestDefaultGeometry(t *testing.T) {
+	g := DefaultGeometry
+	if g.LineBytes() != LineBytes {
+		t.Errorf("default line size = %d, want %d", g.LineBytes(), LineBytes)
+	}
+	if g.WordsPerLine() != WordsPerLine {
+		t.Errorf("default words/line = %d, want %d", g.WordsPerLine(), WordsPerLine)
+	}
+}
+
+func TestLineTagAndBase(t *testing.T) {
+	g := DefaultGeometry
+	cases := []struct {
+		addr Addr
+		tag  Addr
+		base Addr
+	}{
+		{0, 0, 0},
+		{31, 0, 0},
+		{32, 1, 32},
+		{63, 1, 32},
+		{100, 3, 96},
+		{0xFFFF_FFFF, 0x07FF_FFFF, 0xFFFF_FFE0},
+	}
+	for _, c := range cases {
+		if got := g.LineTag(c.addr); got != c.tag {
+			t.Errorf("LineTag(%#x) = %#x, want %#x", c.addr, got, c.tag)
+		}
+		if got := g.LineBase(c.addr); got != c.base {
+			t.Errorf("LineBase(%#x) = %#x, want %#x", c.addr, got, c.base)
+		}
+	}
+}
+
+func TestWordIndexAndMask(t *testing.T) {
+	g := DefaultGeometry
+	cases := []struct {
+		addr Addr
+		idx  int
+	}{
+		{0, 0}, {7, 0}, {8, 1}, {15, 1}, {16, 2}, {24, 3}, {31, 3},
+		{32, 0}, {40, 1},
+	}
+	for _, c := range cases {
+		if got := g.WordIndex(c.addr); got != c.idx {
+			t.Errorf("WordIndex(%#x) = %d, want %d", c.addr, got, c.idx)
+		}
+		if got := g.WordMask(c.addr); got != 1<<uint(c.idx) {
+			t.Errorf("WordMask(%#x) = %#x, want %#x", c.addr, got, 1<<uint(c.idx))
+		}
+	}
+}
+
+func TestSameLine(t *testing.T) {
+	g := DefaultGeometry
+	if !g.SameLine(0, 31) {
+		t.Error("0 and 31 should share a line")
+	}
+	if g.SameLine(31, 32) {
+		t.Error("31 and 32 should not share a line")
+	}
+}
+
+// Property: LineBase is idempotent and LineTag/AddrOfLine round-trip.
+func TestLineRoundTripProperty(t *testing.T) {
+	g := DefaultGeometry
+	f := func(a Addr) bool {
+		base := g.LineBase(a)
+		if g.LineBase(base) != base {
+			return false
+		}
+		if g.AddrOfLine(g.LineTag(a)) != base {
+			return false
+		}
+		return g.SameLine(a, base)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for any address, the word index is within range and the mask has
+// exactly one bit set within the low WordsPerLine bits.
+func TestWordMaskProperty(t *testing.T) {
+	for _, layout := range [][2]int{{32, 8}, {32, 4}, {64, 8}, {16, 4}} {
+		g := MustGeometry(layout[0], layout[1])
+		f := func(a Addr) bool {
+			idx := g.WordIndex(a)
+			if idx < 0 || idx >= g.WordsPerLine() {
+				return false
+			}
+			m := g.WordMask(a)
+			if m == 0 || m&(m-1) != 0 {
+				return false
+			}
+			return m < 1<<uint(g.WordsPerLine())
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("layout %v: %v", layout, err)
+		}
+	}
+}
+
+// Property: addresses in the same line have the same tag; addresses a full
+// line apart never do.
+func TestSameLineProperty(t *testing.T) {
+	g := DefaultGeometry
+	f := func(a Addr, off uint8) bool {
+		in := g.LineBase(a) + Addr(off)%Addr(g.LineBytes())
+		if !g.SameLine(a, in) {
+			return false
+		}
+		return !g.SameLine(a, a+Addr(g.LineBytes()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,89 @@
+// Package rng provides the small, fast, deterministic pseudo-random number
+// generator used by the synthetic workloads.
+//
+// Determinism matters more than statistical strength here: every experiment
+// in the paper compares write-buffer configurations on the *same* dynamic
+// reference stream, so a workload must generate bit-identical traces across
+// runs and configurations.  math/rand would also work, but pinning our own
+// xoshiro256** implementation guarantees the stream can never change under
+// our feet with a Go release, and keeps allocation at zero.
+package rng
+
+import "math/bits"
+
+// RNG is a xoshiro256** generator.  The zero value is not usable; construct
+// with New.
+type RNG struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from seed via SplitMix64, following the
+// reference initialisation recipe so that nearby seeds produce well
+// separated state.
+func New(seed uint64) *RNG {
+	var r RNG
+	sm := seed
+	for i := range r.s {
+		sm += 0x9E3779B97F4A7C15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		r.s[i] = z ^ (z >> 31)
+	}
+	return &r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Intn returns a pseudo-random int in [0, n).  It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift range reduction; the slight bias of the
+	// plain form is irrelevant at our n (all far below 2^32) and it
+	// avoids a division on the hot path.
+	hi, _ := bits.Mul64(r.Uint64(), uint64(n))
+	return int(hi)
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.Float64() < p }
+
+// Geometric returns a sample from a geometric distribution with mean m >= 1:
+// the number of trials up to and including the first success when each
+// trial succeeds with probability 1/m.  Workloads use it for run lengths
+// (store bursts, compute gaps) because inter-event gaps in real programs
+// are heavy on short runs with an exponential tail.
+func (r *RNG) Geometric(m float64) int {
+	if m <= 1 {
+		return 1
+	}
+	p := 1 / m
+	n := 1
+	for !r.Bool(p) {
+		n++
+		if n > 1<<20 { // statistically unreachable; guards a broken p
+			return n
+		}
+	}
+	return n
+}

@@ -1,0 +1,121 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("generators with identical seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("seeds 1 and 2 produced %d identical values in 100 draws", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(7)
+	for _, n := range []int{1, 2, 3, 17, 1024} {
+		for i := 0; i < 1000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnCoversAllValues(t *testing.T) {
+	r := New(11)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		seen[r.Intn(8)] = true
+	}
+	for v := 0; v < 8; v++ {
+		if !seen[v] {
+			t.Errorf("Intn(8) never produced %d in 10000 draws", v)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(5)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) hit fraction = %v, want ~0.3", frac)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(9)
+	for _, m := range []float64{1, 2, 5, 10} {
+		const n = 50000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += r.Geometric(m)
+		}
+		mean := float64(sum) / n
+		want := m
+		if m < 1 {
+			want = 1
+		}
+		if math.Abs(mean-want) > want*0.05 {
+			t.Errorf("Geometric(%v) mean = %v, want ~%v", m, mean, want)
+		}
+	}
+}
+
+func TestGeometricDegenerate(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 100; i++ {
+		if g := r.Geometric(0.5); g != 1 {
+			t.Fatalf("Geometric(0.5) = %d, want 1", g)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func TestIssueWidthBaseCycles(t *testing.T) {
+	refs := make([]trace.Ref, 8) // all exec
+	m := run(t, Baseline().WithIssueWidth(4), refs)
+	c := m.Counters()
+	if c.Cycles != 2 {
+		t.Fatalf("8 execs at width 4 took %d cycles, want 2", c.Cycles)
+	}
+	if c.BaseCycles != 2 {
+		t.Fatalf("base cycles = %d, want 2", c.BaseCycles)
+	}
+	if c.Instructions != 8 {
+		t.Fatalf("instructions = %d, want 8", c.Instructions)
+	}
+}
+
+func TestIssueWidthOneMatchesDefault(t *testing.T) {
+	refs := randomRefs(rng.New(5), 3000)
+	a := run(t, Baseline(), refs)
+	b := run(t, Baseline().WithIssueWidth(1), refs)
+	if a.Counters() != b.Counters() {
+		t.Fatal("width 1 differs from the default single-issue machine")
+	}
+}
+
+// Section 4.3: wider issue raises the stall share of runtime (stores per
+// cycle rise while the L2 port speed is unchanged).
+func TestIssueWidthRaisesStallShare(t *testing.T) {
+	refs := randomRefs(rng.New(17), 60_000)
+	w1 := run(t, Baseline(), refs)
+	w4 := run(t, Baseline().WithIssueWidth(4), refs)
+	if w4.Counters().TotalStallPct() <= w1.Counters().TotalStallPct() {
+		t.Errorf("stall share did not rise with issue width: %.2f%% -> %.2f%%",
+			w1.Counters().TotalStallPct(), w4.Counters().TotalStallPct())
+	}
+	if w4.Counters().Cycles >= w1.Counters().Cycles {
+		t.Error("wider issue did not shorten the run")
+	}
+}
+
+func TestIssueWidthValidation(t *testing.T) {
+	if _, err := New(Baseline().WithIssueWidth(17)); err == nil {
+		t.Error("issue width 17 accepted")
+	}
+	if _, err := New(Baseline().WithIssueWidth(-1)); err == nil {
+		t.Error("negative issue width accepted")
+	}
+}
+
+// Section 4.3: a narrower datapath lengthens retirements and flushes,
+// raising all three stall categories.
+func TestNarrowDatapathRaisesStalls(t *testing.T) {
+	refs := randomRefs(rng.New(23), 60_000)
+	full := run(t, Baseline(), refs)
+	half := Baseline()
+	half.WriteTransferCycles = 3
+	narrow := run(t, half, refs)
+	fc, nc := full.Counters(), narrow.Counters()
+	for _, k := range []stats.StallKind{stats.BufferFull, stats.L2ReadAccess, stats.LoadHazard} {
+		if nc.Stalls[k] < fc.Stalls[k] {
+			t.Errorf("%v stalls fell with a narrower datapath: %d -> %d",
+				k, fc.Stalls[k], nc.Stalls[k])
+		}
+	}
+	if nc.WBStallCycles() <= fc.WBStallCycles() {
+		t.Error("total stalls did not rise with a narrower datapath")
+	}
+}
+
+// Exact timing: with one extra transfer cycle, a hazard flush of one entry
+// costs 7 cycles instead of 6.
+func TestTransferCyclesExactTiming(t *testing.T) {
+	cfg := Baseline()
+	cfg.WriteTransferCycles = 1
+	m := run(t, cfg, []trace.Ref{
+		{Kind: trace.Store, Addr: lineA},
+		{Kind: trace.Load, Addr: lineA + 8},
+	})
+	c := m.Counters()
+	if got := c.Stalls[stats.LoadHazard]; got != 7 {
+		t.Errorf("load-hazard stall = %d, want 7", got)
+	}
+	// The L2 *read* is unaffected: still 6 cycles to the miss.
+	if c.MissCycles != 6 {
+		t.Errorf("miss cycles = %d, want 6", c.MissCycles)
+	}
+}
+
+// The attribution invariant holds at every issue width.
+func TestIssueWidthAttributionProperty(t *testing.T) {
+	for _, w := range []int{2, 3, 4, 8} {
+		refs := randomRefs(rng.New(uint64(w)), 5000)
+		m := MustNew(Baseline().WithIssueWidth(w))
+		m.Run(trace.NewSliceStream(refs))
+		if err := m.Counters().Check(); err != nil {
+			t.Errorf("width %d: %v", w, err)
+		}
+	}
+}

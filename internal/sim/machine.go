@@ -1,0 +1,629 @@
+package sim
+
+import (
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Machine is one simulated processor + memory hierarchy.  Create with New,
+// feed references with Run or Step, read results with Counters.
+type Machine struct {
+	cfg Config
+
+	l1 *cache.Cache
+	l2 *cache.Cache // nil: perfect L2
+	wb *core.Buffer
+	// wc is non-nil when the configuration selects a write cache; wb then
+	// serves as its one-entry victim buffer (eager retirement).
+	wc *core.WriteCache
+
+	c stats.Counters
+
+	clock     uint64 // current cycle; the next instruction issues here
+	clockBase uint64 // cycle at the last ResetStats, so Counters reports measured time only
+
+	// L2-port state.  The port serves one transaction at a time: a
+	// write-buffer retirement/flush or a load's L2 read.  Reads have
+	// priority for *starting* (read-bypassing) but never preempt a write
+	// already under way.
+	portBusyUntil uint64
+
+	// Background-retirement state for the lazy drain.
+	retireDone      uint64 // completion cycle of the in-flight retirement
+	lastRetireStart uint64 // when the previous retirement began (fixed-rate)
+	stateChangedAt  uint64 // when buffer occupancy/head last changed
+
+	irand *rng.RNG // I-miss draw for the Section 4.3 extension
+
+	// Superscalar issue accounting: at width W, only every W-th
+	// instruction closes an issue cycle; base is that instruction's
+	// clock contribution (0 or 1) for the current Step.
+	issueSlot int
+	base      uint64
+
+	// occHist[k] counts stores that found k entries occupied (before the
+	// store itself took effect) — the distribution behind the paper's
+	// headroom argument.  Index len-1 means "buffer full".
+	occHist []uint64
+}
+
+// New builds a machine, validating the configuration.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg: cfg,
+		l1:  cache.New(cfg.L1),
+	}
+	if cfg.WriteCacheDepth > 0 {
+		wcCfg := core.Config{
+			Depth:         cfg.WriteCacheDepth,
+			WordsPerEntry: cfg.WB.WordsPerEntry,
+			Geometry:      cfg.WB.Geometry,
+		}
+		m.wc = core.NewWriteCache(wcCfg)
+		// The victim buffer: one entry, written out as soon as possible.
+		vbCfg := wcCfg
+		vbCfg.Depth = 1
+		m.wb = core.NewBuffer(vbCfg)
+		m.cfg.Retire = core.Eager{}
+		m.cfg.Hazard = core.ReadFromWB // the write cache always services reads
+	} else {
+		m.wb = core.NewBuffer(cfg.WB)
+	}
+	if cfg.L2 != nil {
+		m.l2 = cache.New(*cfg.L2)
+	}
+	if cfg.IMissRate > 0 {
+		m.irand = rng.New(cfg.ISeed)
+	}
+	if cfg.WriteCacheDepth > 0 {
+		m.occHist = make([]uint64, cfg.WriteCacheDepth+1)
+	} else {
+		m.occHist = make([]uint64, cfg.WB.Depth+1)
+	}
+	return m, nil
+}
+
+// OccupancyHistogram returns, for each occupancy level k, how many stores
+// arrived to find k entries already occupied.  The final bucket is the
+// full-buffer case; the shape of the tail is what the paper's "4 to 6
+// entries of headroom" rule is about.
+func (m *Machine) OccupancyHistogram() []uint64 {
+	out := make([]uint64, len(m.occHist))
+	copy(out, m.occHist)
+	return out
+}
+
+// MeanOccupancy returns the mean write-stage occupancy observed by stores.
+func (m *Machine) MeanOccupancy() float64 {
+	var sum, n uint64
+	for k, c := range m.occHist {
+		sum += uint64(k) * c
+		n += c
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}
+
+// MustNew is New for statically known-good configurations.
+func MustNew(cfg Config) *Machine {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Clock returns the current cycle.
+func (m *Machine) Clock() uint64 { return m.clock }
+
+// Counters returns the run's statistics, with buffer-event counts folded
+// in.  After a ResetStats, only post-reset activity is reported.
+func (m *Machine) Counters() stats.Counters {
+	c := m.c
+	c.Cycles = m.clock - m.clockBase
+	ws := m.wb.Stats()
+	c.Retirements = ws.Retirements
+	c.FlushedEntries = ws.Flushes
+	if m.wc != nil {
+		c.FlushedEntries += m.wc.Stats().Flushes
+	}
+	return c
+}
+
+// ResetStats zeroes every statistic — machine counters, cache counters,
+// and write-buffer event counts — without touching microarchitectural
+// state (cache contents, buffer occupancy, port timing).  Experiments call
+// it after a warm-up phase so that measurements follow the paper's
+// whole-execution methodology, where cold-start misses are a vanishing
+// fraction, rather than being dominated by first-touch traffic.
+func (m *Machine) ResetStats() {
+	m.c = stats.Counters{}
+	m.clockBase = m.clock
+	m.l1.ResetStats()
+	if m.l2 != nil {
+		m.l2.ResetStats()
+	}
+	m.wb.ResetStats()
+	if m.wc != nil {
+		m.wc.ResetStats()
+	}
+	for i := range m.occHist {
+		m.occHist[i] = 0
+	}
+}
+
+// WBStats exposes the write stage's event counters (allocations, merges,
+// …): the write cache's when one is configured, else the write buffer's.
+func (m *Machine) WBStats() core.Stats {
+	if m.wc != nil {
+		return m.wc.Stats()
+	}
+	return m.wb.Stats()
+}
+
+// L1Stats exposes the L1 data cache's counters.
+func (m *Machine) L1Stats() cache.Stats { return m.l1.Stats() }
+
+// L2Stats exposes the finite L2's counters; the zero value is returned for
+// a perfect L2.
+func (m *Machine) L2Stats() cache.Stats {
+	if m.l2 == nil {
+		return cache.Stats{}
+	}
+	return m.l2.Stats()
+}
+
+// WBStoreHitRate returns the fraction of stores that coalesced into an
+// existing entry — the paper's Table 5 "WB hit rate".
+func (m *Machine) WBStoreHitRate() float64 {
+	if m.c.Stores == 0 {
+		return 1
+	}
+	return float64(m.WBStats().Merges) / float64(m.c.Stores)
+}
+
+// Run consumes the stream to exhaustion.
+func (m *Machine) Run(s trace.Stream) {
+	for {
+		r, ok := s.Next()
+		if !ok {
+			return
+		}
+		m.Step(r)
+	}
+}
+
+// Step executes one dynamic instruction.
+func (m *Machine) Step(r trace.Ref) {
+	m.c.Instructions++
+	m.base = m.issueCycle()
+	if m.irand != nil {
+		m.ifetch()
+	}
+	switch r.Kind {
+	case trace.Load:
+		m.load(r.Addr)
+	case trace.Store:
+		m.store(r.Addr)
+	case trace.Membar:
+		m.membar()
+	default:
+		// Plain execution: no memory interaction.  The lazy drain makes
+		// catching retirement state up here unnecessary — the next memory
+		// instruction replays it identically.
+		m.clock += m.base
+	}
+}
+
+// issueCycle returns this instruction's base clock contribution: 1 at the
+// paper's single-issue width, and 1 for every W-th instruction at width W
+// (the rest share the cycle, which is how Section 4.3's "store density
+// rises with issue width" reaches the write buffer).
+func (m *Machine) issueCycle() uint64 {
+	if m.cfg.IssueWidth <= 1 {
+		m.c.BaseCycles++
+		return 1
+	}
+	m.issueSlot++
+	if m.issueSlot >= m.cfg.IssueWidth {
+		m.issueSlot = 0
+		m.c.BaseCycles++
+		return 1
+	}
+	return 0
+}
+
+// ─── background retirement ──────────────────────────────────────────────
+
+// drainTo replays every autonomous retirement that would have started
+// before the target cycle, and completes any in-flight retirement that
+// finishes by then.  It leaves buffer and port state exactly as a
+// cycle-by-cycle simulation would at the target cycle.
+func (m *Machine) drainTo(target uint64) {
+	for {
+		if m.wb.Retiring() {
+			if m.retireDone > target {
+				return
+			}
+			m.completeRetire()
+			continue
+		}
+		occ := m.wb.Occupancy()
+		if occ == 0 {
+			return
+		}
+		start0, ok := m.cfg.Retire.NextStart(occ, m.wb.Head().AllocCycle,
+			m.lastRetireStart, m.stateChangedAt)
+		if !ok {
+			return
+		}
+		start := maxU(start0, m.portBusyUntil)
+		if start >= target {
+			return
+		}
+		m.beginRetire(start)
+	}
+}
+
+// beginRetire starts writing the FIFO head to L2 at the given cycle.  The
+// L2 state change (allocation, inclusion invalidation) is applied here;
+// because retirements are always replayed in logical-time order before any
+// instruction that could observe them, the ordering is exact.
+func (m *Machine) beginRetire(start uint64) {
+	e := m.wb.BeginRetire()
+	dur := m.cfg.writeLat() + m.l2WritePenalty(m.wb.AddrOf(e), e.Valid)
+	m.lastRetireStart = start
+	m.retireDone = start + dur
+	m.portBusyUntil = m.retireDone
+}
+
+// completeRetire frees the in-flight head.
+func (m *Machine) completeRetire() {
+	m.wb.CompleteRetire()
+	m.stateChangedAt = m.retireDone
+}
+
+// l2WritePenalty applies a buffer entry's write to the L2 model and returns
+// the extra cycles beyond the base write latency: a partial-line write that
+// misses a finite L2 must fetch-merge the line from memory first.  A fully
+// valid line overwrites without fetching.
+func (m *Machine) l2WritePenalty(addr mem.Addr, valid uint64) uint64 {
+	if m.l2 == nil {
+		return 0
+	}
+	hit, evicted, hasEvict := m.l2.WriteAllocate(addr)
+	if hasEvict {
+		m.l1.Invalidate(evicted.Addr) // strict inclusion (Table 7 note)
+	}
+	if !m.cfg.ChargeWriteMissFetch || hit || valid == m.cfg.fullLineMask() {
+		return 0
+	}
+	return m.cfg.MemLat
+}
+
+// l2Fill brings addr's line into a finite L2 after a demand-read miss,
+// maintaining inclusion.
+func (m *Machine) l2Fill(addr mem.Addr) {
+	evicted, hasEvict := m.l2.Fill(addr)
+	if hasEvict {
+		m.l1.Invalidate(evicted.Addr)
+	}
+}
+
+// ─── stores ──────────────────────────────────────────────────────────────
+
+func (m *Machine) store(addr mem.Addr) {
+	t := m.clock
+	m.drainTo(t)
+	m.c.Stores++
+	// Write-through, write-around: update L1 only if the line is present;
+	// the data always enters the write stage.
+	m.l1.WriteHit(addr)
+	if m.wc != nil {
+		m.occHist[m.wc.Occupancy()]++
+	} else {
+		m.occHist[m.wb.Occupancy()]++
+	}
+
+	if m.wc != nil {
+		m.storeWriteCache(addr, t)
+		return
+	}
+
+	switch m.wb.Store(addr, t) {
+	case core.StoreAllocated:
+		m.stateChangedAt = t
+		m.clock = t + m.base
+		return
+	case core.StoreMerged:
+		m.clock = t + m.base
+		return
+	}
+
+	// Buffer full: the store stalls until a retirement frees an entry
+	// (Section 2.3: buffer-full stall).
+	m.c.BlockedStores++
+	tFree := m.waitForFree(t)
+	if m.wb.Store(addr, tFree) == core.StoreBlocked {
+		panic("sim: store still blocked after an entry was freed")
+	}
+	m.stateChangedAt = tFree
+	stall := tFree - t
+	m.c.AddStall(stats.BufferFull, stall)
+	m.clock = t + m.base + stall
+}
+
+// storeWriteCache applies a store to the write cache.  A merge or a free
+// slot costs one cycle; an eviction parks the victim in the one-entry
+// victim buffer, stalling (buffer-full) only when that buffer is still
+// busy with the previous victim.
+func (m *Machine) storeWriteCache(addr mem.Addr, t uint64) {
+	victim, hasVictim := m.wc.Store(addr, t)
+	if !hasVictim {
+		m.clock = t + m.base
+		return
+	}
+	now := t
+	if m.wb.IsFull() {
+		m.c.BlockedStores++
+		now = m.waitForFree(t)
+	}
+	m.wb.Insert(victim)
+	m.stateChangedAt = now
+	stall := now - t
+	m.c.AddStall(stats.BufferFull, stall)
+	m.clock = t + m.base + stall
+}
+
+// waitForFree advances time until a retirement completes, freeing an entry
+// for a blocked store, and returns that cycle.
+func (m *Machine) waitForFree(t uint64) uint64 {
+	for {
+		if m.wb.Retiring() {
+			done := maxU(m.retireDone, t)
+			m.completeRetire()
+			return done
+		}
+		occ := m.wb.Occupancy()
+		start0, ok := m.cfg.Retire.NextStart(occ, m.wb.Head().AllocCycle,
+			m.lastRetireStart, maxU(m.stateChangedAt, t))
+		if !ok {
+			// Config.Validate guarantees progress from a full buffer.
+			panic("sim: buffer full but retirement policy refuses to retire")
+		}
+		m.beginRetire(maxU(start0, m.portBusyUntil))
+	}
+}
+
+// ─── loads ───────────────────────────────────────────────────────────────
+
+func (m *Machine) load(addr mem.Addr) {
+	t := m.clock
+	m.drainTo(t)
+	m.c.Loads++
+	if m.l1.Read(addr) {
+		m.c.L1LoadHits++
+		m.clock = t + m.base
+		return
+	}
+
+	if m.wc != nil {
+		// The write cache services reads directly; the victim buffer is
+		// covered by the ordinary probe below (read-from-WB is forced).
+		if wordValid, hit := m.wc.Probe(addr); hit {
+			m.c.HazardEvents++
+			if wordValid {
+				m.c.WBReadHits++
+				m.clock = t + m.base
+				return
+			}
+			m.readMissService(t, addr)
+			return
+		}
+	}
+
+	idx, wordValid, wbHit := m.wb.Probe(addr)
+	if wbHit {
+		m.c.HazardEvents++
+		if m.cfg.Hazard == core.ReadFromWB {
+			if wordValid {
+				// Forwarded straight from the buffer at L1-hit speed;
+				// no stall, no L2 access, no L1 fill (Section 2.2).
+				m.c.WBReadHits++
+				m.clock = t + m.base
+				return
+			}
+			// Block active but word invalid: the L2 access proceeds and
+			// its fill merges with the buffer's words at no extra cost.
+			m.readMissService(t, addr)
+			return
+		}
+		m.hazardFlushService(t, addr, idx)
+		return
+	}
+	m.readMissService(t, addr)
+}
+
+// readMissService performs a plain L1 load-miss: wait for the port if a
+// write holds it (L2-read-access stall), read from L2 (charged to the
+// miss), fill L1.
+func (m *Machine) readMissService(t uint64, addr mem.Addr) {
+	now := t
+	if m.wb.Retiring() {
+		// An under-way write cannot be preempted; the wait is an
+		// L2-read-access stall.
+		now = m.retireDone
+		m.completeRetire()
+	}
+	// UltraSPARC-style priority switch: when the buffer is too full the
+	// write buffer keeps the port until occupancy drops below the
+	// threshold; the read's wait is still charged as L2-read-access.
+	if k := m.cfg.WriteThreshold; k > 0 {
+		for m.wb.Occupancy() >= k {
+			start0, ok := m.cfg.Retire.NextStart(m.wb.Occupancy(),
+				m.wb.Head().AllocCycle, m.lastRetireStart,
+				maxU(m.stateChangedAt, now))
+			if !ok {
+				break
+			}
+			m.beginRetire(maxU(start0, maxU(m.portBusyUntil, now)))
+			now = m.retireDone
+			m.completeRetire()
+		}
+	}
+	raStall := now - t
+	missCycles, extraRA := m.l2Read(addr, now)
+	raStall += extraRA
+	m.c.AddStall(stats.L2ReadAccess, raStall)
+	m.c.MissCycles += missCycles
+	m.clock = t + m.base + raStall + missCycles
+}
+
+// l2Read performs a load's L2 access starting at the given cycle (the port
+// must be free then) and fills the missing line into L1.  It returns the
+// cycles charged to the miss itself and any extra read wait caused by a
+// retirement overrunning the memory window of an L2 miss.
+func (m *Machine) l2Read(addr mem.Addr, start uint64) (missCycles, extraRA uint64) {
+	m.portBusyUntil = start + m.cfg.L2ReadLat
+	missCycles = m.cfg.L2ReadLat
+	if m.l2 == nil || m.l2.Read(addr) {
+		m.l1.Fill(addr)
+		return missCycles, 0
+	}
+	// L2 miss: the line comes from main memory.  Fill both levels first so
+	// that a window retirement evicting this very line invalidates it
+	// everywhere, keeping inclusion intact.
+	m.l2Fill(addr)
+	m.l1.Fill(addr)
+	fillTime := m.portBusyUntil + m.cfg.MemLat
+	missCycles += m.cfg.MemLat
+	// During the memory window the L2 port is idle, so the write buffer
+	// may retire entries into it (Section 4.2); a retirement still under
+	// way when the fill returns delays the fill, and that wait is the
+	// write buffer's fault.
+	m.drainTo(fillTime)
+	if m.portBusyUntil > fillTime {
+		extraRA = m.portBusyUntil - fillTime
+	}
+	return missCycles, extraRA
+}
+
+// hazardFlushService resolves a load hazard under one of the flushing
+// policies.  Every cycle from the load until the required entries have been
+// written to L2 is a load-hazard stall; the L2 read that follows is charged
+// to the miss (Section 2.3).
+func (m *Machine) hazardFlushService(t uint64, addr mem.Addr, idx int) {
+	now := t
+	if m.wb.Retiring() {
+		// Let the under-way transaction complete first (Section 2.2).
+		now = m.retireDone
+		m.completeRetire()
+		// The retirement may have been the hit entry itself; re-find it.
+		idx = m.wb.Find(addr)
+	}
+
+	var flushed []core.Entry
+	switch m.cfg.Hazard {
+	case core.FlushFull:
+		flushed = m.wb.FlushAll()
+	case core.FlushPartial:
+		if idx >= 0 {
+			flushed = m.wb.FlushPrefix(idx + 1)
+		}
+	case core.FlushItemOnly:
+		if idx >= 0 {
+			flushed = []core.Entry{m.wb.FlushOne(idx)}
+		}
+	default:
+		panic("sim: hazardFlushService with non-flushing policy")
+	}
+
+	portStart := maxU(now, m.portBusyUntil)
+	for _, e := range flushed {
+		portStart += m.cfg.writeLat() + m.l2WritePenalty(m.wb.AddrOf(e), e.Valid)
+	}
+	m.portBusyUntil = portStart
+	if len(flushed) > 0 {
+		m.stateChangedAt = portStart
+	}
+	hazardStall := portStart - t
+	m.c.AddStall(stats.LoadHazard, hazardStall)
+
+	missCycles, extraRA := m.l2Read(addr, portStart)
+	m.c.AddStall(stats.L2ReadAccess, extraRA)
+	m.c.MissCycles += missCycles
+	m.clock = t + m.base + hazardStall + extraRA + missCycles
+}
+
+// ─── memory barriers (multiprocessor-ordering extension) ─────────────────
+
+// membar stalls until every buffered store has been written to L2: the
+// under-way retirement completes, then all remaining entries are flushed
+// in FIFO order.  The wait is charged to the membar-drain category so the
+// ordering cost of coalescing/read-bypassing is visible separately.
+func (m *Machine) membar() {
+	t := m.clock
+	m.drainTo(t)
+	now := t
+	if m.wb.Retiring() {
+		now = m.retireDone
+		m.completeRetire()
+	}
+	portStart := maxU(now, m.portBusyUntil)
+	for _, e := range m.wb.FlushAll() {
+		portStart += m.cfg.writeLat() + m.l2WritePenalty(m.wb.AddrOf(e), e.Valid)
+	}
+	if m.wc != nil {
+		for _, e := range m.wc.DrainAll() {
+			portStart += m.cfg.writeLat() + m.l2WritePenalty(m.wc.AddrOf(e), e.Valid)
+		}
+	}
+	m.portBusyUntil = portStart
+	m.stateChangedAt = portStart
+	stall := portStart - t
+	m.c.AddStall(stats.MembarDrain, stall)
+	m.clock = t + m.base + stall
+}
+
+// ─── instruction fetch (Section 4.3 extension) ───────────────────────────
+
+// ifetch models a statistical I-cache in front of every instruction: with
+// probability IMissRate the fetch reads a line from L2, waiting for any
+// under-way buffer write (the would-be "L2-I-fetch" stall category).
+func (m *Machine) ifetch() {
+	if !m.irand.Bool(m.cfg.IMissRate) {
+		return
+	}
+	t := m.clock
+	m.drainTo(t)
+	now := t
+	if m.wb.Retiring() {
+		now = m.retireDone
+		m.completeRetire()
+		m.c.AddStall(stats.L2IFetch, now-t)
+	}
+	// Instruction lines are assumed resident in L2 (the paper's unified
+	// L2 never misses on instructions in any configuration studied).
+	m.portBusyUntil = now + m.cfg.L2ReadLat
+	m.c.IFetchMissCycles += m.cfg.L2ReadLat
+	m.clock = now + m.cfg.L2ReadLat
+}
+
+func maxU(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

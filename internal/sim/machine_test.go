@@ -1,0 +1,390 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Distinct cache lines used by the hand-computed scenarios.  With 32 B
+// lines, lineA..lineD are lines 0..3.
+const (
+	lineA = 0x000
+	lineB = 0x040
+	lineC = 0x080
+	lineD = 0x0C0
+)
+
+func run(t *testing.T, cfg Config, refs []trace.Ref) *Machine {
+	t.Helper()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	m.Run(trace.NewSliceStream(refs))
+	c := m.Counters()
+	if err := c.Check(); err != nil {
+		t.Fatalf("attribution leak: %v", err)
+	}
+	return m
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := Baseline()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("baseline invalid: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"bad L1", func(c *Config) { c.L1.SizeBytes = 100 }},
+		{"L1 line mismatch", func(c *Config) { c.L1.LineBytes = 64; c.L1.SizeBytes = 8192 }},
+		{"zero read latency", func(c *Config) { c.L2ReadLat = 0 }},
+		{"zero write latency", func(c *Config) { c.L2WriteLat = 0 }},
+		{"bad WB depth", func(c *Config) { c.WB.Depth = 0 }},
+		{"nil retire policy", func(c *Config) { c.Retire = nil }},
+		{"deadlocking policy", func(c *Config) { c.Retire = core.RetireAt{N: 99} }},
+		{"bad hazard", func(c *Config) { c.Hazard = core.HazardPolicy(9) }},
+		{"threshold too big", func(c *Config) { c.WriteThreshold = 99 }},
+		{"negative threshold", func(c *Config) { c.WriteThreshold = -1 }},
+		{"bad imiss", func(c *Config) { c.IMissRate = 1.5 }},
+		{"L2 smaller than L1", func(c *Config) {
+			l2 := cache.Config{SizeBytes: 4096, LineBytes: 32, Assoc: 1}
+			c.L2 = &l2
+		}},
+		{"L2 line mismatch", func(c *Config) {
+			l2 := cache.Config{SizeBytes: 1 << 20, LineBytes: 64, Assoc: 1}
+			c.L2 = &l2
+		}},
+	}
+	for _, tc := range cases {
+		cfg := Baseline()
+		tc.mutate(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("%s: config unexpectedly valid", tc.name)
+		}
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew with bad config did not panic")
+		}
+	}()
+	cfg := Baseline()
+	cfg.Retire = nil
+	MustNew(cfg)
+}
+
+func TestExecOnly(t *testing.T) {
+	m := run(t, Baseline(), []trace.Ref{{Kind: trace.Exec}, {Kind: trace.Exec}, {Kind: trace.Exec}})
+	c := m.Counters()
+	if c.Cycles != 3 || c.Instructions != 3 || c.WBStallCycles() != 0 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestStoreAllocateOneCycle(t *testing.T) {
+	m := run(t, Baseline(), []trace.Ref{{Kind: trace.Store, Addr: lineA}})
+	c := m.Counters()
+	if c.Cycles != 1 || c.Stores != 1 || c.WBStallCycles() != 0 {
+		t.Fatalf("counters = %+v", c)
+	}
+	if m.WBStats().Allocations != 1 {
+		t.Fatal("store did not allocate")
+	}
+}
+
+func TestStoreMergeSameLine(t *testing.T) {
+	m := run(t, Baseline(), []trace.Ref{
+		{Kind: trace.Store, Addr: lineA},
+		{Kind: trace.Store, Addr: lineA + 8},
+	})
+	ws := m.WBStats()
+	if ws.Allocations != 1 || ws.Merges != 1 {
+		t.Fatalf("wb stats = %+v, want 1 alloc + 1 merge", ws)
+	}
+	if m.Counters().Cycles != 2 {
+		t.Fatalf("cycles = %d, want 2", m.Counters().Cycles)
+	}
+}
+
+// Scenario B from the timing derivation: stores at t=0,1 trigger a
+// retire-at-2 retirement starting at cycle 1 (done at 7); a load at t=3
+// waits 4 cycles for the port (L2-read-access) then reads for 6.
+func TestLoadWaitsForUnderwayRetirement(t *testing.T) {
+	m := run(t, Baseline(), []trace.Ref{
+		{Kind: trace.Store, Addr: lineA},
+		{Kind: trace.Store, Addr: lineB},
+		{Kind: trace.Exec},
+		{Kind: trace.Load, Addr: lineC},
+	})
+	c := m.Counters()
+	if got := c.Stalls[stats.L2ReadAccess]; got != 4 {
+		t.Errorf("L2-read-access stall = %d, want 4", got)
+	}
+	if c.MissCycles != 6 {
+		t.Errorf("miss cycles = %d, want 6", c.MissCycles)
+	}
+	if c.Cycles != 14 {
+		t.Errorf("cycles = %d, want 14", c.Cycles)
+	}
+	if c.Retirements != 1 {
+		t.Errorf("retirements = %d, want 1", c.Retirements)
+	}
+}
+
+// Scenario C: a 2-deep buffer fills with two stores; the third store blocks
+// until the retirement that started at cycle 1 completes at cycle 7.
+func TestBufferFullStall(t *testing.T) {
+	cfg := Baseline().WithDepth(2)
+	m := run(t, cfg, []trace.Ref{
+		{Kind: trace.Store, Addr: lineA},
+		{Kind: trace.Store, Addr: lineB},
+		{Kind: trace.Store, Addr: lineC},
+	})
+	c := m.Counters()
+	if got := c.Stalls[stats.BufferFull]; got != 5 {
+		t.Errorf("buffer-full stall = %d, want 5", got)
+	}
+	if c.Cycles != 8 {
+		t.Errorf("cycles = %d, want 8", c.Cycles)
+	}
+}
+
+// A store that can merge never blocks, even with the buffer full.
+func TestMergeIntoFullBuffer(t *testing.T) {
+	cfg := Baseline().WithDepth(2).WithRetire(core.RetireAt{N: 2})
+	m := run(t, cfg, []trace.Ref{
+		{Kind: trace.Store, Addr: lineA},
+		{Kind: trace.Store, Addr: lineB},
+		{Kind: trace.Store, Addr: lineB + 16},
+	})
+	c := m.Counters()
+	// The merge happens at t=2 while the head retirement is under way; the
+	// store must not stall.
+	if got := c.Stalls[stats.BufferFull]; got != 0 {
+		t.Errorf("buffer-full stall = %d, want 0 (store merged)", got)
+	}
+	if m.WBStats().Merges != 1 {
+		t.Errorf("merges = %d, want 1", m.WBStats().Merges)
+	}
+}
+
+// Scenario D: flush-full hazard.  Store to lineA at t=0, load of another
+// word of lineA at t=1: the whole (1-entry) buffer flushes for 6 cycles of
+// load-hazard stall, then the 6-cycle L2 read is charged to the miss.
+func TestHazardFlushFull(t *testing.T) {
+	cfg := Baseline().WithRetire(core.RetireAt{N: 4}) // keep retirement quiet
+	m := run(t, cfg, []trace.Ref{
+		{Kind: trace.Store, Addr: lineA},
+		{Kind: trace.Load, Addr: lineA + 8},
+	})
+	c := m.Counters()
+	if got := c.Stalls[stats.LoadHazard]; got != 6 {
+		t.Errorf("load-hazard stall = %d, want 6", got)
+	}
+	if c.MissCycles != 6 {
+		t.Errorf("miss cycles = %d, want 6", c.MissCycles)
+	}
+	if c.Cycles != 14 {
+		t.Errorf("cycles = %d, want 14", c.Cycles)
+	}
+	if c.HazardEvents != 1 || c.FlushedEntries != 1 {
+		t.Errorf("hazard events = %d, flushed = %d; want 1, 1", c.HazardEvents, c.FlushedEntries)
+	}
+}
+
+// Scenario G: flush-partial flushes FIFO entries up to and including the
+// hit entry (A and B here), leaving C resident.
+func TestHazardFlushPartial(t *testing.T) {
+	cfg := Baseline().WithRetire(core.RetireAt{N: 4}).WithHazard(core.FlushPartial)
+	m := run(t, cfg, []trace.Ref{
+		{Kind: trace.Store, Addr: lineA},
+		{Kind: trace.Store, Addr: lineB},
+		{Kind: trace.Store, Addr: lineC},
+		{Kind: trace.Load, Addr: lineB + 8},
+	})
+	c := m.Counters()
+	if got := c.Stalls[stats.LoadHazard]; got != 12 {
+		t.Errorf("load-hazard stall = %d, want 12 (two entry writes)", got)
+	}
+	if c.FlushedEntries != 2 {
+		t.Errorf("flushed = %d, want 2", c.FlushedEntries)
+	}
+	if c.Cycles != 22 {
+		t.Errorf("cycles = %d, want 22", c.Cycles)
+	}
+}
+
+// Scenario H: flush-item-only flushes just the hit entry, preserving the
+// rest in FIFO order.
+func TestHazardFlushItemOnly(t *testing.T) {
+	cfg := Baseline().WithRetire(core.RetireAt{N: 4}).WithHazard(core.FlushItemOnly)
+	m := run(t, cfg, []trace.Ref{
+		{Kind: trace.Store, Addr: lineA},
+		{Kind: trace.Store, Addr: lineB},
+		{Kind: trace.Store, Addr: lineC},
+		{Kind: trace.Load, Addr: lineB + 8},
+	})
+	c := m.Counters()
+	if got := c.Stalls[stats.LoadHazard]; got != 6 {
+		t.Errorf("load-hazard stall = %d, want 6 (one entry write)", got)
+	}
+	if c.FlushedEntries != 1 {
+		t.Errorf("flushed = %d, want 1", c.FlushedEntries)
+	}
+	if c.Cycles != 16 {
+		t.Errorf("cycles = %d, want 16", c.Cycles)
+	}
+}
+
+// Scenario E: read-from-WB forwards a valid word at L1-hit speed.
+func TestReadFromWBWordValid(t *testing.T) {
+	cfg := Baseline().WithRetire(core.RetireAt{N: 4}).WithHazard(core.ReadFromWB)
+	m := run(t, cfg, []trace.Ref{
+		{Kind: trace.Store, Addr: lineA},
+		{Kind: trace.Load, Addr: lineA},
+	})
+	c := m.Counters()
+	if c.Cycles != 2 {
+		t.Errorf("cycles = %d, want 2 (forwarded at hit speed)", c.Cycles)
+	}
+	if c.WBReadHits != 1 || c.HazardEvents != 1 {
+		t.Errorf("WB read hits = %d, hazards = %d; want 1, 1", c.WBReadHits, c.HazardEvents)
+	}
+	if c.WBStallCycles() != 0 {
+		t.Errorf("stalls = %d, want 0", c.WBStallCycles())
+	}
+	// No L1 fill occurs: a second load of the same word forwards again.
+	if m.L1Stats().ReadHits != 0 {
+		t.Errorf("L1 should not have been filled")
+	}
+}
+
+// Scenario F: read-from-WB with the needed word invalid costs a normal L2
+// read charged to the miss, with no hazard stall.
+func TestReadFromWBWordInvalid(t *testing.T) {
+	cfg := Baseline().WithRetire(core.RetireAt{N: 4}).WithHazard(core.ReadFromWB)
+	m := run(t, cfg, []trace.Ref{
+		{Kind: trace.Store, Addr: lineA},
+		{Kind: trace.Load, Addr: lineA + 8},
+	})
+	c := m.Counters()
+	if got := c.Stalls[stats.LoadHazard]; got != 0 {
+		t.Errorf("load-hazard stall = %d, want 0", got)
+	}
+	if c.MissCycles != 6 {
+		t.Errorf("miss cycles = %d, want 6", c.MissCycles)
+	}
+	if c.Cycles != 8 {
+		t.Errorf("cycles = %d, want 8", c.Cycles)
+	}
+	if c.FlushedEntries != 0 {
+		t.Errorf("flushed = %d, want 0 (read-from-WB never flushes)", c.FlushedEntries)
+	}
+}
+
+// Scenario I: a hazard on the entry already being retired just waits for
+// that retirement; under flush-partial nothing further is flushed.
+func TestHazardOnRetiringHead(t *testing.T) {
+	cfg := Baseline().WithHazard(core.FlushPartial) // retire-at-2
+	m := run(t, cfg, []trace.Ref{
+		{Kind: trace.Store, Addr: lineA},
+		{Kind: trace.Store, Addr: lineB},
+		{Kind: trace.Exec},
+		{Kind: trace.Load, Addr: lineA + 8},
+	})
+	c := m.Counters()
+	// Retirement of A runs [1,7); the load at t=3 waits 4 cycles, then
+	// reads for 6: hazard stall 4, no flushes.
+	if got := c.Stalls[stats.LoadHazard]; got != 4 {
+		t.Errorf("load-hazard stall = %d, want 4", got)
+	}
+	if c.FlushedEntries != 0 {
+		t.Errorf("flushed = %d, want 0", c.FlushedEntries)
+	}
+	if c.Cycles != 14 {
+		t.Errorf("cycles = %d, want 14", c.Cycles)
+	}
+	if c.Retirements != 1 {
+		t.Errorf("retirements = %d, want 1", c.Retirements)
+	}
+}
+
+// Same setup under flush-full: after the under-way retirement completes at
+// cycle 7, the remaining entry B is also flushed (6 more cycles).
+func TestHazardOnRetiringHeadFlushFull(t *testing.T) {
+	m := run(t, Baseline(), []trace.Ref{
+		{Kind: trace.Store, Addr: lineA},
+		{Kind: trace.Store, Addr: lineB},
+		{Kind: trace.Exec},
+		{Kind: trace.Load, Addr: lineA + 8},
+	})
+	c := m.Counters()
+	if got := c.Stalls[stats.LoadHazard]; got != 10 {
+		t.Errorf("load-hazard stall = %d, want 10", got)
+	}
+	if c.FlushedEntries != 1 {
+		t.Errorf("flushed = %d, want 1", c.FlushedEntries)
+	}
+	if c.Cycles != 20 {
+		t.Errorf("cycles = %d, want 20", c.Cycles)
+	}
+}
+
+func TestL1HitAfterFill(t *testing.T) {
+	m := run(t, Baseline(), []trace.Ref{
+		{Kind: trace.Load, Addr: lineA},     // cold miss, fill
+		{Kind: trace.Load, Addr: lineA + 8}, // hit
+	})
+	c := m.Counters()
+	if c.L1LoadHits != 1 || c.Loads != 2 {
+		t.Fatalf("hits/loads = %d/%d, want 1/2", c.L1LoadHits, c.Loads)
+	}
+	if c.Cycles != 1+6+1 {
+		t.Fatalf("cycles = %d, want 8", c.Cycles)
+	}
+}
+
+// Write-through keeps L1 fresh: a store to a resident line updates it, and
+// a subsequent load hits L1 with fresh data (no hazard even though the
+// block is active in the buffer — the simulator never probes the WB on an
+// L1 hit, which is only correct because of write-through).
+func TestWriteThroughKeepsL1Fresh(t *testing.T) {
+	cfg := Baseline().WithRetire(core.RetireAt{N: 4})
+	m := run(t, cfg, []trace.Ref{
+		{Kind: trace.Load, Addr: lineA},  // fill
+		{Kind: trace.Store, Addr: lineA}, // hits L1, updates it, enters WB
+		{Kind: trace.Load, Addr: lineA},  // L1 hit: no hazard
+	})
+	c := m.Counters()
+	if c.HazardEvents != 0 {
+		t.Errorf("hazards = %d, want 0", c.HazardEvents)
+	}
+	if c.L1LoadHits != 1 {
+		t.Errorf("L1 load hits = %d, want 1", c.L1LoadHits)
+	}
+	if m.L1Stats().WriteHits != 1 {
+		t.Errorf("L1 write hits = %d, want 1", m.L1Stats().WriteHits)
+	}
+}
+
+// Write-around: a store miss does not allocate in L1.
+func TestWriteAround(t *testing.T) {
+	m := run(t, Baseline(), []trace.Ref{
+		{Kind: trace.Store, Addr: lineA},
+		{Kind: trace.Exec}, {Kind: trace.Exec}, {Kind: trace.Exec},
+		{Kind: trace.Exec}, {Kind: trace.Exec}, {Kind: trace.Exec},
+		{Kind: trace.Exec}, {Kind: trace.Exec}, // let any retirement pass
+		{Kind: trace.Load, Addr: lineA + 8},
+	})
+	if m.Counters().L1LoadHits != 0 {
+		t.Error("load hit L1 after a write-around store; store must not allocate")
+	}
+}

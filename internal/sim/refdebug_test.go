@@ -1,0 +1,35 @@
+package sim
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// TestReferenceShrink hunts for a minimal diverging stream; enabled only
+// while debugging (WB_REFDEBUG=1).
+func TestReferenceShrink(t *testing.T) {
+	if os.Getenv("WB_REFDEBUG") == "" {
+		t.Skip("debug harness")
+	}
+	depth, hwm, hz := 8, 4, core.FlushFull
+	for n := 4; n <= 40; n++ {
+		for seed := uint64(0); seed < 400; seed++ {
+			refs := randomRefs(rng.New(seed), n)
+			fast := fastRun(depth, hwm, hz, refs)
+			ref := refRun(depth, hwm, hz, refs)
+			if fast != ref {
+				t.Logf("MISMATCH n=%d seed=%d", n, seed)
+				for i, r := range refs {
+					t.Logf("  %2d %-5s %#x", i, r.Kind, r.Addr)
+				}
+				t.Logf("fast %+v", fast)
+				t.Logf("ref  %+v", ref)
+				t.FailNow()
+			}
+		}
+	}
+	t.Log("no mismatch found up to n=40")
+}

@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// A retirement that starts inside a load's main-memory window but overruns
+// it delays the L1 fill; the overrun is charged as L2-read-access.  The
+// fixed-rate policy makes the start time exactly schedulable: with
+// interval 30, the retirement of A runs [30,36) inside/overrunning the
+// load's memory window [7,32), so the fill waits 4 extra cycles.
+func TestMemoryWindowOverrunCharged(t *testing.T) {
+	cfg := Baseline().WithL2(64 << 10).WithRetire(core.FixedRate{Interval: 30})
+	m := run(t, cfg, []trace.Ref{
+		{Kind: trace.Store, Addr: lineA}, // t=0: occupies the buffer
+		{Kind: trace.Load, Addr: lineC},  // t=1: L2 miss, window [7,32)
+	})
+	c := m.Counters()
+	if got := c.Stalls[stats.L2ReadAccess]; got != 4 {
+		t.Errorf("L2-read-access stall = %d, want 4 (overrun of the memory window)", got)
+	}
+	if c.MissCycles != 31 {
+		t.Errorf("miss cycles = %d, want 31", c.MissCycles)
+	}
+	if c.Cycles != 1+1+4+31 {
+		t.Errorf("cycles = %d, want 37", c.Cycles)
+	}
+}
+
+// The same schedule with an earlier tick finishes inside the window and
+// costs the load nothing.
+func TestMemoryWindowRetirementFree(t *testing.T) {
+	cfg := Baseline().WithL2(64 << 10).WithRetire(core.FixedRate{Interval: 20})
+	m := run(t, cfg, []trace.Ref{
+		{Kind: trace.Store, Addr: lineA},
+		{Kind: trace.Load, Addr: lineC}, // window [7,32); retirement [20,26)
+	})
+	c := m.Counters()
+	if got := c.Stalls[stats.L2ReadAccess]; got != 0 {
+		t.Errorf("L2-read-access stall = %d, want 0 (retirement fit the window)", got)
+	}
+	if c.Retirements != 1 {
+		t.Errorf("retirements = %d, want 1", c.Retirements)
+	}
+	if c.Cycles != 1+1+31 {
+		t.Errorf("cycles = %d, want 33", c.Cycles)
+	}
+}
+
+// Inclusion interacts with the window drain: a retirement during the
+// window that evicts the just-filled line must leave L1 and L2 consistent
+// (no L1 line without its L2 parent).
+func TestWindowEvictionKeepsInclusion(t *testing.T) {
+	// Tiny L2 (8K): the retirement's write-allocate of lineA+8K evicts
+	// the line the load just filled if they collide.
+	cfg := Baseline().WithL2(8 << 10).WithRetire(core.FixedRate{Interval: 10})
+	m := run(t, cfg, []trace.Ref{
+		{Kind: trace.Store, Addr: lineA + 8192}, // collides with lineA in L2
+		{Kind: trace.Load, Addr: lineA},         // fills L1+L2; retirement evicts it mid-window
+		{Kind: trace.Load, Addr: lineA},         // must miss: inclusion invalidated L1 too
+	})
+	c := m.Counters()
+	if c.L1LoadHits != 0 {
+		t.Errorf("L1 hits = %d, want 0 (inclusion must have invalidated the line)", c.L1LoadHits)
+	}
+	if m.L1Stats().Invalidations == 0 {
+		t.Error("no inclusion invalidation recorded")
+	}
+}

@@ -1,0 +1,146 @@
+// Package stats defines the stall-attribution counters that are the
+// measurement framework of the paper (Section 2.3, Table 3): every cycle
+// the write buffer costs the processor is charged to exactly one of three
+// categories, and everything else the memory system costs is kept separate
+// so the write buffer is always compared against an ideal buffer that never
+// stalls anything.
+package stats
+
+import "fmt"
+
+// StallKind enumerates the write-buffer-induced stall categories, plus the
+// optional L2-I-fetch category of Section 4.3.
+type StallKind uint8
+
+const (
+	// BufferFull: a store found the buffer full and could not merge.
+	BufferFull StallKind = iota
+	// L2ReadAccess: an L1 load miss waited for the buffer's L2 write.
+	L2ReadAccess
+	// LoadHazard: an L1 load miss hit an active block in the buffer and
+	// waited for the hazard to be resolved by flushing.
+	LoadHazard
+	// L2IFetch: an instruction fetch waited for the buffer's L2 write
+	// (only with the realistic I-cache extension enabled).
+	L2IFetch
+	// MembarDrain: a memory-barrier instruction waited for the write
+	// buffer to drain completely (multiprocessor-ordering extension; the
+	// paper notes barriers are how architectures restore the ordering
+	// that coalescing and read-bypassing relax).
+	MembarDrain
+	numStallKinds
+)
+
+// String implements fmt.Stringer with the paper's names.
+func (k StallKind) String() string {
+	switch k {
+	case BufferFull:
+		return "buffer-full"
+	case L2ReadAccess:
+		return "L2-read-access"
+	case LoadHazard:
+		return "load-hazard"
+	case L2IFetch:
+		return "L2-I-fetch"
+	case MembarDrain:
+		return "membar-drain"
+	default:
+		return fmt.Sprintf("stall(%d)", uint8(k))
+	}
+}
+
+// Counters accumulates a run's cycle and event counts.
+type Counters struct {
+	// Cycles is total execution time including all stalls.
+	Cycles uint64
+	// Instructions is the dynamic instruction count (each contributes one
+	// base cycle in the single-issue model).
+	Instructions uint64
+	// BaseCycles is the issue time the instructions themselves consumed:
+	// equal to Instructions at issue width 1, Instructions/W at width W.
+	BaseCycles uint64
+	// Stalls[k] is the cycles charged to write-buffer stall kind k.
+	Stalls [numStallKinds]uint64
+	// MissCycles is the time spent servicing L1 load misses themselves
+	// (the L2/memory read time the paper charges "to the miss instead").
+	MissCycles uint64
+	// IFetchMissCycles is time servicing I-cache misses (extension only).
+	IFetchMissCycles uint64
+
+	// Event counts.
+	Loads          uint64
+	Stores         uint64
+	BlockedStores  uint64 // stores that found the write stage full (events, not cycles)
+	L1LoadHits     uint64
+	WBReadHits     uint64 // loads serviced directly from the buffer (read-from-WB)
+	HazardEvents   uint64 // load misses that hit an active block in the buffer
+	Retirements    uint64 // autonomous entry writes to L2
+	FlushedEntries uint64 // entries written to L2 because of load hazards
+}
+
+// AddStall charges n cycles to stall kind k.
+func (c *Counters) AddStall(k StallKind, n uint64) { c.Stalls[k] += n }
+
+// WBStallCycles returns the sum of the three (four with the I-cache
+// extension) write-buffer-induced stall categories.
+func (c Counters) WBStallCycles() uint64 {
+	var sum uint64
+	for _, v := range c.Stalls {
+		sum += v
+	}
+	return sum
+}
+
+// PctOfTime returns n as a percentage of total cycles.
+func (c Counters) PctOfTime(n uint64) float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(c.Cycles)
+}
+
+// StallPct returns the paper's headline metric for one category: stall
+// cycles as a percentage of total execution time.
+func (c Counters) StallPct(k StallKind) float64 { return c.PctOfTime(c.Stalls[k]) }
+
+// TotalStallPct returns all write-buffer-induced stalls as a percentage of
+// execution time (the black "T" bar of Figure 3).
+func (c Counters) TotalStallPct() float64 { return c.PctOfTime(c.WBStallCycles()) }
+
+// L1LoadHitRate returns the load hit rate in L1 (Table 5's first column).
+func (c Counters) L1LoadHitRate() float64 {
+	if c.Loads == 0 {
+		return 1
+	}
+	return float64(c.L1LoadHits) / float64(c.Loads)
+}
+
+// CPI returns cycles per instruction.
+func (c Counters) CPI() float64 {
+	if c.Instructions == 0 {
+		return 0
+	}
+	return float64(c.Cycles) / float64(c.Instructions)
+}
+
+// Check validates internal consistency: the cycle count must equal base
+// issue cycles plus every recorded stall and miss-service component.
+// The simulator calls it in tests to catch attribution leaks.  Counters
+// built by hand (tests) may leave BaseCycles zero, in which case the
+// single-issue identity BaseCycles == Instructions is assumed.
+func (c Counters) Check() error {
+	base := c.BaseCycles
+	if base == 0 {
+		base = c.Instructions
+	}
+	want := base + c.WBStallCycles() + c.MissCycles + c.IFetchMissCycles
+	if c.Cycles != want {
+		return fmt.Errorf("stats: %d cycles recorded but components sum to %d "+
+			"(base %d + wb %d + miss %d + ifetch %d)",
+			c.Cycles, want, base, c.WBStallCycles(), c.MissCycles, c.IFetchMissCycles)
+	}
+	if c.L1LoadHits > c.Loads {
+		return fmt.Errorf("stats: %d L1 load hits exceed %d loads", c.L1LoadHits, c.Loads)
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestStallKindString(t *testing.T) {
+	cases := map[StallKind]string{
+		BufferFull:   "buffer-full",
+		L2ReadAccess: "L2-read-access",
+		LoadHazard:   "load-hazard",
+		L2IFetch:     "L2-I-fetch",
+		StallKind(7): "stall(7)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestAddStallAndSums(t *testing.T) {
+	var c Counters
+	c.AddStall(BufferFull, 10)
+	c.AddStall(L2ReadAccess, 5)
+	c.AddStall(LoadHazard, 3)
+	c.AddStall(BufferFull, 2)
+	if c.Stalls[BufferFull] != 12 {
+		t.Errorf("BufferFull = %d, want 12", c.Stalls[BufferFull])
+	}
+	if got := c.WBStallCycles(); got != 20 {
+		t.Errorf("WBStallCycles = %d, want 20", got)
+	}
+}
+
+func TestPercentages(t *testing.T) {
+	c := Counters{Cycles: 200}
+	c.AddStall(BufferFull, 10)
+	if got := c.StallPct(BufferFull); got != 5 {
+		t.Errorf("StallPct = %v, want 5", got)
+	}
+	if got := c.TotalStallPct(); got != 5 {
+		t.Errorf("TotalStallPct = %v, want 5", got)
+	}
+	var empty Counters
+	if empty.StallPct(BufferFull) != 0 || empty.TotalStallPct() != 0 {
+		t.Error("zero-cycle counters should report 0%, not NaN")
+	}
+}
+
+func TestHitRateAndCPI(t *testing.T) {
+	c := Counters{Loads: 10, L1LoadHits: 9, Cycles: 150, Instructions: 100}
+	if got := c.L1LoadHitRate(); got != 0.9 {
+		t.Errorf("L1LoadHitRate = %v, want 0.9", got)
+	}
+	if got := c.CPI(); got != 1.5 {
+		t.Errorf("CPI = %v, want 1.5", got)
+	}
+	var empty Counters
+	if empty.L1LoadHitRate() != 1 {
+		t.Error("no loads should report hit rate 1")
+	}
+	if empty.CPI() != 0 {
+		t.Error("no instructions should report CPI 0")
+	}
+}
+
+func TestCheckDetectsLeak(t *testing.T) {
+	c := Counters{Cycles: 100, Instructions: 90, MissCycles: 5}
+	if err := c.Check(); err == nil {
+		t.Fatal("Check missed a 5-cycle attribution leak")
+	} else if !strings.Contains(err.Error(), "components sum") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	c.AddStall(BufferFull, 5)
+	if err := c.Check(); err != nil {
+		t.Fatalf("balanced counters failed Check: %v", err)
+	}
+}
+
+func TestCheckDetectsHitOverflow(t *testing.T) {
+	c := Counters{Loads: 1, L1LoadHits: 2}
+	if err := c.Check(); err == nil {
+		t.Fatal("Check missed hits > loads")
+	}
+}
+
+// Property: TotalStallPct equals the sum of per-kind percentages (within
+// floating-point tolerance) and never exceeds 100 when components balance.
+func TestPctConsistencyProperty(t *testing.T) {
+	f := func(instr uint16, bf, ra, lh uint8) bool {
+		c := Counters{Instructions: uint64(instr)}
+		c.AddStall(BufferFull, uint64(bf))
+		c.AddStall(L2ReadAccess, uint64(ra))
+		c.AddStall(LoadHazard, uint64(lh))
+		c.Cycles = c.Instructions + c.WBStallCycles()
+		if err := c.Check(); err != nil {
+			return false
+		}
+		sum := c.StallPct(BufferFull) + c.StallPct(L2ReadAccess) + c.StallPct(LoadHazard)
+		diff := sum - c.TotalStallPct()
+		if diff < -1e-9 || diff > 1e-9 {
+			return false
+		}
+		return c.TotalStallPct() <= 100+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

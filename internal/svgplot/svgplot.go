@@ -1,0 +1,162 @@
+// Package svgplot renders the paper's stacked-bar figures as standalone
+// SVG documents — the publication-grade sibling of internal/textplot.
+// Each benchmark is one horizontal bar whose segments are the stall
+// categories, drawn against a shared percentage axis, with the figure
+// caption on top and a legend underneath, echoing the layout of the
+// paper's Figures 3–13.
+//
+// The renderer is deliberately dependency-free: it emits a small, easily
+// diffed subset of SVG 1.1.
+package svgplot
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Segment is one stacked component of a bar.
+type Segment struct {
+	Value float64
+	Label string // legend text, e.g. "L2-read-access"
+	Color string // CSS color, e.g. "#1f77b4"
+}
+
+// Bar is one labelled stacked bar.
+type Bar struct {
+	Label    string
+	Segments []Segment
+}
+
+// Total returns the stacked sum.
+func (b Bar) Total() float64 {
+	var t float64
+	for _, s := range b.Segments {
+		t += s.Value
+	}
+	return t
+}
+
+// Chart is a stacked-bar figure.
+type Chart struct {
+	Title string
+	// XLabel annotates the value axis ("stall cycles, % of total time").
+	XLabel string
+	// Max fixes the axis maximum; 0 auto-scales.
+	Max  float64
+	Bars []Bar
+}
+
+// Geometry constants (pixels).
+const (
+	chartWidth   = 760
+	labelWidth   = 110
+	barHeight    = 16
+	barGap       = 6
+	marginTop    = 48
+	marginBottom = 58
+	marginRight  = 60
+)
+
+// DefaultColors is the palette used when a segment has no explicit color,
+// in segment order.
+var DefaultColors = []string{"#444444", "#b0b0b0", "#e8e8e8", "#8888cc", "#cc8888"}
+
+func (c *Chart) axisMax() float64 {
+	if c.Max > 0 {
+		return c.Max
+	}
+	m := 0.0
+	for _, b := range c.Bars {
+		if t := b.Total(); t > m {
+			m = t
+		}
+	}
+	if m == 0 {
+		return 1
+	}
+	return m
+}
+
+// Render writes the SVG document.
+func (c *Chart) Render(w io.Writer) error {
+	height := marginTop + len(c.Bars)*(barHeight+barGap) + marginBottom
+	plotW := chartWidth - labelWidth - marginRight
+	axisMax := c.axisMax()
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		chartWidth, height, chartWidth, height)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&sb, `<text x="%d" y="24" font-family="sans-serif" font-size="14" font-weight="bold">%s</text>`+"\n",
+		labelWidth, escape(c.Title))
+
+	// Gridlines and axis labels at fifths of the range.
+	axisY := marginTop + len(c.Bars)*(barHeight+barGap) + 4
+	for i := 0; i <= 5; i++ {
+		x := labelWidth + plotW*i/5
+		v := axisMax * float64(i) / 5
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#dddddd" stroke-width="1"/>`+"\n",
+			x, marginTop-6, x, axisY-4)
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" font-family="sans-serif" font-size="10" text-anchor="middle">%.1f</text>`+"\n",
+			x, axisY+10, v)
+	}
+	if c.XLabel != "" {
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			labelWidth+plotW/2, axisY+26, escape(c.XLabel))
+	}
+
+	// Bars.
+	for i, b := range c.Bars {
+		y := marginTop + i*(barHeight+barGap)
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			labelWidth-6, y+barHeight-4, escape(b.Label))
+		x := float64(labelWidth)
+		for si, s := range b.Segments {
+			wpx := s.Value / axisMax * float64(plotW)
+			if x+wpx > float64(labelWidth+plotW) {
+				wpx = float64(labelWidth+plotW) - x
+			}
+			if wpx <= 0 {
+				continue
+			}
+			fmt.Fprintf(&sb, `<rect x="%.2f" y="%d" width="%.2f" height="%d" fill="%s" stroke="#333333" stroke-width="0.4"/>`+"\n",
+				x, y, wpx, barHeight, color(s, si))
+			x += wpx
+		}
+		fmt.Fprintf(&sb, `<text x="%.2f" y="%d" font-family="sans-serif" font-size="10">%.2f</text>`+"\n",
+			x+4, y+barHeight-4, b.Total())
+	}
+
+	// Legend from the first bar's segment labels.
+	if len(c.Bars) > 0 {
+		lx := labelWidth
+		ly := axisY + 40
+		for si, s := range c.Bars[0].Segments {
+			if s.Label == "" {
+				continue
+			}
+			fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="12" height="12" fill="%s" stroke="#333333" stroke-width="0.4"/>`+"\n",
+				lx, ly-10, color(s, si))
+			fmt.Fprintf(&sb, `<text x="%d" y="%d" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+				lx+16, ly, escape(s.Label))
+			lx += 20 + 8*len(s.Label)
+		}
+	}
+
+	sb.WriteString("</svg>\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func color(s Segment, i int) string {
+	if s.Color != "" {
+		return s.Color
+	}
+	return DefaultColors[i%len(DefaultColors)]
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

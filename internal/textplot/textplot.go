@@ -1,0 +1,120 @@
+// Package textplot renders the paper's stacked-bar figures as text: each
+// benchmark gets a horizontal bar whose segments are the three
+// write-buffer-induced stall categories, scaled to a common axis — a
+// terminal rendition of Figures 3 through 13.
+package textplot
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Segment is one stacked component of a bar.
+type Segment struct {
+	Value float64
+	Glyph byte // character used to draw this segment
+}
+
+// Bar is one labelled stacked bar.
+type Bar struct {
+	Label    string
+	Segments []Segment
+}
+
+// Total returns the bar's stacked sum.
+func (b Bar) Total() float64 {
+	var t float64
+	for _, s := range b.Segments {
+		t += s.Value
+	}
+	return t
+}
+
+// Chart is a collection of bars sharing an axis.
+type Chart struct {
+	Title string
+	// Width is the drawing width in characters for the largest bar;
+	// zero selects the default of 60.
+	Width int
+	// Max fixes the axis maximum; zero auto-scales to the largest bar.
+	Max  float64
+	Bars []Bar
+	// Legend explains the glyphs, e.g. "R=L2-read-access".
+	Legend string
+}
+
+func (c *Chart) width() int {
+	if c.Width <= 0 {
+		return 60
+	}
+	return c.Width
+}
+
+func (c *Chart) max() float64 {
+	if c.Max > 0 {
+		return c.Max
+	}
+	m := 0.0
+	for _, b := range c.Bars {
+		if t := b.Total(); t > m {
+			m = t
+		}
+	}
+	if m == 0 {
+		return 1
+	}
+	return m
+}
+
+// Render draws the chart.
+func (c *Chart) Render(w io.Writer) error {
+	labelW := 0
+	for _, b := range c.Bars {
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	var sb strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", c.Title)
+	}
+	axisMax := c.max()
+	width := c.width()
+	for _, b := range c.Bars {
+		fmt.Fprintf(&sb, "%-*s |", labelW, b.Label)
+		drawn := 0
+		for _, s := range b.Segments {
+			n := int(s.Value/axisMax*float64(width) + 0.5)
+			if drawn+n > width {
+				n = width - drawn
+			}
+			sb.Write(bytesRepeat(s.Glyph, n))
+			drawn += n
+		}
+		fmt.Fprintf(&sb, "%s %.2f\n", strings.Repeat(" ", width-drawn), b.Total())
+	}
+	fmt.Fprintf(&sb, "%-*s +%s> %.2f\n", labelW, "", strings.Repeat("-", c.width()), axisMax)
+	if c.Legend != "" {
+		fmt.Fprintf(&sb, "legend: %s\n", c.Legend)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// String renders to a string.
+func (c *Chart) String() string {
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		return err.Error()
+	}
+	return sb.String()
+}
+
+func bytesRepeat(b byte, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = b
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestChartRendersAllBars(t *testing.T) {
+	c := &Chart{
+		Title: "demo",
+		Bars: []Bar{
+			{Label: "alpha", Segments: []Segment{{Value: 2, Glyph: 'R'}, {Value: 1, Glyph: 'F'}}},
+			{Label: "beta", Segments: []Segment{{Value: 6, Glyph: 'L'}}},
+		},
+		Legend: "R=read F=full L=hazard",
+	}
+	out := c.String()
+	for _, want := range []string{"demo", "alpha", "beta", "legend:", "6.00", "3.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "RRRR") {
+		t.Errorf("largest segment glyphs missing:\n%s", out)
+	}
+}
+
+func TestBarTotal(t *testing.T) {
+	b := Bar{Segments: []Segment{{Value: 1.5}, {Value: 2.5}}}
+	if b.Total() != 4 {
+		t.Errorf("Total = %v, want 4", b.Total())
+	}
+}
+
+func TestAutoScaleAndFixedMax(t *testing.T) {
+	c := &Chart{Bars: []Bar{{Label: "x", Segments: []Segment{{Value: 5, Glyph: '#'}}}}}
+	if c.max() != 5 {
+		t.Errorf("auto max = %v, want 5", c.max())
+	}
+	c.Max = 10
+	if c.max() != 10 {
+		t.Errorf("fixed max = %v, want 10", c.max())
+	}
+	empty := &Chart{}
+	if empty.max() != 1 {
+		t.Errorf("empty chart max = %v, want 1 (no divide by zero)", empty.max())
+	}
+}
+
+func TestDefaultWidth(t *testing.T) {
+	c := &Chart{}
+	if c.width() != 60 {
+		t.Errorf("default width = %d, want 60", c.width())
+	}
+	c.Width = 20
+	if c.width() != 20 {
+		t.Errorf("explicit width = %d, want 20", c.width())
+	}
+}
+
+// Property: bars never overflow the drawing width, whatever the values.
+func TestNoOverflowProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		segs := make([]Segment, 0, len(vals))
+		for _, v := range vals {
+			if v < 0 {
+				v = -v
+			}
+			segs = append(segs, Segment{Value: v, Glyph: '#'})
+		}
+		c := &Chart{Width: 30, Bars: []Bar{{Label: "p", Segments: segs}}}
+		for _, line := range strings.Split(c.String(), "\n") {
+			if strings.Contains(line, "|") {
+				bar := line[strings.Index(line, "|")+1:]
+				if n := strings.Count(bar, "#"); n > 30 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

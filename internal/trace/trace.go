@@ -1,0 +1,112 @@
+// Package trace defines the dynamic instruction-reference stream consumed by
+// the simulator.
+//
+// The paper produced its streams by instrumenting Alpha binaries with DEC's
+// ATOM tool.  This repository replaces that proprietary pipeline with a
+// Stream interface: anything able to produce a sequence of Ref values —
+// a synthetic kernel, a recorded trace, a file — can drive the machine
+// model.  The simulator never needs to know where references come from.
+package trace
+
+import "repro/internal/mem"
+
+// Kind classifies a dynamic instruction.
+type Kind uint8
+
+const (
+	// Exec is an instruction with no data-memory reference (ALU, branch…).
+	// It costs exactly one cycle in the paper's machine model.
+	Exec Kind = iota
+	// Load is a data-memory read (an Alpha LDx).
+	Load
+	// Store is a data-memory write (an Alpha STx).
+	Store
+	// Membar is a memory-barrier instruction (an Alpha MB).  The paper
+	// notes that coalescing and read-bypassing buffers reorder stores, so
+	// multiprocessor architectures provide barriers to restore ordering;
+	// the simulator models one by draining the write buffer completely
+	// before the barrier completes.
+	Membar
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case Exec:
+		return "exec"
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case Membar:
+		return "membar"
+	default:
+		return "invalid"
+	}
+}
+
+// Ref is one dynamic instruction.  Addr is meaningful only for Load and
+// Store kinds and is a byte address; the simulator derives line and word
+// indices from it.
+type Ref struct {
+	Kind Kind
+	Addr mem.Addr
+}
+
+// Stream produces a finite sequence of references.  Next returns the next
+// reference and true, or a zero Ref and false after the stream is exhausted.
+// Streams are single-use; generators provide fresh streams on demand.
+type Stream interface {
+	Next() (Ref, bool)
+}
+
+// Mix summarises the dynamic instruction mix of a stream, mirroring the
+// paper's Table 4.
+type Mix struct {
+	Execs   uint64
+	Loads   uint64
+	Stores  uint64
+	Membars uint64
+}
+
+// Total returns the total dynamic instruction count.
+func (m Mix) Total() uint64 { return m.Execs + m.Loads + m.Stores + m.Membars }
+
+// PctLoads returns loads as a percentage of all instructions.
+func (m Mix) PctLoads() float64 { return pct(m.Loads, m.Total()) }
+
+// PctStores returns stores as a percentage of all instructions.
+func (m Mix) PctStores() float64 { return pct(m.Stores, m.Total()) }
+
+func pct(part, whole uint64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}
+
+// Add accumulates one reference into the mix.
+func (m *Mix) Add(r Ref) {
+	switch r.Kind {
+	case Load:
+		m.Loads++
+	case Store:
+		m.Stores++
+	case Membar:
+		m.Membars++
+	default:
+		m.Execs++
+	}
+}
+
+// MeasureMix drains a stream and returns its instruction mix.
+func MeasureMix(s Stream) Mix {
+	var m Mix
+	for {
+		r, ok := s.Next()
+		if !ok {
+			return m
+		}
+		m.Add(r)
+	}
+}

@@ -1,0 +1,230 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func TestKindString(t *testing.T) {
+	cases := []struct {
+		k    Kind
+		want string
+	}{
+		{Exec, "exec"}, {Load, "load"}, {Store, "store"}, {Kind(99), "invalid"},
+	}
+	for _, c := range cases {
+		if got := c.k.String(); got != c.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", c.k, got, c.want)
+		}
+	}
+}
+
+func TestMixAccounting(t *testing.T) {
+	var m Mix
+	m.Add(Ref{Kind: Load})
+	m.Add(Ref{Kind: Load})
+	m.Add(Ref{Kind: Store})
+	m.Add(Ref{Kind: Exec})
+	if m.Loads != 2 || m.Stores != 1 || m.Execs != 1 {
+		t.Fatalf("mix = %+v, want 2 loads / 1 store / 1 exec", m)
+	}
+	if m.Total() != 4 {
+		t.Errorf("Total = %d, want 4", m.Total())
+	}
+	if got := m.PctLoads(); got != 50 {
+		t.Errorf("PctLoads = %v, want 50", got)
+	}
+	if got := m.PctStores(); got != 25 {
+		t.Errorf("PctStores = %v, want 25", got)
+	}
+}
+
+func TestMixEmpty(t *testing.T) {
+	var m Mix
+	if m.PctLoads() != 0 || m.PctStores() != 0 {
+		t.Error("empty mix should report 0 percentages, not NaN")
+	}
+}
+
+func TestMeasureMix(t *testing.T) {
+	s := NewBuilder(0).Exec(3).Load(0).Store(8).Load(16).Stream()
+	m := MeasureMix(s)
+	if m.Execs != 3 || m.Loads != 2 || m.Stores != 1 {
+		t.Fatalf("mix = %+v, want 3/2/1", m)
+	}
+}
+
+func TestSliceStream(t *testing.T) {
+	refs := []Ref{{Kind: Load, Addr: 1}, {Kind: Store, Addr: 2}}
+	s := NewSliceStream(refs)
+	if s.Remaining() != 2 {
+		t.Fatalf("Remaining = %d, want 2", s.Remaining())
+	}
+	r, ok := s.Next()
+	if !ok || r.Addr != 1 {
+		t.Fatalf("first Next = %v, %v", r, ok)
+	}
+	r, ok = s.Next()
+	if !ok || r.Addr != 2 {
+		t.Fatalf("second Next = %v, %v", r, ok)
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("stream should be exhausted")
+	}
+	s.Reset()
+	if s.Remaining() != 2 {
+		t.Fatal("Reset did not rewind")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := NewSliceStream([]Ref{{Kind: Load, Addr: 1}})
+	b := NewSliceStream(nil)
+	c := NewSliceStream([]Ref{{Kind: Store, Addr: 2}, {Kind: Exec}})
+	s := NewConcat(a, b, c)
+	var got []Ref
+	for {
+		r, ok := s.Next()
+		if !ok {
+			break
+		}
+		got = append(got, r)
+	}
+	if len(got) != 3 || got[0].Addr != 1 || got[1].Addr != 2 || got[2].Kind != Exec {
+		t.Fatalf("concat yielded %v", got)
+	}
+}
+
+func TestLimit(t *testing.T) {
+	base := NewRepeat(NewSliceStream([]Ref{{Kind: Load, Addr: 7}}))
+	s := NewLimit(base, 5)
+	n := 0
+	for {
+		if _, ok := s.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 5 {
+		t.Fatalf("limit yielded %d refs, want 5", n)
+	}
+}
+
+func TestLimitShortSource(t *testing.T) {
+	s := NewLimit(NewSliceStream([]Ref{{Kind: Exec}}), 10)
+	n := 0
+	for {
+		if _, ok := s.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("limit over short source yielded %d, want 1", n)
+	}
+	// Exhausted limit stays exhausted.
+	if _, ok := s.Next(); ok {
+		t.Fatal("exhausted limit yielded a ref")
+	}
+}
+
+func TestRepeatCycles(t *testing.T) {
+	s := NewRepeat(NewSliceStream([]Ref{{Addr: 1}, {Addr: 2}}))
+	want := []mem.Addr{1, 2, 1, 2, 1}
+	for i, w := range want {
+		r, ok := s.Next()
+		if !ok || r.Addr != w {
+			t.Fatalf("ref %d = %v, %v; want addr %d", i, r, ok, w)
+		}
+	}
+}
+
+func TestRepeatEmpty(t *testing.T) {
+	s := NewRepeat(NewSliceStream(nil))
+	if _, ok := s.Next(); ok {
+		t.Fatal("repeat of empty stream should be exhausted")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	base := NewBuilder(0).Load(1).Store(2).Load(3).Exec(2).Stream()
+	s := NewFilter(base, func(r Ref) bool { return r.Kind == Load })
+	var addrs []mem.Addr
+	for {
+		r, ok := s.Next()
+		if !ok {
+			break
+		}
+		addrs = append(addrs, r.Addr)
+	}
+	if len(addrs) != 2 || addrs[0] != 1 || addrs[1] != 3 {
+		t.Fatalf("filtered = %v, want [1 3]", addrs)
+	}
+}
+
+func TestRecorderReplay(t *testing.T) {
+	base := NewBuilder(0).Load(1).Store(2).Exec(1).Stream()
+	rec := NewRecorder(base)
+	orig := MeasureMix(rec)
+	replayed := MeasureMix(rec.Replay())
+	if orig != replayed {
+		t.Fatalf("replay mix %+v differs from original %+v", replayed, orig)
+	}
+	if len(rec.Refs) != 3 {
+		t.Fatalf("recorded %d refs, want 3", len(rec.Refs))
+	}
+}
+
+func TestBuilder(t *testing.T) {
+	b := NewBuilder(8).Exec(2).Load(100).Store(200)
+	if b.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", b.Len())
+	}
+	refs := b.Refs()
+	if refs[0].Kind != Exec || refs[2].Kind != Load || refs[2].Addr != 100 ||
+		refs[3].Kind != Store || refs[3].Addr != 200 {
+		t.Fatalf("builder refs = %v", refs)
+	}
+}
+
+// Property: MeasureMix totals always equal the number of refs fed in.
+func TestMeasureMixTotalProperty(t *testing.T) {
+	f := func(kinds []uint8) bool {
+		refs := make([]Ref, len(kinds))
+		for i, k := range kinds {
+			refs[i] = Ref{Kind: Kind(k % 3)}
+		}
+		m := MeasureMix(NewSliceStream(refs))
+		return m.Total() == uint64(len(refs))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Limit(s, n) never yields more than n and Concat preserves order
+// and count.
+func TestLimitConcatProperty(t *testing.T) {
+	f := func(na, nb uint8, n uint8) bool {
+		a := make([]Ref, na)
+		b := make([]Ref, nb)
+		s := NewLimit(NewConcat(NewSliceStream(a), NewSliceStream(b)), uint64(n))
+		count := 0
+		for {
+			if _, ok := s.Next(); !ok {
+				break
+			}
+			count++
+		}
+		want := int(na) + int(nb)
+		if want > int(n) {
+			want = int(n)
+		}
+		return count == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,28 @@
+package workload
+
+import "testing"
+
+// Generator throughput matters: it runs inline with the simulator, so a
+// slow generator would cap experiment speed.
+func benchmarkStream(b *testing.B, name string) {
+	b.Helper()
+	bench, ok := ByName(name)
+	if !ok {
+		b.Fatalf("benchmark %q missing", name)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := bench.Stream(100_000)
+		for {
+			if _, ok := s.Next(); !ok {
+				break
+			}
+		}
+	}
+	b.SetBytes(100_000)
+}
+
+func BenchmarkSyntheticGenerator(b *testing.B) { benchmarkStream(b, "li") }
+func BenchmarkKernelCholsky(b *testing.B)      { benchmarkStream(b, "cholsky") }
+func BenchmarkKernelFFT(b *testing.B)          { benchmarkStream(b, "fft") }
+func BenchmarkKernelTomcatv(b *testing.B)      { benchmarkStream(b, "tomcatv") }

@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// Emitter is the callback interface a kernel uses to produce references.
+// Kernels are ordinary Go loops (a Cholesky factorisation, an FFT…) that
+// call Load/Store/Exec as they touch their simulated arrays; the emitter
+// turns those calls into a trace.Stream via a producer goroutine, cutting
+// the stream off at the requested length.
+type Emitter struct {
+	out   chan []trace.Ref
+	chunk []trace.Ref
+	left  uint64
+}
+
+const emitChunk = 4096
+
+// stopEmit is the panic sentinel that unwinds a kernel once its instruction
+// quota is exhausted.
+type stopEmit struct{}
+
+// Load emits a load of addr.
+func (e *Emitter) Load(addr mem.Addr) { e.push(trace.Ref{Kind: trace.Load, Addr: addr}) }
+
+// Store emits a store to addr.
+func (e *Emitter) Store(addr mem.Addr) { e.push(trace.Ref{Kind: trace.Store, Addr: addr}) }
+
+// Exec emits n non-memory instructions.
+func (e *Emitter) Exec(n int) {
+	for i := 0; i < n; i++ {
+		e.push(trace.Ref{Kind: trace.Exec})
+	}
+}
+
+func (e *Emitter) push(r trace.Ref) {
+	if e.left == 0 {
+		e.flush()
+		panic(stopEmit{})
+	}
+	e.left--
+	e.chunk = append(e.chunk, r)
+	if len(e.chunk) == emitChunk {
+		e.flush()
+	}
+}
+
+func (e *Emitter) flush() {
+	if len(e.chunk) == 0 {
+		return
+	}
+	e.out <- e.chunk
+	e.chunk = make([]trace.Ref, 0, emitChunk)
+}
+
+// kernelStream adapts the producer goroutine to trace.Stream.
+//
+// The stream must be consumed to exhaustion (every harness in this
+// repository does); abandoning it mid-way would park the producer
+// goroutine on its channel send for the life of the process.
+type kernelStream struct {
+	ch  chan []trace.Ref
+	cur []trace.Ref
+	pos int
+}
+
+// newKernelStream runs body in a goroutine, restarting it as needed, until
+// exactly n references have been produced.  body must emit at least one
+// reference per invocation (every kernel here emits millions).
+func newKernelStream(n uint64, body func(*Emitter)) trace.Stream {
+	ks := &kernelStream{ch: make(chan []trace.Ref, 4)}
+	go func() {
+		defer close(ks.ch)
+		e := &Emitter{out: ks.ch, left: n, chunk: make([]trace.Ref, 0, emitChunk)}
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(stopEmit); !ok {
+					panic(r)
+				}
+			}
+		}()
+		for e.left > 0 {
+			before := e.left
+			body(e)
+			if e.left == before {
+				break // defensive: a body that emits nothing must not spin
+			}
+		}
+		e.flush()
+	}()
+	return ks
+}
+
+// Next implements trace.Stream.
+func (k *kernelStream) Next() (trace.Ref, bool) {
+	for k.pos >= len(k.cur) {
+		chunk, ok := <-k.ch
+		if !ok {
+			return trace.Ref{}, false
+		}
+		k.cur, k.pos = chunk, 0
+	}
+	r := k.cur[k.pos]
+	k.pos++
+	return r, true
+}

@@ -1,0 +1,326 @@
+package workload
+
+import (
+	"repro/internal/mem"
+	"repro/internal/rng"
+)
+
+// The kernel benchmarks walk simulated arrays with real loop nests.  Matrix
+// bases are spread far apart like the synthetic regions.
+const (
+	// Array bases are skewed by large line-aligned offsets so that no two
+	// arrays are congruent modulo any cache size in the study (8 K – 1 M);
+	// congruent bases would collide set-for-set in the direct-mapped
+	// levels, which real linkers and allocators never arrange.
+	matBase   mem.Addr = 0x6000_0000
+	mat2Base  mem.Addr = 0x6804_C9A0
+	mat3Base  mem.Addr = 0x7009_D340
+	mat4Base  mem.Addr = 0x7802_A660
+	tableBase mem.Addr = 0x5807_6DE0 // small constant tables (trig, twiddles)
+	stackBase mem.Addr = 0x5003_1240
+)
+
+// hotTable models the small constant lookup tables (trigonometric values,
+// coefficients) real kernels consult from their inner loops; the table is
+// tiny, so its loads are L1 hits.  The num/den rational controls how many
+// table loads are emitted per inner-loop iteration.
+type hotTable struct {
+	acc, num, den int
+	lines         int
+	r             *rng.RNG
+}
+
+func newHotTable(num, den, lines int, seed uint64) *hotTable {
+	return &hotTable{num: num, den: den, lines: lines, r: rng.New(seed)}
+}
+
+func (h *hotTable) emit(e *Emitter) {
+	if h.den == 0 {
+		return
+	}
+	h.acc += h.num
+	for h.acc >= h.den {
+		h.acc -= h.den
+		e.Load(tableBase + mem.Addr(h.r.Intn(h.lines))*lineBytes +
+			mem.Addr(h.r.Intn(mem.WordsPerLine))*mem.WordBytes)
+	}
+}
+
+// matrix models a 2-D double-precision array with a selectable element
+// order.  rowMajor=false reproduces the Fortran column-major layouts of the
+// original NASA kernels: a loop whose inner index walks the FIRST subscript
+// is then sequential in memory, while walking the second strides by the
+// leading dimension.  The Table 6 transformations flip which subscript the
+// inner loop walks, which is equivalent to flipping the layout here.
+type matrix struct {
+	base     mem.Addr
+	lda      int // leading dimension (elements)
+	rowMajor bool
+}
+
+// at returns the byte address of element (i, j).
+func (m matrix) at(i, j int) mem.Addr {
+	if m.rowMajor {
+		return m.base + mem.Addr(i*m.lda+j)*mem.WordBytes
+	}
+	return m.base + mem.Addr(j*m.lda+i)*mem.WordBytes
+}
+
+// spill models register-pressure stack traffic: loads and a clustered pair
+// of stores cycling through a few stack words, the way compiled inner loops
+// with too few registers behave.  The adjacent store pair coalesces in the
+// write buffer even under eager FIFO retirement, making spills the main
+// source of write-buffer hits in the column-major kernels, whose array
+// stores never merge.
+type spill struct {
+	cursor  int
+	words   int
+	cluster int // stores per spill event (cluster-1 of them coalesce)
+}
+
+func (s *spill) emit(e *Emitter) {
+	// Clusters are line-aligned so a whole cluster can coalesce: the
+	// compiler lays spill slots out together in the frame.
+	a := stackBase + mem.Addr(s.cursor)*mem.WordBytes
+	s.cursor = (s.cursor + mem.WordsPerLine) % s.words
+	e.Load(a)
+	for w := 0; w < s.cluster && w < mem.WordsPerLine; w++ {
+		e.Store(a + mem.Addr(w)*mem.WordBytes)
+	}
+}
+
+// ─── cholsky ─────────────────────────────────────────────────────────────
+
+// cholskyParams tunes the Cholesky kernel.  The defaults reproduce the
+// paper's "bad" variant: the array is laid out so the inner loops stride by
+// the leading dimension.
+type cholskyParams struct {
+	n, lda         int
+	rowMajor       bool // true: original (inner loop strides lda); false: transformed
+	execPad        int  // FLOP padding per inner iteration
+	spillEvery     int  // emit one stack spill cluster every k inner iterations
+	spillCluster   int  // stores per spill cluster
+	hotNum, hotDen int  // table loads per inner iteration (rational)
+}
+
+// cholsky performs a right-looking Cholesky factorisation of an n×n
+// matrix.  Inner loops walk the row index i; with the original layout that
+// strides by lda (the wrong order the paper calls out), while the
+// transformed variant walks unit stride.
+func cholsky(p cholskyParams) func(*Emitter) {
+	return func(e *Emitter) {
+		a := matrix{base: matBase, lda: p.lda, rowMajor: p.rowMajor}
+		sp := spill{words: 2 * mem.WordsPerLine, cluster: p.spillCluster}
+		hot := newHotTable(p.hotNum, p.hotDen, 48, 77)
+		count := 0
+		for k := 0; k < p.n; k++ {
+			e.Load(a.at(k, k))
+			e.Exec(4) // sqrt
+			e.Store(a.at(k, k))
+			for i := k + 1; i < p.n; i++ {
+				e.Load(a.at(i, k))
+				e.Exec(2)
+				e.Store(a.at(i, k))
+			}
+			for j := k + 1; j < p.n; j++ {
+				e.Load(a.at(j, k)) // hoisted a(j,k)
+				e.Exec(1)
+				for i := j; i < p.n; i++ {
+					e.Load(a.at(i, k))
+					e.Load(a.at(i, j))
+					hot.emit(e)
+					e.Exec(p.execPad)
+					e.Store(a.at(i, j))
+					count++
+					if count%p.spillEvery == 0 {
+						sp.emit(e)
+					}
+				}
+			}
+		}
+	}
+}
+
+// ─── gmtry ───────────────────────────────────────────────────────────────
+
+// gmtryParams tunes the Gaussian-elimination kernel.
+type gmtryParams struct {
+	n, lda         int
+	rowMajor       bool
+	execPad        int
+	spillEvery     int
+	spillCluster   int
+	hotNum, hotDen int // trig-table loads per inner iteration (rational)
+}
+
+// gmtry performs the Gaussian elimination at the heart of the nasa7 gmtry
+// kernel.  The original orders its loops so the innermost walks the row
+// index down a column (stride lda); the transformed variant (loop
+// interchange) walks along rows at unit stride.
+func gmtry(p gmtryParams) func(*Emitter) {
+	return func(e *Emitter) {
+		a := matrix{base: mat2Base, lda: p.lda, rowMajor: p.rowMajor}
+		sp := spill{words: 2 * mem.WordsPerLine, cluster: p.spillCluster}
+		hot := newHotTable(p.hotNum, p.hotDen, 48, 79)
+		count := 0
+		for k := 0; k < p.n-1; k++ {
+			e.Load(a.at(k, k)) // pivot, hoisted
+			e.Exec(2)
+			for j := k + 1; j < p.n; j++ {
+				e.Load(a.at(k, j)) // hoisted multiplier row element
+				e.Exec(1)
+				for i := k + 1; i < p.n; i++ {
+					e.Load(a.at(i, k))
+					e.Load(a.at(i, j))
+					hot.emit(e)
+					e.Exec(p.execPad)
+					e.Store(a.at(i, j))
+					count++
+					if count%p.spillEvery == 0 {
+						sp.emit(e)
+					}
+				}
+			}
+		}
+	}
+}
+
+// ─── fft ─────────────────────────────────────────────────────────────────
+
+// fftParams tunes the radix-2 FFT kernel.
+type fftParams struct {
+	logN    int
+	execPad int // per-butterfly FLOP padding
+}
+
+// fft performs an iterative radix-2 Cooley-Tukey FFT over complex doubles
+// (16 bytes per element): a scattered bit-reversal permutation followed by
+// logN butterfly passes.  Each pass re-reads lines the previous pass wrote,
+// which is the natural source of this benchmark's load hazards; the
+// half-line complex elements make alternate stores coalesce.
+func fft(p fftParams) func(*Emitter) {
+	n := 1 << uint(p.logN)
+	elem := func(i int) mem.Addr { return mat3Base + mem.Addr(i)*16 }
+	return func(e *Emitter) {
+		// Bit-reversal permutation: scattered swap traffic.
+		for i, j := 0, 0; i < n; i++ {
+			if i < j {
+				e.Load(elem(i))
+				e.Load(elem(j))
+				e.Exec(1)
+				e.Store(elem(i))
+				e.Store(elem(j))
+			}
+			bit := n >> 1
+			for ; j&bit != 0; bit >>= 1 {
+				j &^= bit
+			}
+			j |= bit
+			e.Exec(1)
+		}
+		// Butterfly passes.  Each pass loads the twiddle factor for its
+		// butterfly from the w table: early passes stride the whole table
+		// (missing L1), late passes walk it sequentially (hitting).
+		for length := 2; length <= n; length <<= 1 {
+			half := length / 2
+			stride := n / length
+			for i := 0; i < n; i += length {
+				for j := 0; j < half; j++ {
+					u, v := elem(i+j), elem(i+j+half)
+					e.Load(tableBase + mem.Addr((j*stride)%(n/2))*16)
+					e.Load(u)
+					e.Load(u + 8) // imaginary part, same line
+					e.Load(v)
+					e.Load(v + 8)
+					e.Exec(p.execPad)
+					e.Store(u)
+					e.Store(u + 8)
+					e.Store(v)
+					e.Store(v + 8)
+				}
+			}
+		}
+	}
+}
+
+// ─── tomcatv ─────────────────────────────────────────────────────────────
+
+// tomcatvParams tunes the mesh-generation kernel.
+type tomcatvParams struct {
+	n, lda        int
+	execStencil   int // FLOP padding per stencil point
+	execUpdate    int // FLOP padding per update point
+	scatterPeriod int // stencil points between scattered-store bursts
+	scatterBurst  int // scattered stores per burst (the tridiagonal workspace)
+	seed          uint64
+}
+
+// tomcatv performs the sweeps of the mesh smoother over Fortran
+// column-major arrays.  The residual stencil walks the SECOND subscript
+// innermost — the stride-lda traversal the original program is notorious
+// for and that Lebeck & Wood's transformations fix — so its loads miss
+// heavily and its stores never coalesce.  The correction sweeps then run at
+// unit stride, one array at a time, providing the benchmark's write-buffer
+// hits.  An occasional burst of scattered workspace stores models the
+// tridiagonal-solve temporaries.
+func tomcatv(p tomcatvParams) func(*Emitter) {
+	x := matrix{base: matBase, lda: p.lda}
+	y := matrix{base: mat2Base, lda: p.lda}
+	rx := matrix{base: mat3Base, lda: p.lda}
+	ry := matrix{base: mat4Base, lda: p.lda}
+	work := mem.Addr(0x4800_0000)
+	// The mesh is processed in strips of rows — stencil, then the two
+	// correction sweeps for the same strip — so a truncated run still sees
+	// every phase in its natural proportion.
+	const strip = 16
+	return func(e *Emitter) {
+		r := rng.New(p.seed)
+		count := 0
+		for i0 := 1; i0 < p.n-1; i0 += strip {
+			i1 := i0 + strip
+			if i1 > p.n-1 {
+				i1 = p.n - 1
+			}
+			// Residual stencil, inner loop over the strided subscript.
+			for i := i0; i < i1; i++ {
+				for j := 1; j < p.n-1; j++ {
+					e.Load(x.at(i-1, j))
+					e.Load(x.at(i+1, j))
+					e.Load(x.at(i, j-1))
+					e.Load(x.at(i, j+1))
+					e.Load(y.at(i-1, j))
+					e.Load(y.at(i+1, j))
+					e.Load(y.at(i, j-1))
+					e.Load(y.at(i, j+1))
+					e.Exec(p.execStencil)
+					e.Store(rx.at(i, j))
+					e.Store(ry.at(i, j))
+					count++
+					if p.scatterPeriod > 0 && count%p.scatterPeriod == 0 {
+						for b := 0; b < p.scatterBurst; b++ {
+							e.Store(work + mem.Addr(r.Intn(1<<14))*lineBytes)
+						}
+					}
+				}
+			}
+			// Corrections at unit stride, one coordinate at a time so each
+			// store stream can coalesce.
+			for j := 1; j < p.n-1; j++ {
+				for i := i0; i < i1; i++ {
+					e.Load(rx.at(i, j))
+					e.Load(x.at(i, j))
+					e.Exec(p.execUpdate)
+					e.Store(x.at(i, j))
+				}
+			}
+			for j := 1; j < p.n-1; j++ {
+				for i := i0; i < i1; i++ {
+					e.Load(ry.at(i, j))
+					e.Load(y.at(i, j))
+					e.Exec(p.execUpdate)
+					e.Store(y.at(i, j))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,300 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// The synthetic address space is laid out the way a real program's is:
+// one compact block holding the hot working set, the warm region, the
+// sequential store region, and finally the far region, consecutively.
+// Compactness is what gives Table 7 its cliffs — a program whose total
+// footprint fits an L2 size stops missing there.  A seed-derived jitter
+// shifts the whole block so different benchmarks don't share set mappings.
+const synthBase mem.Addr = 0x1000_0000
+
+// regionOffset derives a line-aligned jitter below 1 MiB from the seed,
+// imitating the arbitrary placement real loaders give a process image.
+func regionOffset(seed uint64) mem.Addr {
+	h := (seed*2654435761 + 0x9E3779B9) * 0x2545F4914F6CDD1D
+	return mem.Addr(h%(1<<20)) &^ (lineBytes - 1)
+}
+
+const lineBytes = mem.LineBytes
+
+// Profile parameterises the synthetic generator.  The knobs map one-to-one
+// onto the program properties the paper identifies as driving write-buffer
+// behaviour.
+type Profile struct {
+	// Seed makes the stream deterministic and distinct per benchmark.
+	Seed uint64
+
+	// PctLoad and PctStore set the dynamic instruction mix (Table 4);
+	// the rest are non-memory instructions.
+	PctLoad, PctStore float64
+
+	// ExecRun, LoadRun and StoreBurst are mean block lengths: references
+	// are emitted in geometrically distributed runs of a single kind,
+	// which is what creates store bursts (buffer-full pressure) and load
+	// clusters (L2 contention).
+	ExecRun, LoadRun, StoreBurst float64
+
+	// LoadHot is the fraction of loads directed at the hot region, which
+	// stays L1-resident; it is the main L1-hit-rate control (Table 5).
+	LoadHot float64
+	// LoadRecent is the fraction of loads that read a recently stored
+	// line — the producer-consumer traffic that causes load hazards.
+	LoadRecent float64
+	// HotLines sizes the hot region (must fit the 256-line L1).
+	HotLines int
+	// WarmLines sizes the warm region; cold loads usually go here.
+	// It misses L1 but fits modest L2s, shaping Table 7's 128 K column.
+	WarmLines int
+	// FarLines sizes the far region; FarFrac of cold loads go there.
+	// Random access over a far region larger than an L2 yields an L2 hit
+	// fraction proportional to the fitting share, shaping the 512 K / 1 M
+	// columns of Table 7.
+	FarLines int
+	// FarFrac is the fraction of cold loads that go far.
+	FarFrac float64
+
+	// StoreSeq is the probability a store continues the sequential write
+	// cursor (coalescing traffic — the WB-hit-rate control); the rest
+	// scatter over the warm region, since real programs mostly update the
+	// data structures they read (keeping the L2 working set shared
+	// between loads and stores, which Table 7 depends on).
+	StoreSeq float64
+	// StoreLines bounds the scattered-store span within the warm region.
+	StoreLines int
+	// SeqRegionLines bounds the sequential store cursor (it wraps).
+	SeqRegionLines int
+}
+
+// Validate checks a profile for the mistakes that would silently
+// mis-calibrate a benchmark: fractions outside [0,1], a hot set that
+// cannot stay L1-resident, empty regions, or an instruction mix that does
+// not leave room for compute.
+func (p Profile) Validate() error {
+	if p.PctLoad < 0 || p.PctStore < 0 || p.PctLoad+p.PctStore >= 100 {
+		return fmt.Errorf("workload: instruction mix %.1f%%+%.1f%% leaves no compute", p.PctLoad, p.PctStore)
+	}
+	if p.ExecRun < 1 || p.LoadRun < 1 || p.StoreBurst < 1 {
+		return fmt.Errorf("workload: block lengths must be >= 1")
+	}
+	for name, f := range map[string]float64{
+		"LoadHot": p.LoadHot, "LoadRecent": p.LoadRecent,
+		"FarFrac": p.FarFrac, "StoreSeq": p.StoreSeq,
+	} {
+		if f < 0 || f > 1 {
+			return fmt.Errorf("workload: %s = %v outside [0,1]", name, f)
+		}
+	}
+	if p.LoadHot+p.LoadRecent > 1 {
+		return fmt.Errorf("workload: LoadHot+LoadRecent = %v exceeds 1", p.LoadHot+p.LoadRecent)
+	}
+	if p.HotLines < 1 || p.HotLines > 256 {
+		return fmt.Errorf("workload: hot set of %d lines cannot stay resident in a 256-line L1", p.HotLines)
+	}
+	if p.WarmLines < 1 || p.FarLines < 1 || p.StoreLines < 1 || p.SeqRegionLines < 1 {
+		return fmt.Errorf("workload: all regions need at least one line")
+	}
+	return nil
+}
+
+// synthStream is the deterministic generator state machine.
+type synthStream struct {
+	p Profile
+	r *rng.RNG
+
+	left uint64 // remaining instructions to emit
+
+	mode    trace.Kind
+	runLeft int
+	qLoad   float64 // block-type probabilities
+	qStore  float64
+
+	hot, warm, far, seq mem.Addr // skewed region bases
+
+	// Initialisation sweep state: real programs write their data before
+	// computing on it, so the stream opens by storing one word per line
+	// of each region (bounded by initBudget so short streams are not all
+	// sweep).  The sweep falls inside the experiment warm-up window and
+	// removes the cold-miss tail that full SPEC executions never see.
+	initPhase  int
+	initIdx    int
+	initBudget uint64
+
+	seqCursor mem.Addr
+	recent    [8]mem.Addr // ring of recently stored line bases
+	recentLen int
+	recentPos int
+}
+
+// newSynth builds a stream of exactly n instructions from the profile.
+func newSynth(p Profile, n uint64) trace.Stream {
+	s := &synthStream{p: p, r: rng.New(p.Seed), left: n}
+	const gap = 4 * lineBytes
+	s.hot = synthBase + regionOffset(p.Seed)
+	s.warm = s.hot + mem.Addr(p.HotLines)*lineBytes + gap
+	s.seq = s.warm + mem.Addr(p.WarmLines)*lineBytes + gap
+	s.far = s.seq + mem.Addr(p.SeqRegionLines)*lineBytes + gap
+	s.seqCursor = s.seq
+	s.initBudget = n / 6
+	// Convert the target instruction mix into block-type probabilities:
+	// a block of kind k has mean length L_k, so picking kinds with
+	// probability proportional to pct_k / L_k yields the target mix.
+	wl := p.PctLoad / p.LoadRun
+	ws := p.PctStore / p.StoreBurst
+	we := (100 - p.PctLoad - p.PctStore) / p.ExecRun
+	total := wl + ws + we
+	s.qLoad = wl / total
+	s.qStore = ws / total
+	return s
+}
+
+// Next implements trace.Stream.
+func (s *synthStream) Next() (trace.Ref, bool) {
+	if s.left == 0 {
+		return trace.Ref{}, false
+	}
+	s.left--
+	if r, ok := s.initNext(); ok {
+		return r, true
+	}
+	if s.runLeft == 0 {
+		s.pickBlock()
+	}
+	s.runLeft--
+	switch s.mode {
+	case trace.Load:
+		return trace.Ref{Kind: trace.Load, Addr: s.loadAddr()}, true
+	case trace.Store:
+		return trace.Ref{Kind: trace.Store, Addr: s.storeAddr()}, true
+	default:
+		return trace.Ref{Kind: trace.Exec}, true
+	}
+}
+
+// initNext emits the next reference of the initialisation sweep, if any:
+// one store per line of the far, sequential, and warm regions (in that
+// order, so the hottest data is installed last and remains resident), then
+// one load per hot line so the hot set starts L1-resident.  The far sweep
+// is skipped outright if the whole sweep would not fit the budget.
+func (s *synthStream) initNext() (trace.Ref, bool) {
+	for {
+		if s.initBudget == 0 {
+			s.initPhase = 4
+		}
+		var base mem.Addr
+		var lines int
+		switch s.initPhase {
+		case 0:
+			total := uint64(s.p.FarLines + s.p.SeqRegionLines + s.p.WarmLines + s.p.HotLines)
+			if total > s.initBudget {
+				s.initPhase = 1
+				continue
+			}
+			base, lines = s.far, s.p.FarLines
+		case 1:
+			base, lines = s.seq, s.p.SeqRegionLines
+		case 2:
+			base, lines = s.warm, s.p.WarmLines
+		case 3:
+			if s.initIdx < s.p.HotLines {
+				addr := s.hot + mem.Addr(s.initIdx)*lineBytes
+				s.initIdx++
+				s.initBudget--
+				return trace.Ref{Kind: trace.Load, Addr: addr}, true
+			}
+			s.initPhase, s.initIdx = 4, 0
+			continue
+		default:
+			return trace.Ref{}, false
+		}
+		if s.initIdx >= lines {
+			s.initPhase++
+			s.initIdx = 0
+			continue
+		}
+		addr := base + mem.Addr(s.initIdx)*lineBytes
+		s.initIdx++
+		s.initBudget--
+		return trace.Ref{Kind: trace.Store, Addr: addr}, true
+	}
+}
+
+func (s *synthStream) pickBlock() {
+	u := s.r.Float64()
+	switch {
+	case u < s.qLoad:
+		s.mode = trace.Load
+		s.runLeft = s.r.Geometric(s.p.LoadRun)
+	case u < s.qLoad+s.qStore:
+		s.mode = trace.Store
+		s.runLeft = s.r.Geometric(s.p.StoreBurst)
+	default:
+		s.mode = trace.Exec
+		s.runLeft = s.r.Geometric(s.p.ExecRun)
+	}
+}
+
+func (s *synthStream) loadAddr() mem.Addr {
+	u := s.r.Float64()
+	word := mem.Addr(s.r.Intn(mem.WordsPerLine)) * mem.WordBytes
+	switch {
+	case u < s.p.LoadRecent && s.recentLen > 0:
+		return s.recent[s.r.Intn(s.recentLen)] + word
+	case u < s.p.LoadRecent+s.p.LoadHot:
+		return s.hot + mem.Addr(s.r.Intn(s.p.HotLines))*lineBytes + word
+	default:
+		if s.r.Bool(s.p.FarFrac) {
+			return s.far + mem.Addr(s.r.Intn(s.p.FarLines))*lineBytes + word
+		}
+		return s.warm + mem.Addr(s.r.Intn(s.p.WarmLines))*lineBytes + word
+	}
+}
+
+func (s *synthStream) storeAddr() mem.Addr {
+	var addr mem.Addr
+	if s.r.Bool(s.p.StoreSeq) {
+		s.seqCursor += mem.WordBytes
+		if s.seqCursor >= s.seq+mem.Addr(s.p.SeqRegionLines)*lineBytes {
+			s.seqCursor = s.seq
+		}
+		addr = s.seqCursor
+	} else {
+		span := s.p.StoreLines
+		if span > s.p.WarmLines {
+			span = s.p.WarmLines
+		}
+		addr = s.warm + mem.Addr(s.r.Intn(span))*lineBytes +
+			mem.Addr(s.r.Intn(mem.WordsPerLine))*mem.WordBytes
+	}
+	s.pushRecent(addr &^ (lineBytes - 1))
+	return addr
+}
+
+func (s *synthStream) pushRecent(line mem.Addr) {
+	s.recent[s.recentPos] = line
+	s.recentPos = (s.recentPos + 1) % len(s.recent)
+	if s.recentLen < len(s.recent) {
+		s.recentLen++
+	}
+}
+
+// registerProfile wires a profile into the benchmark registry; a profile
+// that fails validation is a programming error.
+func registerProfile(name string, group Group, target Target, p Profile) {
+	if err := p.Validate(); err != nil {
+		panic(fmt.Sprintf("workload: profile %q: %v", name, err))
+	}
+	register(Benchmark{
+		Name:   name,
+		Group:  group,
+		Target: target,
+		gen:    func(n uint64) trace.Stream { return newSynth(p, n) },
+	})
+}

@@ -1,0 +1,172 @@
+// Package workload provides the 17 SPEC92-like benchmark reference streams
+// the experiments run on, substituting for the paper's ATOM-instrumented
+// Alpha binaries (which are not reproducible: SPEC92 sources, DEC compilers,
+// and ATOM are all unavailable).
+//
+// Two families of generators are used:
+//
+//   - Profile-driven synthesis (synthetic.go): a deterministic state machine
+//     parameterised per benchmark to match the paper's Table 4 dynamic
+//     instruction mix and Table 5 L1/write-buffer hit rates, with knobs for
+//     the properties the paper identifies as driving each stall category —
+//     store burstiness and scatter (buffer-full), L1 locality
+//     (L2-read-access), and loads of recently stored lines (load-hazard).
+//
+//   - Real computational kernels (kernels.go): Cholesky factorisation
+//     (cholsky), Gaussian elimination (gmtry), a radix-2 FFT (fft), and a
+//     2-D mesh smoother (tomcatv).  These walk real arrays with the real
+//     loop structure, so the Table 6 loop-interchange/transposition
+//     experiment is performed on the genuine article: the "bad" variants
+//     traverse a row-major array down its columns exactly as the Fortran
+//     originals did.
+//
+// Every generator is deterministic: the same benchmark always produces the
+// same reference stream, so different write-buffer configurations are
+// compared on identical workloads — exactly as the paper's trace-driven
+// methodology requires.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Group classifies benchmarks the way the paper's figures do.
+type Group uint8
+
+const (
+	// SPECint92 integer codes.
+	SPECint Group = iota
+	// SPECfp92 floating-point codes.
+	SPECfp
+	// NASA kernels from nasa7.
+	NASA
+)
+
+// String implements fmt.Stringer.
+func (g Group) String() string {
+	switch g {
+	case SPECint:
+		return "SPECint92"
+	case SPECfp:
+		return "SPECfp92"
+	case NASA:
+		return "NASA"
+	default:
+		return fmt.Sprintf("group(%d)", uint8(g))
+	}
+}
+
+// Target records the paper's measured statistics for a benchmark (Tables 4
+// and 5), used for calibration and reported in EXPERIMENTS.md.
+type Target struct {
+	PctLoads  float64 // dynamic loads, % of instructions (Table 4)
+	PctStores float64 // dynamic stores, % of instructions (Table 4)
+	L1HitRate float64 // baseline L1 load hit rate, % (Table 5)
+	WBHitRate float64 // baseline write-buffer store hit rate, % (Table 5)
+}
+
+// Benchmark is one workload: a name, its group, the paper's target
+// statistics, and a deterministic stream factory.
+type Benchmark struct {
+	Name   string
+	Group  Group
+	Target Target
+	gen    func(n uint64) trace.Stream
+}
+
+// Stream returns a fresh deterministic reference stream of exactly n
+// dynamic instructions (fewer only if n exceeds the generator's repetition
+// limit, which none of the registered benchmarks has).
+func (b Benchmark) Stream(n uint64) trace.Stream { return b.gen(n) }
+
+// All lists the benchmarks in the paper's figure order: SPECint92, then
+// SPECfp92, then the NASA kernels, each group ordered by baseline stall
+// behaviour (Figure 3).
+func All() []Benchmark {
+	out := make([]Benchmark, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Names returns the benchmark names in figure order.
+func Names() []string {
+	names := make([]string, len(registry))
+	for i, b := range registry {
+		names[i] = b.Name
+	}
+	return names
+}
+
+// ByName finds a benchmark (including the transformed NASA kernel variants
+// "cholsky-t" and "gmtry-t").
+func ByName(name string) (Benchmark, bool) {
+	for _, b := range registry {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	for _, b := range extras {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}
+
+// Reseeded returns a copy of a profile-driven benchmark whose generator
+// uses a shifted seed, producing a statistically equivalent but distinct
+// reference stream — the repository's stand-in for running a benchmark on
+// a different input, used to put error bars on stall measurements.
+// Kernel benchmarks (whose streams are deterministic loop nests) are
+// returned unchanged, and ok reports whether reseeding had any effect.
+func Reseeded(b Benchmark, delta uint64) (Benchmark, bool) {
+	for _, np := range syntheticProfiles {
+		if np.Name == b.Name {
+			p := np.Profile
+			p.Seed += delta * 1_000_003 // spread shifted seeds far apart
+			out := b
+			out.gen = func(n uint64) trace.Stream { return newSynth(p, n) }
+			return out, true
+		}
+	}
+	return b, false
+}
+
+// Transformed returns the Table 6 variants: the gmtry and cholsky kernels
+// after the loop-interchange/array-transposition transformations of Lebeck
+// and Wood, which turn the column-major inner loops into row-major ones.
+func Transformed() []Benchmark {
+	out := make([]Benchmark, len(extras))
+	copy(out, extras)
+	return out
+}
+
+var (
+	registry []Benchmark
+	extras   []Benchmark
+)
+
+func register(b Benchmark) {
+	registry = append(registry, b)
+}
+
+func registerExtra(b Benchmark) {
+	extras = append(extras, b)
+}
+
+// sortRegistry fixes the registry into the paper's presentation order no
+// matter what order init functions ran in.
+func sortRegistry() {
+	order := map[string]int{
+		"espresso": 0, "compress": 1, "uncompress": 2, "sc": 3, "cc1": 4, "li": 5,
+		"doduc": 6, "hydro2d": 7, "mdljsp2": 8, "tomcatv": 9, "fpppp": 10,
+		"mdljdp2": 11, "wave5": 12, "su2cor": 13,
+		"fft": 14, "cholsky": 15, "gmtry": 16,
+	}
+	sort.SliceStable(registry, func(i, j int) bool {
+		return order[registry[i].Name] < order[registry[j].Name]
+	})
+}
