@@ -35,6 +35,7 @@ func main() {
 		n     = flag.Uint64("n", 1_000_000, "dynamic instructions per benchmark run")
 		plot  = flag.Bool("plot", false, "also render figure experiments as stacked bars")
 		svg   = flag.String("svg", "", "directory to write one SVG figure per configuration column")
+		quiet = flag.Bool("quiet", false, "suppress the live progress line on stderr")
 	)
 	flag.Parse()
 	if *svg != "" {
@@ -50,8 +51,9 @@ func main() {
 			fmt.Printf("%-18s %s\n", e.ID, e.Title)
 		}
 	case *all:
-		for _, e := range experiment.All() {
-			runOne(e, *n, *plot, *svg)
+		all := experiment.All()
+		for i, e := range all {
+			runOne(e, *n, *plot, *svg, progressFor(*quiet, fmt.Sprintf("[%2d/%2d] %-8s", i+1, len(all), e.ID)))
 		}
 	case *expID != "":
 		e, ok := experiment.ByID(*expID)
@@ -59,15 +61,24 @@ func main() {
 			fmt.Fprintf(os.Stderr, "wbexp: unknown experiment %q (try -list)\n", *expID)
 			os.Exit(1)
 		}
-		runOne(e, *n, *plot, *svg)
+		runOne(e, *n, *plot, *svg, progressFor(*quiet, e.ID))
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 }
 
-func runOne(e experiment.Experiment, n uint64, plot bool, svgDir string) {
-	rep := e.Run(experiment.Options{Instructions: n})
+// progressFor builds the per-experiment live progress callback, or nil
+// under -quiet.  The line goes to stderr so report output stays pipeable.
+func progressFor(quiet bool, name string) func(experiment.ProgressEvent) {
+	if quiet {
+		return nil
+	}
+	return experiment.ProgressReporter(os.Stderr, name)
+}
+
+func runOne(e experiment.Experiment, n uint64, plot bool, svgDir string, progress func(experiment.ProgressEvent)) {
+	rep := e.Run(experiment.Options{Instructions: n, Progress: progress})
 	if _, err := rep.WriteTo(os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "wbexp: %v\n", err)
 		os.Exit(1)

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a bounded least-recently-used map from normalized request
+// keys to finished measurements.  A simulation costs tens of milliseconds
+// and its result is immutable for a deterministic workload suite, so the
+// cache turns repeated dashboard queries into O(1) lookups; the bound
+// keeps a long-lived server's memory flat.
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used; values are *lruEntry
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key  string
+	resp *RunResponse
+}
+
+func newLRU(capacity int) *lruCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lruCache{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached response and marks it most recently used.
+func (c *lruCache) get(key string) (*RunResponse, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).resp, true
+}
+
+// put inserts or refreshes a response, evicting the least recently used
+// entry when over capacity.
+func (c *lruCache) put(key string, resp *RunResponse) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).resp = resp
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, resp: resp})
+	if c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// len reports the current entry count.
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

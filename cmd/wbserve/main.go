@@ -1,0 +1,54 @@
+// Command wbserve exposes the simulator as an HTTP service: submit a
+// machine configuration and a benchmark as JSON, get the paper's
+// measurement back as JSON.  It is the serving layer of the observability
+// subsystem — results are cached in a bounded LRU keyed on the full
+// (configuration, benchmark, instruction count) tuple, every request and
+// simulated run feeds the /metrics registry, and the standard pprof
+// endpoints are mounted for live profiling.
+//
+// Usage:
+//
+//	wbserve                          # listen on :8047
+//	wbserve -addr :9000 -cachesize 1024 -maxn 50000000
+//
+// Endpoints:
+//
+//	GET  /experiments   list the paper's experiment ids and titles
+//	POST /run           run one (benchmark, configuration): JSON in, JSON out
+//	GET  /metrics       Prometheus text exposition of the metrics registry
+//	GET  /healthz       liveness probe
+//	GET  /debug/pprof/  net/http/pprof profiles
+//	GET  /debug/vars    expvar JSON (cmdline, memstats)
+//
+// Example:
+//
+//	curl -s localhost:8047/run -d '{"bench":"li","depth":12,"retire_at":8,"hazard":"read-from-WB"}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8047", "listen address")
+		cacheSize = flag.Int("cachesize", 256, "bounded LRU result cache capacity (entries)")
+		maxN      = flag.Uint64("maxn", 20_000_000, "largest per-request instruction count accepted")
+	)
+	flag.Parse()
+
+	s := newServer(*cacheSize, *maxN)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Fprintf(os.Stderr, "wbserve: listening on %s (cache %d entries, maxn %d)\n",
+		*addr, *cacheSize, *maxN)
+	log.Fatal(srv.ListenAndServe())
+}

@@ -1,0 +1,332 @@
+package main
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// RunRequest is the JSON body of POST /run.  Zero-valued fields take the
+// paper's baseline (Tables 1 and 2), mirroring the wbsim flag defaults, so
+// {"bench":"li"} is a complete request.
+type RunRequest struct {
+	// Bench names a benchmark from the suite (wbsim -list); required.
+	Bench string `json:"bench"`
+	// N is the dynamic instruction count (default one million).  The
+	// first quarter is warm-up and excluded from the measurement.
+	N uint64 `json:"n,omitempty"`
+	// Depth and Width shape the write buffer (entries × words per entry).
+	Depth int `json:"depth,omitempty"`
+	Width int `json:"width,omitempty"`
+	// RetireAt is the retire-at high-water mark; AgingTimeout adds the
+	// aging clause (cycles, 0 = off).
+	RetireAt     int    `json:"retire_at,omitempty"`
+	AgingTimeout uint64 `json:"aging_timeout,omitempty"`
+	// Hazard is the load-hazard policy: flush-full, flush-partial,
+	// flush-item-only, or read-from-WB.
+	Hazard string `json:"hazard,omitempty"`
+	// L1Size, L2Lat, L2Size, MemLat configure the hierarchy; L2Size 0 is
+	// the paper's perfect L2.
+	L1Size int    `json:"l1_size,omitempty"`
+	L2Lat  uint64 `json:"l2_lat,omitempty"`
+	L2Size int    `json:"l2_size,omitempty"`
+	MemLat uint64 `json:"mem_lat,omitempty"`
+	// WriteCache, when > 0, swaps the write buffer for a write cache of
+	// that depth; IssueWidth > 1 enables the superscalar extension.
+	WriteCache int `json:"write_cache,omitempty"`
+	IssueWidth int `json:"issue_width,omitempty"`
+}
+
+// normalize fills baseline defaults so equivalent requests share one cache
+// key, and validates ranges the simulator cannot (the instruction cap).
+func (r RunRequest) normalize(maxN uint64) (RunRequest, error) {
+	if r.Bench == "" {
+		return r, fmt.Errorf("missing required field %q", "bench")
+	}
+	if r.N == 0 {
+		r.N = 1_000_000
+	}
+	if r.N > maxN {
+		return r, fmt.Errorf("n %d exceeds the server cap of %d", r.N, maxN)
+	}
+	if r.Depth == 0 {
+		r.Depth = 4
+	}
+	if r.Width == 0 {
+		r.Width = 4
+	}
+	if r.RetireAt == 0 {
+		r.RetireAt = 2
+	}
+	if r.Hazard == "" {
+		r.Hazard = core.FlushFull.String()
+	}
+	if r.L1Size == 0 {
+		r.L1Size = 8 << 10
+	}
+	if r.L2Lat == 0 {
+		r.L2Lat = 6
+	}
+	if r.MemLat == 0 {
+		r.MemLat = 25
+	}
+	return r, nil
+}
+
+// config builds the simulator configuration, relying on sim.Config.Validate
+// for the microarchitectural invariants.
+func (r RunRequest) config() (sim.Config, error) {
+	var hazard core.HazardPolicy
+	found := false
+	for _, h := range core.HazardPolicies {
+		if h.String() == r.Hazard {
+			hazard, found = h, true
+			break
+		}
+	}
+	if !found {
+		return sim.Config{}, fmt.Errorf("unknown hazard policy %q", r.Hazard)
+	}
+	cfg := sim.Baseline().
+		WithDepth(r.Depth).
+		WithRetire(core.RetireAt{N: r.RetireAt, Timeout: r.AgingTimeout}).
+		WithHazard(hazard).
+		WithL1Size(r.L1Size).
+		WithL2Latency(r.L2Lat).
+		WithMemLat(r.MemLat).
+		WithIssueWidth(r.IssueWidth)
+	cfg.WB.WordsPerEntry = r.Width
+	if r.L2Size > 0 {
+		cfg = cfg.WithL2(r.L2Size)
+	}
+	if r.WriteCache > 0 {
+		cfg = cfg.WithWriteCache(r.WriteCache)
+	}
+	if err := cfg.Validate(); err != nil {
+		return sim.Config{}, err
+	}
+	return cfg, nil
+}
+
+// label renders the non-baseline request fields as a compact descriptor.
+func (r RunRequest) label() string {
+	return fmt.Sprintf("depth=%d,width=%d,retire=%d,hazard=%s", r.Depth, r.Width, r.RetireAt, r.Hazard)
+}
+
+// key is the LRU cache key: the normalized request is canonical, so its
+// JSON encoding (fixed field order) identifies config+benchmark+n exactly.
+func (r RunRequest) key() string {
+	b, err := json.Marshal(r)
+	if err != nil { // a struct of scalars cannot fail to marshal
+		panic(err)
+	}
+	return string(b)
+}
+
+// RunResponse is the JSON reply of POST /run: the paper's measurement for
+// one (benchmark, configuration) pair.
+type RunResponse struct {
+	Bench  string `json:"bench"`
+	Config string `json:"config"`
+	// Instructions and Cycles cover the measured (post-warm-up) window.
+	Instructions uint64  `json:"instructions"`
+	Cycles       uint64  `json:"cycles"`
+	CPI          float64 `json:"cpi"`
+	// StallPct carries the paper's headline metric per category plus the
+	// total, as a percentage of execution time.
+	StallPct  map[string]float64 `json:"stall_pct"`
+	L1HitRate float64            `json:"l1_hit_rate"`
+	WBHitRate float64            `json:"wb_hit_rate"`
+	L2HitRate float64            `json:"l2_hit_rate"`
+	Loads     uint64             `json:"loads"`
+	Stores    uint64             `json:"stores"`
+	// Retirements vs FlushedEntries splits L2 write traffic into
+	// autonomous drains and hazard-forced flushes.
+	Retirements    uint64 `json:"retirements"`
+	FlushedEntries uint64 `json:"flushed_entries"`
+	WBReadHits     uint64 `json:"wb_read_hits"`
+	HazardEvents   uint64 `json:"hazard_events"`
+	// Cached reports whether the measurement came from the LRU cache.
+	Cached bool `json:"cached"`
+}
+
+func responseFrom(m experiment.Measurement) *RunResponse {
+	c := m.C
+	stall := map[string]float64{"total": c.TotalStallPct()}
+	for k := range c.Stalls {
+		kind := stats.StallKind(k)
+		if c.Stalls[k] > 0 || kind <= stats.LoadHazard {
+			stall[kind.String()] = c.StallPct(kind)
+		}
+	}
+	return &RunResponse{
+		Bench:          m.Bench,
+		Config:         m.Label,
+		Instructions:   c.Instructions,
+		Cycles:         c.Cycles,
+		CPI:            c.CPI(),
+		StallPct:       stall,
+		L1HitRate:      m.L1Hit,
+		WBHitRate:      m.WBHit,
+		L2HitRate:      m.L2Hit,
+		Loads:          c.Loads,
+		Stores:         c.Stores,
+		Retirements:    c.Retirements,
+		FlushedEntries: c.FlushedEntries,
+		WBReadHits:     c.WBReadHits,
+		HazardEvents:   c.HazardEvents,
+	}
+}
+
+// server ties the HTTP surface to the experiment harness: a bounded LRU
+// over measurements and a shared metrics registry.
+type server struct {
+	cache    *lruCache
+	reg      *metrics.Registry
+	maxN     uint64
+	inflight atomic.Int64
+}
+
+func newServer(cacheSize int, maxN uint64) *server {
+	return &server{
+		cache: newLRU(cacheSize),
+		reg:   metrics.NewRegistry(),
+		maxN:  maxN,
+	}
+}
+
+// handler builds the route table.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /experiments", s.instrument("/experiments", s.handleExperiments))
+	mux.HandleFunc("POST /run", s.instrument("/run", s.handleRun))
+	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+// instrument wraps a handler with request counting, latency tracking, and
+// the shared in-flight gauge.
+func (s *server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
+	requests := s.reg.Counter(metrics.Label("wbserve_requests_total", "path", path))
+	latency := s.reg.Histogram(metrics.Label("wbserve_request_microseconds", "path", path))
+	inflight := s.reg.Gauge("wbserve_inflight_requests")
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		requests.Inc()
+		inflight.Set(float64(s.inflight.Add(1)))
+		defer func() {
+			inflight.Set(float64(s.inflight.Add(-1)))
+			latency.Observe(uint64(time.Since(start).Microseconds()))
+		}()
+		h(w, r)
+	}
+}
+
+func (s *server) handleExperiments(w http.ResponseWriter, _ *http.Request) {
+	type item struct {
+		ID    string `json:"id"`
+		Title string `json:"title"`
+	}
+	var out []item
+	for _, e := range experiment.All() {
+		out = append(out, item{ID: e.ID, Title: e.Title})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	req, err := req.normalize(s.maxN)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	b, ok := workload.ByName(req.Bench)
+	if !ok {
+		for _, t := range workload.Transformed() {
+			if t.Name == req.Bench {
+				b, ok = t, true
+				break
+			}
+		}
+	}
+	if !ok {
+		httpError(w, http.StatusBadRequest, "unknown benchmark %q", req.Bench)
+		return
+	}
+	cfg, err := req.config()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	key := req.key()
+	if cached, ok := s.cache.get(key); ok {
+		s.reg.Counter("wbserve_cache_hits_total").Inc()
+		resp := *cached
+		resp.Cached = true
+		writeJSON(w, http.StatusOK, &resp)
+		return
+	}
+	s.reg.Counter("wbserve_cache_misses_total").Inc()
+	matrix := experiment.RunMatrixOpts(
+		[]workload.Benchmark{b},
+		[]experiment.ConfigSpec{{Label: req.label(), Cfg: cfg}},
+		experiment.Options{Instructions: req.N, Metrics: s.reg},
+	)
+	resp := responseFrom(matrix[0][0])
+	s.cache.put(key, resp)
+	s.reg.Gauge("wbserve_cache_entries").Set(float64(s.cache.len()))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	// Refresh process-level gauges at scrape time.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.reg.Gauge("wbserve_goroutines").Set(float64(runtime.NumGoroutine()))
+	s.reg.Gauge("wbserve_heap_alloc_bytes").Set(float64(ms.HeapAlloc))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

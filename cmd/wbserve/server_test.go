@@ -1,0 +1,219 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func testServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	s := newServer(4, 5_000_000)
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postRun(t *testing.T, ts *httptest.Server, body string) (*http.Response, RunResponse) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	var out RunResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("decoding response: %v", err)
+		}
+	}
+	return resp, out
+}
+
+func TestExperimentsEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var items []struct{ ID, Title string }
+	if err := json.NewDecoder(resp.Body).Decode(&items); err != nil {
+		t.Fatal(err)
+	}
+	ids := map[string]bool{}
+	for _, it := range items {
+		ids[it.ID] = true
+	}
+	for _, want := range []string{"fig3", "fig13", "table7", "summary"} {
+		if !ids[want] {
+			t.Errorf("experiment list missing %q (%d listed)", want, len(items))
+		}
+	}
+}
+
+func TestRunEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	resp, out := postRun(t, ts, `{"bench":"li","n":100000,"depth":12,"retire_at":8,"hazard":"read-from-WB"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if out.Bench != "li" || out.Cached {
+		t.Errorf("unexpected identity: %+v", out)
+	}
+	if out.Instructions == 0 || out.Cycles < out.Instructions {
+		t.Errorf("implausible measurement: instr %d cycles %d", out.Instructions, out.Cycles)
+	}
+	if out.CPI < 1 {
+		t.Errorf("CPI %v < 1", out.CPI)
+	}
+	if _, ok := out.StallPct["total"]; !ok {
+		t.Errorf("stall_pct missing total: %v", out.StallPct)
+	}
+	// read-from-WB eliminates load-hazard stalls (the paper's Figure 7).
+	if out.StallPct["load-hazard"] != 0 {
+		t.Errorf("read-from-WB produced load-hazard stalls: %v", out.StallPct)
+	}
+	if out.Config != "depth=12,width=4,retire=8,hazard=read-from-WB" {
+		t.Errorf("config label = %q", out.Config)
+	}
+}
+
+func TestRunCaching(t *testing.T) {
+	s, ts := testServer(t)
+	body := `{"bench":"compress","n":100000}`
+	if _, out := postRun(t, ts, body); out.Cached {
+		t.Fatal("first request reported cached")
+	}
+	_, out := postRun(t, ts, body)
+	if !out.Cached {
+		t.Fatal("identical second request missed the cache")
+	}
+	// Default-filling must canonicalise: an explicit baseline field still hits.
+	if _, out := postRun(t, ts, `{"bench":"compress","n":100000,"depth":4}`); !out.Cached {
+		t.Error("normalized-equal request missed the cache")
+	}
+	if s.reg.Counter("wbserve_cache_hits_total").Value() != 2 {
+		t.Errorf("cache hits = %d, want 2", s.reg.Counter("wbserve_cache_hits_total").Value())
+	}
+	if s.reg.Counter("wbserve_cache_misses_total").Value() != 1 {
+		t.Errorf("cache misses = %d, want 1", s.reg.Counter("wbserve_cache_misses_total").Value())
+	}
+}
+
+func TestRunRejections(t *testing.T) {
+	_, ts := testServer(t)
+	for name, body := range map[string]string{
+		"unknown bench":  `{"bench":"nosuch"}`,
+		"missing bench":  `{}`,
+		"over cap":       `{"bench":"li","n":999999999}`,
+		"bad hazard":     `{"bench":"li","hazard":"explode"}`,
+		"bad config":     `{"bench":"li","depth":-1}`,
+		"unknown field":  `{"bench":"li","bogus":1}`,
+		"malformed json": `{`,
+	} {
+		resp, _ := postRun(t, ts, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+func TestLRUBound(t *testing.T) {
+	c := newLRU(2)
+	c.put("a", &RunResponse{Bench: "a"})
+	c.put("b", &RunResponse{Bench: "b"})
+	if _, ok := c.get("a"); !ok { // refresh a; b becomes LRU
+		t.Fatal("a evicted too early")
+	}
+	c.put("c", &RunResponse{Bench: "c"})
+	if _, ok := c.get("b"); ok {
+		t.Error("LRU entry b survived over-capacity insert")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("recently used entry a was evicted")
+	}
+	if c.len() != 2 {
+		t.Errorf("cache len %d, want 2", c.len())
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	postRun(t, ts, `{"bench":"li","n":100000}`)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	if _, err := io.Copy(&sb, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`wbserve_requests_total{path="/run"} 1`,
+		"wbserve_cache_misses_total 1",
+		"sim_instructions_total",
+		"sim_retirement_latency_cycles_count",
+		`sim_stall_cycles_total{kind="L2-read-access"}`,
+		"experiment_jobs_total 1",
+		"wbserve_goroutines",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestPprofAndHealth(t *testing.T) {
+	_, ts := testServer(t)
+	for _, path := range []string{"/debug/pprof/", "/debug/vars", "/healthz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestConcurrentRuns exercises the serving path under the race detector:
+// identical and distinct configurations racing through cache and registry.
+func TestConcurrentRuns(t *testing.T) {
+	_, ts := testServer(t)
+	bodies := []string{
+		`{"bench":"li","n":50000}`,
+		`{"bench":"li","n":50000}`,
+		`{"bench":"compress","n":50000}`,
+		`{"bench":"espresso","n":50000,"depth":8}`,
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		for _, body := range bodies {
+			wg.Add(1)
+			go func(body string) {
+				defer wg.Done()
+				resp, err := http.Post(ts.URL+"/run", "application/json", strings.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				defer resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("status %d", resp.StatusCode)
+				}
+			}(body)
+		}
+	}
+	wg.Wait()
+}

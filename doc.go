@@ -8,16 +8,29 @@
 // (internal/workload), and an experiment harness that regenerates every
 // table and figure of the paper's evaluation (internal/experiment).
 //
+// An observability layer spans those packages: internal/metrics is a
+// lightweight registry of atomic counters, gauges, and log2-bucketed
+// histograms with snapshot-and-diff semantics and Prometheus text export;
+// sim.Machine.PublishMetrics folds a finished run's stall, occupancy, and
+// retirement-latency statistics into such a registry; and
+// experiment.Options carries the Progress callback (live sweep reporting
+// via experiment.ProgressReporter) and the Metrics registry that
+// RunMatrixOpts feeds per-job throughput into.
+//
 // Entry points:
 //
-//	cmd/wbexp    — regenerate any table or figure (wbexp -exp fig5)
-//	cmd/wbsim    — run one benchmark on one configuration
-//	cmd/wbtrace  — inspect benchmark reference streams
-//	examples/    — runnable demos of the library API
+//	cmd/wbexp     — regenerate any table or figure, with live progress (wbexp -exp fig5)
+//	cmd/wbsim     — run one benchmark on one configuration
+//	cmd/wbtrace   — inspect or record benchmark reference streams
+//	cmd/wbcompare — A/B two configurations across the suite
+//	cmd/wbmodel   — query the analytic buffer model
+//	cmd/wbserve   — serve simulations over HTTP (JSON API, /metrics, pprof)
+//	examples/     — runnable demos of the library API
 //
 // bench_test.go in this directory holds one testing.B benchmark per paper
 // item, so `go test -bench=.` sweeps the whole evaluation.
 //
-// See DESIGN.md for the system inventory and the per-experiment index, and
+// See docs/ARCHITECTURE.md for the package map and data flow, DESIGN.md
+// for the system inventory and the per-experiment index, and
 // EXPERIMENTS.md for measured-vs-paper results.
 package repro

@@ -5,6 +5,15 @@
 // the paper reports them — stall cycles as a percentage of execution time,
 // split into the three write-buffer-induced categories.
 //
+// The harness is observable while it runs.  Options.Progress registers a
+// callback fired after every completed (benchmark, configuration) job —
+// ProgressReporter turns it into a live terminal line with ETA and
+// aggregate MIPS — and Options.Metrics names a metrics.Registry that
+// accumulates per-job wall time, simulated instructions and cycles, and
+// every simulator counter (stall categories, occupancy, retirement
+// latency) across the run; cmd/wbserve serves the same registry over
+// HTTP.
+//
 // The per-experiment index in DESIGN.md maps every experiment ID here to
 // the paper item it reproduces; EXPERIMENTS.md records measured-vs-paper
 // outcomes.
@@ -15,7 +24,9 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -28,6 +39,18 @@ type Options struct {
 	Instructions uint64
 	// Benchmarks overrides the benchmark list (default: the full suite).
 	Benchmarks []workload.Benchmark
+	// Progress, when non-nil, is called after each completed (benchmark,
+	// configuration) job of a matrix run.  Calls are serialised and Done
+	// increases by exactly one per call, so a matrix of B benchmarks and
+	// C configurations produces exactly B×C calls with Done running from
+	// 1 to B×C.  The callback runs on worker goroutines while the matrix
+	// is executing; keep it fast.
+	Progress func(ProgressEvent)
+	// Metrics, when non-nil, accumulates observability counters for the
+	// run: experiment_* throughput series (jobs, wall time, instructions,
+	// simulated cycles) and the sim_* counters published by every
+	// finished machine.
+	Metrics *metrics.Registry
 }
 
 func (o Options) instructions() uint64 {
@@ -59,12 +82,21 @@ type Measurement struct {
 // statistics, so cold-start misses do not distort hit rates the way they
 // would not in the paper's full-execution runs.
 func Run(b workload.Benchmark, label string, cfg sim.Config, n uint64) Measurement {
+	return runJob(b, label, cfg, n, nil)
+}
+
+// runJob is Run with optional metrics publication: when reg is non-nil the
+// finished machine's counters are folded into it.
+func runJob(b workload.Benchmark, label string, cfg sim.Config, n uint64, reg *metrics.Registry) Measurement {
 	m := sim.MustNew(cfg)
 	warmRun(m, b.Stream(n), n)
 	c := m.Counters()
 	l2 := 1.0
 	if cfg.L2 != nil {
 		l2 = m.L2Stats().ReadHitRate()
+	}
+	if reg != nil {
+		m.PublishMetrics(reg)
 	}
 	return Measurement{
 		Bench: b.Name,
@@ -86,9 +118,48 @@ type ConfigSpec struct {
 // across the machine's cores, and returns measurements indexed as
 // [benchmark][config] following the input orders.
 func RunMatrix(benches []workload.Benchmark, specs []ConfigSpec, n uint64) [][]Measurement {
+	return RunMatrixOpts(benches, specs, Options{Instructions: n})
+}
+
+// RunMatrixOpts is RunMatrix with observability: o.Progress is invoked
+// once per completed job (serialised, Done monotone from 1 to
+// len(benches)×len(specs)) and o.Metrics accumulates throughput and
+// simulator counters.  o.Instructions selects the per-run instruction
+// count; o.Benchmarks is ignored — the benchmark list is the explicit
+// argument.
+func RunMatrixOpts(benches []workload.Benchmark, specs []ConfigSpec, o Options) [][]Measurement {
+	n := o.instructions()
 	out := make([][]Measurement, len(benches))
 	for i := range out {
 		out[i] = make([]Measurement, len(specs))
+	}
+	total := len(benches) * len(specs)
+	var (
+		progressMu sync.Mutex
+		done       int
+	)
+	report := func(mnt Measurement, jobTime time.Duration) {
+		if o.Metrics != nil {
+			o.Metrics.Counter("experiment_jobs_total").Inc()
+			o.Metrics.Counter("experiment_instructions_total").Add(mnt.C.Instructions)
+			o.Metrics.Counter("experiment_sim_cycles_total").Add(mnt.C.Cycles)
+			o.Metrics.Histogram("experiment_job_microseconds").Observe(uint64(jobTime.Microseconds()))
+		}
+		if o.Progress == nil {
+			return
+		}
+		progressMu.Lock()
+		defer progressMu.Unlock()
+		done++
+		o.Progress(ProgressEvent{
+			Done:         done,
+			Total:        total,
+			Bench:        mnt.Bench,
+			Label:        mnt.Label,
+			Instructions: mnt.C.Instructions,
+			Cycles:       mnt.C.Cycles,
+			JobTime:      jobTime,
+		})
 	}
 	type job struct{ bi, ci int }
 	jobs := make(chan job)
@@ -99,7 +170,10 @@ func RunMatrix(benches []workload.Benchmark, specs []ConfigSpec, n uint64) [][]M
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				out[j.bi][j.ci] = Run(benches[j.bi], specs[j.ci].Label, specs[j.ci].Cfg, n)
+				start := time.Now()
+				mnt := runJob(benches[j.bi], specs[j.ci].Label, specs[j.ci].Cfg, n, o.Metrics)
+				out[j.bi][j.ci] = mnt
+				report(mnt, time.Since(start))
 			}
 		}()
 	}

@@ -1,0 +1,88 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// ProgressEvent describes one completed (benchmark, configuration) job of
+// a matrix run.
+type ProgressEvent struct {
+	// Done is the number of jobs finished so far, Total the matrix size.
+	// Done increases by exactly one per event, reaching Total on the last.
+	Done, Total int
+	// Bench and Label identify the finished job.
+	Bench, Label string
+	// Instructions and Cycles are the job's measured (post-warm-up)
+	// dynamic instruction and cycle counts.
+	Instructions, Cycles uint64
+	// JobTime is the job's wall-clock duration, warm-up included.
+	JobTime time.Duration
+}
+
+// ProgressReporter returns a Progress callback that renders a live,
+// single-line status to w — typically a terminal's stderr:
+//
+//	fig5  [ 37/102]  36%  elapsed 4.1s  eta 7.2s  41.3 MIPS  (swm256/ret-8)
+//
+// The line is redrawn in place with a carriage return and finished with a
+// newline after the last job.  The aggregate MIPS figure is measured
+// simulated instructions per wall-clock second across all workers.  The
+// reporter is safe for use as Options.Progress (events already arrive
+// serialised) and may be shared across consecutive matrices: wall time and
+// instruction totals keep accumulating, while Done/Total restart with each
+// matrix.
+func ProgressReporter(w io.Writer, name string) func(ProgressEvent) {
+	var (
+		mu     sync.Mutex
+		start  time.Time
+		instr  uint64
+		maxLen int
+	)
+	return func(ev ProgressEvent) {
+		mu.Lock()
+		defer mu.Unlock()
+		if start.IsZero() {
+			// The first event arrives one job-time after the matrix began;
+			// backdating keeps the MIPS figure honest for short sweeps.
+			start = time.Now().Add(-ev.JobTime)
+		}
+		instr += ev.Instructions
+		elapsed := time.Since(start)
+		line := fmt.Sprintf("%s  [%3d/%-3d] %3d%%  elapsed %s  eta %s  %.1f MIPS  (%s/%s)",
+			name, ev.Done, ev.Total, 100*ev.Done/ev.Total,
+			fmtDur(elapsed), fmtDur(eta(elapsed, ev.Done, ev.Total)),
+			float64(instr)/elapsed.Seconds()/1e6,
+			ev.Bench, ev.Label)
+		// Pad with spaces so a shorter redraw fully covers its predecessor.
+		if len(line) > maxLen {
+			maxLen = len(line)
+		}
+		fmt.Fprintf(w, "\r%-*s", maxLen, line)
+		if ev.Done == ev.Total {
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// eta extrapolates the remaining wall time from the mean job rate so far.
+func eta(elapsed time.Duration, done, total int) time.Duration {
+	if done == 0 {
+		return 0
+	}
+	return time.Duration(float64(elapsed) / float64(done) * float64(total-done))
+}
+
+// fmtDur renders a duration compactly: 4.1s, 2m08s, 1h03m.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d < time.Minute:
+		return fmt.Sprintf("%.1fs", d.Seconds())
+	case d < time.Hour:
+		return fmt.Sprintf("%dm%02ds", int(d.Minutes()), int(d.Seconds())%60)
+	default:
+		return fmt.Sprintf("%dh%02dm", int(d.Hours()), int(d.Minutes())%60)
+	}
+}

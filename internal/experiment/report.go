@@ -89,7 +89,7 @@ func stallFigure(id, title string, specs func() []ConfigSpec, notes ...string) E
 		Run: func(o Options) *Report {
 			ss := specs()
 			benches := o.benchmarks()
-			matrix := RunMatrix(benches, ss, o.instructions())
+			matrix := RunMatrixOpts(benches, ss, o)
 			rep := &Report{ID: id, Title: title, Notes: notes}
 			rep.Columns = append(rep.Columns, "benchmark")
 			for _, s := range ss {

@@ -32,7 +32,7 @@ func init() {
 
 func runTable4(o Options) *Report {
 	benches := o.benchmarks()
-	matrix := RunMatrix(benches, []ConfigSpec{{Label: "base", Cfg: sim.Baseline()}}, o.instructions())
+	matrix := RunMatrixOpts(benches, []ConfigSpec{{Label: "base", Cfg: sim.Baseline()}}, o)
 	rep := &Report{
 		ID: "table4", Title: "Dynamic instruction mix (percent of instructions)",
 		Columns: []string{"benchmark", "loads", "paper", "stores", "paper"},
@@ -52,7 +52,7 @@ func runTable4(o Options) *Report {
 
 func runTable5(o Options) *Report {
 	benches := o.benchmarks()
-	matrix := RunMatrix(benches, []ConfigSpec{{Label: "base", Cfg: sim.Baseline()}}, o.instructions())
+	matrix := RunMatrixOpts(benches, []ConfigSpec{{Label: "base", Cfg: sim.Baseline()}}, o)
 	rep := &Report{
 		ID: "table5", Title: "Baseline hit rates (percent)",
 		Columns: []string{"benchmark", "L1 hit", "paper", "WB hit", "paper"},
@@ -85,7 +85,7 @@ func runTable6(o Options) *Report {
 		}
 		pairs = append(pairs, b)
 	}
-	matrix := RunMatrix(pairs, []ConfigSpec{{Label: "base", Cfg: sim.Baseline()}}, o.instructions())
+	matrix := RunMatrixOpts(pairs, []ConfigSpec{{Label: "base", Cfg: sim.Baseline()}}, o)
 	for bi, b := range pairs {
 		m := matrix[bi][0]
 		rep.Rows = append(rep.Rows, []string{
@@ -105,7 +105,7 @@ func runTable7(o Options) *Report {
 		{Label: "512K", Cfg: sim.Baseline().WithL2(512 << 10)},
 		{Label: "1M", Cfg: sim.Baseline().WithL2(1 << 20)},
 	}
-	matrix := RunMatrix(benches, specs, o.instructions())
+	matrix := RunMatrixOpts(benches, specs, o)
 	rep := &Report{
 		ID: "table7", Title: "Hit rates with finite L2 caches (percent)",
 		Columns: []string{"benchmark", "L1 hit", "L2@128K", "L2@512K", "L2@1M"},

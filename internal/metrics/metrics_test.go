@@ -1,0 +1,191 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("jobs_total"); again != c {
+		t.Fatalf("Counter did not return the registered instrument")
+	}
+	g := r.Gauge("occupancy")
+	g.Set(2.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", got)
+	}
+	g.Set(-1)
+	if got := g.Value(); got != -1 {
+		t.Fatalf("gauge = %v, want -1 after Set", got)
+	}
+}
+
+func TestKindCollisionPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("registering %q as a gauge after a counter did not panic", "x")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_cycles")
+	// 0 → bucket bound 1; 1 → 2; 2,3 → 4; 4..7 → 8.
+	for _, v := range []uint64{0, 1, 2, 3, 4, 7} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if h.Sum() != 17 {
+		t.Fatalf("sum = %d, want 17", h.Sum())
+	}
+	want := map[uint64]uint64{1: 1, 2: 1, 4: 2, 8: 2}
+	got := h.Buckets()
+	if len(got) != len(want) {
+		t.Fatalf("buckets = %v, want %v", got, want)
+	}
+	for bound, n := range want {
+		if got[bound] != n {
+			t.Fatalf("bucket le=%d has %d, want %d (all: %v)", bound, got[bound], n, got)
+		}
+	}
+	if m := h.Mean(); math.Abs(m-17.0/6) > 1e-12 {
+		t.Fatalf("mean = %v, want %v", m, 17.0/6)
+	}
+	// The top bucket is a catch-all: huge observations are not dropped.
+	h.Observe(math.MaxUint64)
+	if h.Count() != 7 {
+		t.Fatalf("count after max observation = %d, want 7", h.Count())
+	}
+}
+
+func TestHistogramMergeAndReset(t *testing.T) {
+	r := NewRegistry()
+	shared := r.Histogram("shared")
+	var private Histogram
+	private.Observe(3)
+	private.Observe(100)
+	shared.Observe(1)
+	shared.Merge(&private)
+	if shared.Count() != 3 || shared.Sum() != 104 {
+		t.Fatalf("after merge: count %d sum %d, want 3 and 104", shared.Count(), shared.Sum())
+	}
+	if shared.Buckets()[4] != 1 || shared.Buckets()[128] != 1 {
+		t.Fatalf("merged buckets wrong: %v", shared.Buckets())
+	}
+	private.Reset()
+	if private.Count() != 0 || private.Sum() != 0 || len(private.Buckets()) != 0 {
+		t.Fatalf("reset left state: count %d sum %d buckets %v",
+			private.Count(), private.Sum(), private.Buckets())
+	}
+}
+
+func TestLabel(t *testing.T) {
+	if got := Label("requests_total", "path", "/run"); got != `requests_total{path="/run"}` {
+		t.Fatalf("Label = %q", got)
+	}
+	nested := Label(Label("x", "a", "1"), "b", "2")
+	if nested != `x{a="1",b="2"}` {
+		t.Fatalf("nested Label = %q", nested)
+	}
+	if got := Label("x", "q", `a"b\c`); got != `x{q="a\"b\\c"}` {
+		t.Fatalf("escaped Label = %q", got)
+	}
+}
+
+func TestSnapshotAndDiff(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("instructions_total")
+	h := r.Histogram("job_cycles")
+	c.Add(100)
+	h.Observe(3)
+	before := r.Snapshot()
+	c.Add(50)
+	h.Observe(3)
+	h.Observe(5)
+	delta := r.Snapshot().Diff(before)
+	if delta["instructions_total"] != 50 {
+		t.Fatalf("counter delta = %v, want 50", delta["instructions_total"])
+	}
+	if delta["job_cycles_count"] != 2 {
+		t.Fatalf("histogram count delta = %v, want 2", delta["job_cycles_count"])
+	}
+	if delta["job_cycles_sum"] != 8 {
+		t.Fatalf("histogram sum delta = %v, want 8", delta["job_cycles_sum"])
+	}
+	if delta[Label("job_cycles_bucket", "le", "4")] != 1 {
+		t.Fatalf("le=4 bucket delta = %v, want 1", delta[Label("job_cycles_bucket", "le", "4")])
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Label("requests_total", "path", "/run")).Add(3)
+	r.Gauge("mips").Set(12.5)
+	r.Histogram("lat").Observe(2)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`requests_total{path="/run"} 3`,
+		"mips 12.5",
+		`lat_bucket{le="4"} 1`,
+		"lat_count 1",
+		"lat_sum 2",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("exposition output missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic: two renders are identical.
+	var sb2 strings.Builder
+	if err := r.WritePrometheus(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != out {
+		t.Fatalf("WritePrometheus is not deterministic")
+	}
+}
+
+// TestConcurrentUse exercises the registry under the race detector: many
+// goroutines creating and updating overlapping instruments.
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared_total")
+			h := r.Histogram("shared_hist")
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(uint64(j))
+				r.Gauge("shared_gauge").Set(float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total").Value(); got != 8000 {
+		t.Fatalf("shared counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("shared_hist").Count(); got != 8000 {
+		t.Fatalf("shared histogram count = %d, want 8000", got)
+	}
+}

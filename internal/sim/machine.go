@@ -4,6 +4,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/rng"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -49,6 +50,13 @@ type Machine struct {
 	// store itself took effect) — the distribution behind the paper's
 	// headroom argument.  Index len-1 means "buffer full".
 	occHist []uint64
+
+	// retLat buckets the allocation→writeback latency of every autonomous
+	// retirement (log2 cycles): how long stores sit in the buffer before
+	// reaching L2, the lifetime behind the paper's aging/drain discussion.
+	// Updated once per retirement, never per instruction, so the issue hot
+	// path is untouched; exported through PublishMetrics.
+	retLat metrics.Histogram
 }
 
 // New builds a machine, validating the configuration.
@@ -162,6 +170,7 @@ func (m *Machine) ResetStats() {
 	for i := range m.occHist {
 		m.occHist[i] = 0
 	}
+	m.retLat.Reset()
 }
 
 // WBStats exposes the write stage's event counters (allocations, merges,
@@ -287,6 +296,9 @@ func (m *Machine) beginRetire(start uint64) {
 	m.lastRetireStart = start
 	m.retireDone = start + dur
 	m.portBusyUntil = m.retireDone
+	if m.retireDone > e.AllocCycle {
+		m.retLat.Observe(m.retireDone - e.AllocCycle)
+	}
 }
 
 // completeRetire frees the in-flight head.

@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"strconv"
+
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+// RetirementLatency summarises how long entries sat in the write stage
+// before their autonomous writeback completed: the number of retirements
+// observed and the mean allocation→completion latency in cycles.  Flushes
+// forced by load hazards or barriers are not retirements and are excluded.
+func (m *Machine) RetirementLatency() (count uint64, meanCycles float64) {
+	return m.retLat.Count(), m.retLat.Mean()
+}
+
+// PublishMetrics folds the machine's accumulated statistics into a shared
+// metrics registry: stall-cycle counters split by category, event counts,
+// the store-time occupancy distribution, and the retirement-latency
+// histogram.  The machine keeps all of these in private, non-shared state
+// on its hot path; publishing is one batch of atomic adds, so it is called
+// once per run (the experiment harness does this after every job), never
+// per instruction.
+func (m *Machine) PublishMetrics(reg *metrics.Registry) {
+	c := m.Counters()
+	reg.Counter("sim_instructions_total").Add(c.Instructions)
+	reg.Counter("sim_cycles_total").Add(c.Cycles)
+	reg.Counter("sim_loads_total").Add(c.Loads)
+	reg.Counter("sim_stores_total").Add(c.Stores)
+	reg.Counter("sim_blocked_stores_total").Add(c.BlockedStores)
+	reg.Counter("sim_l1_load_hits_total").Add(c.L1LoadHits)
+	reg.Counter("sim_wb_read_hits_total").Add(c.WBReadHits)
+	reg.Counter("sim_hazard_events_total").Add(c.HazardEvents)
+	reg.Counter("sim_retirements_total").Add(c.Retirements)
+	reg.Counter("sim_flushed_entries_total").Add(c.FlushedEntries)
+	reg.Counter("sim_miss_cycles_total").Add(c.MissCycles)
+	for k := range c.Stalls {
+		if c.Stalls[k] > 0 {
+			reg.Counter(metrics.Label("sim_stall_cycles_total",
+				"kind", stats.StallKind(k).String())).Add(c.Stalls[k])
+		}
+	}
+	for occ, n := range m.occHist {
+		if n > 0 {
+			reg.Counter(metrics.Label("sim_store_occupancy_total",
+				"occupancy", strconv.Itoa(occ))).Add(n)
+		}
+	}
+	reg.Histogram("sim_retirement_latency_cycles").Merge(&m.retLat)
+}
