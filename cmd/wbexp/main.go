@@ -7,6 +7,12 @@
 //	wbexp -exp fig6 -plot      # with a stacked-bar rendition
 //	wbexp -all -n 2000000      # everything, 2M instructions per run
 //
+// Sweeps can run on a pool of remote workers and/or journal their
+// progress for resumption (see docs/DISTRIBUTED.md):
+//
+//	wbexp -exp fig5 -workers host1:8101,host2:8101   # shard across wbserve -worker processes
+//	wbexp -all -checkpoint sweep.jsonl               # kill it, rerun it, it resumes
+//
 // Each figure experiment prints one row per benchmark with the total
 // write-buffer stall percentage and its (L2-read-access / buffer-full /
 // load-hazard) split, one column per configuration — the textual analogue
@@ -21,6 +27,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/dispatch"
 	"repro/internal/experiment"
 	"repro/internal/stats"
 	"repro/internal/svgplot"
@@ -29,13 +36,15 @@ import (
 
 func main() {
 	var (
-		expID = flag.String("exp", "", "experiment id (fig3..fig13, table4..table7, abl-*)")
-		all   = flag.Bool("all", false, "run every experiment")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
-		n     = flag.Uint64("n", 1_000_000, "dynamic instructions per benchmark run")
-		plot  = flag.Bool("plot", false, "also render figure experiments as stacked bars")
-		svg   = flag.String("svg", "", "directory to write one SVG figure per configuration column")
-		quiet = flag.Bool("quiet", false, "suppress the live progress line on stderr")
+		expID      = flag.String("exp", "", "experiment id (fig3..fig13, table4..table7, abl-*)")
+		all        = flag.Bool("all", false, "run every experiment")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		n          = flag.Uint64("n", 1_000_000, "dynamic instructions per benchmark run")
+		plot       = flag.Bool("plot", false, "also render figure experiments as stacked bars")
+		svg        = flag.String("svg", "", "directory to write one SVG figure per configuration column")
+		quiet      = flag.Bool("quiet", false, "suppress the live progress line on stderr")
+		workersCSV = flag.String("workers", "", "comma-separated wbserve -worker addresses to dispatch sweep jobs to")
+		checkpoint = flag.String("checkpoint", "", "JSONL journal path; completed jobs are skipped when the sweep reruns")
 	)
 	flag.Parse()
 	if *svg != "" {
@@ -45,6 +54,13 @@ func main() {
 		}
 	}
 
+	backend, closeBackend, err := buildBackend(*workersCSV, *checkpoint)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wbexp: %v\n", err)
+		os.Exit(1)
+	}
+	defer closeBackend()
+
 	switch {
 	case *list:
 		for _, e := range experiment.All() {
@@ -53,7 +69,7 @@ func main() {
 	case *all:
 		all := experiment.All()
 		for i, e := range all {
-			runOne(e, *n, *plot, *svg, progressFor(*quiet, fmt.Sprintf("[%2d/%2d] %-8s", i+1, len(all), e.ID)))
+			runOne(e, *n, *plot, *svg, backend, progressFor(*quiet, fmt.Sprintf("[%2d/%2d] %-8s", i+1, len(all), e.ID)))
 		}
 	case *expID != "":
 		e, ok := experiment.ByID(*expID)
@@ -61,11 +77,50 @@ func main() {
 			fmt.Fprintf(os.Stderr, "wbexp: unknown experiment %q (try -list)\n", *expID)
 			os.Exit(1)
 		}
-		runOne(e, *n, *plot, *svg, progressFor(*quiet, e.ID))
+		runOne(e, *n, *plot, *svg, backend, progressFor(*quiet, e.ID))
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// buildBackend assembles the dispatch stack the flags describe: remote
+// workers when -workers is set (local execution otherwise), wrapped in a
+// checkpoint journal when -checkpoint is set.  With neither flag the
+// backend is nil and the harness runs exactly as before.
+func buildBackend(workersCSV, checkpoint string) (dispatch.Backend, func(), error) {
+	cleanup := func() {}
+	var backend dispatch.Backend
+	if workersCSV != "" {
+		rem, err := dispatch.NewRemote(strings.Split(workersCSV, ","), dispatch.RemoteOptions{})
+		if err != nil {
+			return nil, cleanup, err
+		}
+		backend = rem
+		cleanup = rem.Close
+	}
+	if checkpoint != "" {
+		inner := backend
+		if inner == nil {
+			inner = &dispatch.Local{}
+		}
+		ckpt, err := dispatch.NewCheckpointed(inner, checkpoint, nil)
+		if err != nil {
+			cleanup()
+			return nil, func() {}, err
+		}
+		if loaded, skipped := ckpt.Loaded(); loaded > 0 || skipped > 0 {
+			fmt.Fprintf(os.Stderr, "wbexp: checkpoint %s: %d completed jobs replayed, %d unparsable lines skipped\n",
+				checkpoint, loaded, skipped)
+		}
+		innerCleanup := cleanup
+		cleanup = func() {
+			ckpt.Close()
+			innerCleanup()
+		}
+		backend = ckpt
+	}
+	return backend, cleanup, nil
 }
 
 // progressFor builds the per-experiment live progress callback, or nil
@@ -77,8 +132,21 @@ func progressFor(quiet bool, name string) func(experiment.ProgressEvent) {
 	return experiment.ProgressReporter(os.Stderr, name)
 }
 
-func runOne(e experiment.Experiment, n uint64, plot bool, svgDir string, progress func(experiment.ProgressEvent)) {
-	rep := e.Run(experiment.Options{Instructions: n, Progress: progress})
+func runOne(e experiment.Experiment, n uint64, plot bool, svgDir string, backend dispatch.Backend, progress func(experiment.ProgressEvent)) {
+	// A distributed sweep can fail operationally (worker pool exhausted);
+	// the harness surfaces that as a typed panic because the experiment
+	// registry's Run functions have no error channel.  Turn it back into
+	// a clean exit instead of a stack trace.
+	defer func() {
+		if p := recover(); p != nil {
+			if be, ok := p.(*experiment.BackendError); ok {
+				fmt.Fprintf(os.Stderr, "wbexp: %s: %v\n", e.ID, be)
+				os.Exit(1)
+			}
+			panic(p)
+		}
+	}()
+	rep := e.Run(experiment.Options{Instructions: n, Progress: progress, Backend: backend})
 	if _, err := rep.WriteTo(os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "wbexp: %v\n", err)
 		os.Exit(1)

@@ -6,17 +6,27 @@
 // simulated run feeds the /metrics registry, and the standard pprof
 // endpoints are mounted for live profiling.
 //
+// With -worker the process additionally serves POST /job, the sweep-worker
+// endpoint of internal/dispatch: a coordinator running
+// `wbexp -workers host1,host2` shards a matrix sweep across a pool of
+// such processes.  Jobs are deterministic, so workers are stateless and
+// interchangeable — any worker (or a retry on a different worker) returns
+// the identical measurement.  See docs/DISTRIBUTED.md for the operator
+// guide.
+//
 // Usage:
 //
 //	wbserve                          # listen on :8047
 //	wbserve -addr :9000 -cachesize 1024 -maxn 50000000
+//	wbserve -worker -addr :8101      # also accept sweep jobs on POST /job
 //
 // Endpoints:
 //
 //	GET  /experiments   list the paper's experiment ids and titles
 //	POST /run           run one (benchmark, configuration): JSON in, JSON out
+//	POST /job           run one sweep job (wire format; -worker only)
 //	GET  /metrics       Prometheus text exposition of the metrics registry
-//	GET  /healthz       liveness probe
+//	GET  /healthz       liveness probe (the dispatcher's re-probe target)
 //	GET  /debug/pprof/  net/http/pprof profiles
 //	GET  /debug/vars    expvar JSON (cmdline, memstats)
 //
@@ -39,16 +49,21 @@ func main() {
 		addr      = flag.String("addr", ":8047", "listen address")
 		cacheSize = flag.Int("cachesize", 256, "bounded LRU result cache capacity (entries)")
 		maxN      = flag.Uint64("maxn", 20_000_000, "largest per-request instruction count accepted")
+		worker    = flag.Bool("worker", false, "serve POST /job so wbexp -workers can dispatch sweep jobs here")
 	)
 	flag.Parse()
 
-	s := newServer(*cacheSize, *maxN)
+	s := newServer(*cacheSize, *maxN, *worker)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           s.handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	fmt.Fprintf(os.Stderr, "wbserve: listening on %s (cache %d entries, maxn %d)\n",
-		*addr, *cacheSize, *maxN)
+	mode := ""
+	if *worker {
+		mode = ", worker mode"
+	}
+	fmt.Fprintf(os.Stderr, "wbserve: listening on %s (cache %d entries, maxn %d%s)\n",
+		*addr, *cacheSize, *maxN, mode)
 	log.Fatal(srv.ListenAndServe())
 }

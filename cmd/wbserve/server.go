@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"expvar"
 	"fmt"
 	"net/http"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dispatch"
 	"repro/internal/experiment"
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -85,8 +87,15 @@ func (r RunRequest) normalize(maxN uint64) (RunRequest, error) {
 	return r, nil
 }
 
+// errInvalidConfig marks a request whose JSON was well-formed but whose
+// machine fails sim.Config.Validate — the client described an impossible
+// configuration, so /run answers 422, not 400 (malformed request) or 500
+// (server fault).
+var errInvalidConfig = errors.New("invalid machine configuration")
+
 // config builds the simulator configuration, relying on sim.Config.Validate
-// for the microarchitectural invariants.
+// for the microarchitectural invariants; validation failures are wrapped
+// in errInvalidConfig.
 func (r RunRequest) config() (sim.Config, error) {
 	var hazard core.HazardPolicy
 	found := false
@@ -115,7 +124,7 @@ func (r RunRequest) config() (sim.Config, error) {
 		cfg = cfg.WithWriteCache(r.WriteCache)
 	}
 	if err := cfg.Validate(); err != nil {
-		return sim.Config{}, err
+		return sim.Config{}, fmt.Errorf("%w: %v", errInvalidConfig, err)
 	}
 	return cfg, nil
 }
@@ -196,14 +205,16 @@ type server struct {
 	cache    *lruCache
 	reg      *metrics.Registry
 	maxN     uint64
+	worker   bool
 	inflight atomic.Int64
 }
 
-func newServer(cacheSize int, maxN uint64) *server {
+func newServer(cacheSize int, maxN uint64, worker bool) *server {
 	return &server{
-		cache: newLRU(cacheSize),
-		reg:   metrics.NewRegistry(),
-		maxN:  maxN,
+		cache:  newLRU(cacheSize),
+		reg:    metrics.NewRegistry(),
+		maxN:   maxN,
+		worker: worker,
 	}
 }
 
@@ -213,9 +224,16 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /experiments", s.instrument("/experiments", s.handleExperiments))
 	mux.HandleFunc("POST /run", s.instrument("/run", s.handleRun))
 	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("GET /healthz", s.instrument("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
-	})
+	}))
+	if s.worker {
+		// The sweep-worker surface: POST /job runs one wire-encoded
+		// matrix job for a dispatch.Remote coordinator, feeding the same
+		// registry /metrics exports.
+		jobs := dispatch.WorkerHandler(s.reg)
+		mux.Handle("POST /job", s.instrument("/job", jobs.ServeHTTP))
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -283,7 +301,11 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	cfg, err := req.config()
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		status := http.StatusBadRequest
+		if errors.Is(err, errInvalidConfig) {
+			status = http.StatusUnprocessableEntity
+		}
+		httpError(w, status, "%v", err)
 		return
 	}
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -8,11 +9,14 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"repro/internal/dispatch"
+	"repro/internal/sim"
 )
 
 func testServer(t *testing.T) (*server, *httptest.Server) {
 	t.Helper()
-	s := newServer(4, 5_000_000)
+	s := newServer(4, 5_000_000, true)
 	ts := httptest.NewServer(s.handler())
 	t.Cleanup(ts.Close)
 	return s, ts
@@ -115,7 +119,6 @@ func TestRunRejections(t *testing.T) {
 		"missing bench":  `{}`,
 		"over cap":       `{"bench":"li","n":999999999}`,
 		"bad hazard":     `{"bench":"li","hazard":"explode"}`,
-		"bad config":     `{"bench":"li","depth":-1}`,
 		"unknown field":  `{"bench":"li","bogus":1}`,
 		"malformed json": `{`,
 	} {
@@ -123,6 +126,92 @@ func TestRunRejections(t *testing.T) {
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
 		}
+	}
+}
+
+// A well-formed request describing a machine that fails sim validation is
+// the client's configuration problem, not a malformed request: 422.
+func TestRunInvalidConfigIs422(t *testing.T) {
+	_, ts := testServer(t)
+	for name, body := range map[string]string{
+		"negative depth":    `{"bench":"li","depth":-1}`,
+		"threshold too big": `{"bench":"li","depth":2,"issue_width":99}`,
+	} {
+		resp, _ := postRun(t, ts, body)
+		if resp.StatusCode != http.StatusUnprocessableEntity {
+			t.Errorf("%s: status %d, want 422", name, resp.StatusCode)
+		}
+	}
+}
+
+// /healthz must feed the same request/latency series as every other
+// endpoint, so probes are visible in /metrics.
+func TestHealthzInstrumented(t *testing.T) {
+	s, ts := testServer(t)
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	if got := s.reg.Counter(`wbserve_requests_total{path="/healthz"}`).Value(); got != 3 {
+		t.Errorf("healthz request counter = %d, want 3", got)
+	}
+	if got := s.reg.Histogram(`wbserve_request_microseconds{path="/healthz"}`).Count(); got != 3 {
+		t.Errorf("healthz latency observations = %d, want 3", got)
+	}
+}
+
+// TestJobEndpoint exercises the -worker surface end to end: a wire job in,
+// a measurement out, matching what the local harness computes.
+func TestJobEndpoint(t *testing.T) {
+	s, ts := testServer(t)
+	job := dispatch.Job{Bench: "li", Label: "base", Cfg: sim.Baseline(), N: 100_000}
+	want, err := dispatch.Execute(job, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := postJob(t, ts, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("remote measurement differs:\n got %+v\nwant %+v", got, want)
+	}
+	if s.reg.Counter("dispatch_worker_jobs_total").Value() != 1 {
+		t.Errorf("worker job counter = %d, want 1",
+			s.reg.Counter("dispatch_worker_jobs_total").Value())
+	}
+	if s.reg.Counter(`wbserve_requests_total{path="/job"}`).Value() != 1 {
+		t.Errorf("/job not instrumented")
+	}
+}
+
+// postJob round-trips one job through a Remote backend pointed at the
+// test server, exactly how wbexp -workers reaches it.
+func postJob(t *testing.T, ts *httptest.Server, job dispatch.Job) (dispatch.Measurement, error) {
+	t.Helper()
+	rem, err := dispatch.NewRemote([]string{ts.URL}, dispatch.RemoteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rem.Close()
+	return rem.Run(context.Background(), job)
+}
+
+// Without -worker the job endpoint must not exist.
+func TestJobEndpointRequiresWorkerMode(t *testing.T) {
+	s := newServer(4, 5_000_000, false)
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/job", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/job without -worker: status %d, want 404", resp.StatusCode)
 	}
 }
 

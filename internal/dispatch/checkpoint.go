@@ -1,0 +1,171 @@
+package dispatch
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// checkpointRecord is one JSONL journal line: the job's canonical key,
+// enough identity to be human-greppable, and the finished measurement.
+type checkpointRecord struct {
+	Key         string      `json:"key"`
+	Bench       string      `json:"bench"`
+	Label       string      `json:"label,omitempty"`
+	N           uint64      `json:"n"`
+	Measurement Measurement `json:"measurement"`
+}
+
+// Checkpointed wraps a Backend with a resumable journal.  Every completed
+// job is appended to a JSONL file keyed on the canonical
+// (configuration, benchmark, n) hash (Job.Key); on construction the file
+// is replayed, and Run answers journaled jobs from memory without
+// touching the inner backend.  Kill a sweep at job 600 of 1000, rerun it
+// with the same checkpoint path, and only the remaining 400 execute.
+//
+// Safety rests on determinism: a journaled measurement is exactly what a
+// re-execution would produce, so replaying is not an approximation.  The
+// journal tolerates a torn tail — a process killed mid-append leaves a
+// partial last line, which replay skips (that one job simply reruns).
+type Checkpointed struct {
+	inner Backend
+
+	mu   sync.Mutex
+	f    *os.File
+	done map[string]Measurement
+
+	loaded  int
+	skipped int
+
+	hits   *metrics.Counter
+	writes *metrics.Counter
+}
+
+// NewCheckpointed opens (creating if absent) the journal at path and
+// replays it over the inner backend.  reg, when non-nil, receives
+// dispatch_checkpoint_hits_total and dispatch_checkpoint_appends_total.
+func NewCheckpointed(inner Backend, path string, reg *metrics.Registry) (*Checkpointed, error) {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	c := &Checkpointed{
+		inner:  inner,
+		done:   map[string]Measurement{},
+		hits:   reg.Counter("dispatch_checkpoint_hits_total"),
+		writes: reg.Counter("dispatch_checkpoint_appends_total"),
+	}
+	if existing, err := os.ReadFile(path); err == nil {
+		c.replay(existing)
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("dispatch: reading checkpoint %s: %w", path, err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: opening checkpoint %s: %w", path, err)
+	}
+	c.f = f
+	return c, nil
+}
+
+// replay loads journal lines, skipping any that do not parse — a torn
+// final line from a killed writer, or stray corruption; either way the
+// affected job reruns rather than poisoning the sweep.
+func (c *Checkpointed) replay(data []byte) {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec checkpointRecord
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Key == "" {
+			c.skipped++
+			continue
+		}
+		c.done[rec.Key] = rec.Measurement
+		c.loaded++
+	}
+}
+
+// Loaded reports how many completed jobs the journal replayed, and how
+// many unparsable lines were skipped.
+func (c *Checkpointed) Loaded() (loaded, skipped int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.loaded, c.skipped
+}
+
+// Run implements Backend: journaled jobs return instantly; fresh jobs go
+// to the inner backend and are journaled on success.  A job whose
+// configuration has no canonical key (a custom retirement policy) passes
+// through unjournaled.
+func (c *Checkpointed) Run(ctx context.Context, job Job) (Measurement, error) {
+	key, err := job.Key()
+	if err != nil {
+		return c.inner.Run(ctx, job)
+	}
+	c.mu.Lock()
+	m, ok := c.done[key]
+	c.mu.Unlock()
+	if ok {
+		c.hits.Inc()
+		// The journal keys on config+bench+n; the label is presentation
+		// and follows the current sweep's naming.
+		m.Label = job.Label
+		return m, nil
+	}
+	m, err = c.inner.Run(ctx, job)
+	if err != nil {
+		return Measurement{}, err
+	}
+	c.append(key, job, m)
+	return m, nil
+}
+
+// append journals one finished job.  The line is written with a single
+// Write call so concurrent appends never interleave; a crash can tear at
+// most the final line, which replay tolerates.
+func (c *Checkpointed) append(key string, job Job, m Measurement) {
+	line, err := json.Marshal(checkpointRecord{
+		Key: key, Bench: job.Bench, Label: job.Label, N: job.N, Measurement: m,
+	})
+	if err != nil { // scalars only; cannot happen
+		return
+	}
+	line = append(line, '\n')
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.done[key] = m
+	if c.f != nil {
+		c.f.Write(line)
+	}
+	c.writes.Inc()
+}
+
+// Concurrency forwards the inner backend's dispatch-parallelism hint.
+func (c *Checkpointed) Concurrency() int {
+	if h, ok := c.inner.(interface{ Concurrency() int }); ok {
+		return h.Concurrency()
+	}
+	return 0
+}
+
+// Close flushes and closes the journal.  The inner backend is not closed;
+// callers that own a Remote close it separately.
+func (c *Checkpointed) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return nil
+	}
+	err := c.f.Close()
+	c.f = nil
+	return err
+}

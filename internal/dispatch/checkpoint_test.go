@@ -1,0 +1,217 @@
+package dispatch
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// countingBackend records every job it actually executes, returning a
+// cheap synthetic measurement (checkpoint identity does not depend on
+// the measurement's contents).
+type countingBackend struct {
+	mu   sync.Mutex
+	runs []string
+}
+
+func (c *countingBackend) Run(ctx context.Context, job Job) (Measurement, error) {
+	c.mu.Lock()
+	c.runs = append(c.runs, fmt.Sprintf("%s/n=%d/d=%d", job.Bench, job.N, job.Cfg.WB.Depth))
+	c.mu.Unlock()
+	return Measurement{Bench: job.Bench, Label: job.Label, WBHit: float64(job.N)}, nil
+}
+
+func (c *countingBackend) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.runs)
+}
+
+// sweepJobs is a small synthetic sweep: three benchmarks times two depths.
+func sweepJobs() []Job {
+	var jobs []Job
+	for _, bench := range []string{"li", "compress", "espresso"} {
+		for _, depth := range []int{4, 8} {
+			jobs = append(jobs, Job{Bench: bench, Label: fmt.Sprintf("d%d", depth),
+				Cfg: sim.Baseline().WithDepth(depth), N: 1000})
+		}
+	}
+	return jobs
+}
+
+// Kill a sweep partway, rerun it against the same journal: only the
+// remaining jobs may reach the inner backend, and replayed measurements
+// must match what the first run produced.
+func TestCheckpointResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	jobs := sweepJobs()
+
+	// First run: complete 4 of 6 jobs, then "die" (close the journal).
+	inner1 := &countingBackend{}
+	ck1, err := NewCheckpointed(inner1, path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstResults := map[string]Measurement{}
+	for _, job := range jobs[:4] {
+		m, err := ck1.Run(context.Background(), job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		key, _ := job.Key()
+		firstResults[key] = m
+	}
+	ck1.Close()
+	if inner1.count() != 4 {
+		t.Fatalf("first run executed %d jobs, want 4", inner1.count())
+	}
+
+	// Resumed run over the full sweep.
+	inner2 := &countingBackend{}
+	reg := metrics.NewRegistry()
+	ck2, err := NewCheckpointed(inner2, path, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck2.Close()
+	if loaded, skipped := ck2.Loaded(); loaded != 4 || skipped != 0 {
+		t.Fatalf("Loaded() = (%d, %d), want (4, 0)", loaded, skipped)
+	}
+	for _, job := range jobs {
+		m, err := ck2.Run(context.Background(), job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if key, _ := job.Key(); len(firstResults) > 0 {
+			if want, ok := firstResults[key]; ok && m != want {
+				t.Errorf("replayed measurement differs for %s/%s:\n got %+v\nwant %+v",
+					job.Bench, job.Label, m, want)
+			}
+		}
+	}
+	if inner2.count() != 2 {
+		t.Errorf("resumed run executed %d jobs, want only the remaining 2 (ran %v)",
+			inner2.count(), inner2.runs)
+	}
+	if v := reg.Counter("dispatch_checkpoint_hits_total").Value(); v != 4 {
+		t.Errorf("checkpoint hits = %d, want 4", v)
+	}
+	if v := reg.Counter("dispatch_checkpoint_appends_total").Value(); v != 2 {
+		t.Errorf("checkpoint appends = %d, want 2", v)
+	}
+}
+
+// The journal keys on configuration, not on the display label: a rerun
+// that renames its columns must still hit, and the hit must carry the
+// rerun's label.
+func TestCheckpointIgnoresLabel(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	inner := &countingBackend{}
+	ck, err := NewCheckpointed(inner, path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck.Close()
+
+	job := Job{Bench: "li", Label: "old name", Cfg: sim.Baseline(), N: 1000}
+	if _, err := ck.Run(context.Background(), job); err != nil {
+		t.Fatal(err)
+	}
+	job.Label = "new name"
+	m, err := ck.Run(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inner.count() != 1 {
+		t.Errorf("relabeled job re-executed (%d runs)", inner.count())
+	}
+	if m.Label != "new name" {
+		t.Errorf("replayed label = %q, want the rerun's %q", m.Label, "new name")
+	}
+}
+
+// A process killed mid-append leaves a torn final line; replay must skip
+// it (rerunning that one job) instead of refusing the whole journal.
+func TestCheckpointToleratesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	inner := &countingBackend{}
+	ck, err := NewCheckpointed(inner, path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := sweepJobs()[:2]
+	for _, job := range jobs {
+		if _, err := ck.Run(context.Background(), job); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ck.Close()
+
+	// Tear the final line mid-JSON.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-20], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	inner2 := &countingBackend{}
+	ck2, err := NewCheckpointed(inner2, path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck2.Close()
+	if loaded, skipped := ck2.Loaded(); loaded != 1 || skipped != 1 {
+		t.Fatalf("Loaded() = (%d, %d), want (1, 1)", loaded, skipped)
+	}
+	for _, job := range jobs {
+		if _, err := ck2.Run(context.Background(), job); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if inner2.count() != 1 {
+		t.Errorf("rerun executed %d jobs, want 1 (only the torn one)", inner2.count())
+	}
+}
+
+// A configuration with no wire encoding has no key; it must pass through
+// to the inner backend without being journaled rather than failing.
+func TestCheckpointUnkeyablePassthrough(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	inner := &countingBackend{}
+	ck, err := NewCheckpointed(inner, path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck.Close()
+
+	job := Job{Bench: "li", Cfg: sim.Baseline().WithRetire(customPolicy{}), N: 1000}
+	for i := 0; i < 2; i++ {
+		if _, err := ck.Run(context.Background(), job); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if inner.count() != 2 {
+		t.Errorf("unkeyable job executed %d times, want 2 (never journaled)", inner.count())
+	}
+}
+
+// Concurrency must forward the inner backend's hint when it has one.
+func TestCheckpointForwardsConcurrency(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	ck, err := NewCheckpointed(&countingBackend{}, path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck.Close()
+	if got := ck.Concurrency(); got != 0 {
+		t.Errorf("Concurrency() over a hint-less backend = %d, want 0", got)
+	}
+}

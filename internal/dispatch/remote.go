@@ -1,0 +1,418 @@
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// RemoteOptions tunes the Remote backend.  The zero value selects
+// defaults suited to LAN workers running million-instruction jobs.
+type RemoteOptions struct {
+	// JobTimeout bounds one dispatch attempt, connection to decoded
+	// response (default 2 minutes — a sim job is milliseconds to seconds,
+	// so a hung worker, not a slow one, is what this catches).
+	JobTimeout time.Duration
+	// MaxRetries is how many times a failed job is re-dispatched after
+	// its first attempt (default 3).  Determinism makes retries safe: a
+	// duplicate execution returns the identical measurement.
+	MaxRetries int
+	// BaseBackoff is the first retry delay; each further retry doubles
+	// it, capped at MaxBackoff, and the actual sleep is jittered over
+	// [d/2, d) so a burst of failures does not re-converge on one worker
+	// (defaults 100ms and 5s).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// QuarantineAfter is the consecutive-failure count at which a worker
+	// is removed from rotation and handed to the background prober
+	// (default 2).
+	QuarantineAfter int
+	// ProbeInterval is how often a quarantined worker's /healthz is
+	// retried; a success returns it to rotation (default 2s).
+	ProbeInterval time.Duration
+	// ConcurrencyPerWorker is the dispatch parallelism granted per worker
+	// URL (default 4); the harness reads the product through Concurrency.
+	ConcurrencyPerWorker int
+	// Metrics, when non-nil, receives the dispatcher-side series:
+	// dispatch_jobs_dispatched_total / _retried_total / _failed_total,
+	// dispatch_workers_healthy, dispatch_worker_quarantines_total, and a
+	// per-worker dispatch_job_microseconds latency histogram.
+	Metrics *metrics.Registry
+	// Seed seeds the backoff jitter (0 picks a fixed seed; jitter needs
+	// spread, not secrecy).
+	Seed int64
+}
+
+func (o RemoteOptions) withDefaults() RemoteOptions {
+	if o.JobTimeout <= 0 {
+		o.JobTimeout = 2 * time.Minute
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	} else if o.MaxRetries == 0 {
+		o.MaxRetries = 3
+	}
+	if o.BaseBackoff <= 0 {
+		o.BaseBackoff = 100 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 5 * time.Second
+	}
+	if o.QuarantineAfter <= 0 {
+		o.QuarantineAfter = 2
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = 2 * time.Second
+	}
+	if o.ConcurrencyPerWorker <= 0 {
+		o.ConcurrencyPerWorker = 4
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Remote dispatches jobs to a pool of wbserve workers over HTTP.  Workers
+// that fail QuarantineAfter jobs in a row leave the rotation and are
+// re-probed in the background until /healthz answers again; jobs retry on
+// the remaining pool under exponential backoff, so one dead worker slows
+// a sweep instead of failing it.
+type Remote struct {
+	workers []*remoteWorker
+	client  *http.Client
+	opts    RemoteOptions
+	reg     *metrics.Registry
+
+	dispatched *metrics.Counter
+	retried    *metrics.Counter
+	failed     *metrics.Counter
+	quarCount  *metrics.Counter
+	healthyG   *metrics.Gauge
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// remoteWorker is the dispatcher's view of one worker process.
+type remoteWorker struct {
+	url      string // normalised base URL, no trailing slash
+	healthy  bool   // under mu
+	fails    int    // consecutive failures, under mu
+	probing  bool   // a re-probe goroutine is live, under mu
+	mu       sync.Mutex
+	inflight int // under mu
+	latency  *metrics.Histogram
+}
+
+// NewRemote builds a Remote over the given worker addresses.  An address
+// without a scheme gets "http://"; an empty list is an error.
+func NewRemote(addrs []string, opts RemoteOptions) (*Remote, error) {
+	opts = opts.withDefaults()
+	reg := opts.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	r := &Remote{
+		client: &http.Client{},
+		opts:   opts,
+		reg:    reg,
+
+		dispatched: reg.Counter("dispatch_jobs_dispatched_total"),
+		retried:    reg.Counter("dispatch_jobs_retried_total"),
+		failed:     reg.Counter("dispatch_jobs_failed_total"),
+		quarCount:  reg.Counter("dispatch_worker_quarantines_total"),
+		healthyG:   reg.Gauge("dispatch_workers_healthy"),
+
+		rng:  rand.New(rand.NewSource(opts.Seed)),
+		done: make(chan struct{}),
+	}
+	for _, a := range addrs {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		if !strings.Contains(a, "://") {
+			a = "http://" + a
+		}
+		a = strings.TrimRight(a, "/")
+		r.workers = append(r.workers, &remoteWorker{
+			url:     a,
+			healthy: true,
+			latency: reg.Histogram(metrics.Label("dispatch_job_microseconds", "worker", a)),
+		})
+	}
+	if len(r.workers) == 0 {
+		return nil, errors.New("dispatch: remote backend needs at least one worker address")
+	}
+	r.healthyG.Set(float64(len(r.workers)))
+	return r, nil
+}
+
+// Close stops the background re-probe goroutines.  Jobs in flight finish
+// normally; Run may still be called, but quarantined workers will no
+// longer return to rotation.
+func (r *Remote) Close() {
+	r.closeOnce.Do(func() { close(r.done) })
+}
+
+// Concurrency reports how many jobs the pool should be handed at once:
+// ConcurrencyPerWorker for every configured worker.  The experiment
+// harness sizes its dispatch pool from this instead of local core count,
+// since remote jobs cost this process only a blocked goroutine.
+func (r *Remote) Concurrency() int {
+	return len(r.workers) * r.opts.ConcurrencyPerWorker
+}
+
+// Healthy returns the URLs of the workers currently in rotation, for
+// status displays and tests.
+func (r *Remote) Healthy() []string {
+	var out []string
+	for _, w := range r.workers {
+		w.mu.Lock()
+		if w.healthy {
+			out = append(out, w.url)
+		}
+		w.mu.Unlock()
+	}
+	return out
+}
+
+// permanentError marks a worker response that retrying cannot fix: the
+// job itself was rejected (unknown benchmark, invalid configuration).
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Run implements Backend: dispatch the job to the healthiest worker,
+// retrying elsewhere with backoff on transient failures.
+func (r *Remote) Run(ctx context.Context, job Job) (Measurement, error) {
+	wj, err := encodeJob(job)
+	if err != nil {
+		return Measurement{}, err
+	}
+	body, err := json.Marshal(wj)
+	if err != nil {
+		return Measurement{}, err
+	}
+	r.dispatched.Inc()
+
+	var lastErr error
+	attempts := r.opts.MaxRetries + 1
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			r.retried.Inc()
+			if err := r.sleep(ctx, r.backoff(attempt)); err != nil {
+				r.failed.Inc()
+				return Measurement{}, err
+			}
+		}
+		w := r.pick()
+		if w == nil {
+			lastErr = errors.New("no healthy workers in the pool")
+			continue
+		}
+		m, err := r.post(ctx, w, body)
+		if err == nil {
+			r.noteSuccess(w)
+			return m, nil
+		}
+		var perm *permanentError
+		if errors.As(err, &perm) {
+			// The worker is fine; the job is unrunnable anywhere.
+			r.noteSuccess(w)
+			r.failed.Inc()
+			return Measurement{}, fmt.Errorf("dispatch: job %s/%s rejected by %s: %w",
+				job.Bench, job.Label, w.url, perm.err)
+		}
+		if ctx.Err() != nil {
+			r.failed.Inc()
+			return Measurement{}, ctx.Err()
+		}
+		lastErr = fmt.Errorf("worker %s: %w", w.url, err)
+		r.noteFailure(w)
+	}
+	r.failed.Inc()
+	return Measurement{}, fmt.Errorf("dispatch: job %s/%s failed after %d attempts: %w",
+		job.Bench, job.Label, attempts, lastErr)
+}
+
+// pick chooses the healthy worker with the fewest jobs in flight and
+// reserves a slot on it; the caller must release via post's defer.
+func (r *Remote) pick() *remoteWorker {
+	var best *remoteWorker
+	bestLoad := 0
+	for _, w := range r.workers {
+		w.mu.Lock()
+		ok, load := w.healthy, w.inflight
+		w.mu.Unlock()
+		if !ok {
+			continue
+		}
+		if best == nil || load < bestLoad {
+			best, bestLoad = w, load
+		}
+	}
+	if best != nil {
+		best.mu.Lock()
+		best.inflight++
+		best.mu.Unlock()
+	}
+	return best
+}
+
+// post performs one dispatch attempt against one worker.
+func (r *Remote) post(ctx context.Context, w *remoteWorker, body []byte) (Measurement, error) {
+	defer func() {
+		w.mu.Lock()
+		w.inflight--
+		w.mu.Unlock()
+	}()
+	ctx, cancel := context.WithTimeout(ctx, r.opts.JobTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url+"/job", bytes.NewReader(body))
+	if err != nil {
+		return Measurement{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return Measurement{}, err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return Measurement{}, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		// fall through to decode
+	case http.StatusBadRequest, http.StatusUnprocessableEntity:
+		return Measurement{}, &permanentError{fmt.Errorf("status %d: %s",
+			resp.StatusCode, strings.TrimSpace(string(payload)))}
+	default:
+		return Measurement{}, fmt.Errorf("status %d: %s",
+			resp.StatusCode, strings.TrimSpace(string(payload)))
+	}
+	var m Measurement
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return Measurement{}, fmt.Errorf("undecodable response: %v", err)
+	}
+	if m.Bench == "" {
+		return Measurement{}, errors.New("response carries no measurement")
+	}
+	w.latency.Observe(uint64(time.Since(start).Microseconds()))
+	return m, nil
+}
+
+func (r *Remote) noteSuccess(w *remoteWorker) {
+	w.mu.Lock()
+	w.fails = 0
+	w.mu.Unlock()
+}
+
+// noteFailure counts a consecutive failure and quarantines the worker at
+// the threshold, starting its background re-probe.
+func (r *Remote) noteFailure(w *remoteWorker) {
+	w.mu.Lock()
+	w.fails++
+	quarantine := w.healthy && w.fails >= r.opts.QuarantineAfter
+	if quarantine {
+		w.healthy = false
+		if !w.probing {
+			w.probing = true
+			go r.probe(w)
+		}
+	}
+	w.mu.Unlock()
+	if quarantine {
+		r.quarCount.Inc()
+		r.healthyG.Set(float64(len(r.Healthy())))
+	}
+}
+
+// probe polls a quarantined worker's /healthz until it answers, then
+// returns it to rotation.  One goroutine per quarantined worker; exits on
+// Close.
+func (r *Remote) probe(w *remoteWorker) {
+	t := time.NewTicker(r.opts.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.done:
+			w.mu.Lock()
+			w.probing = false
+			w.mu.Unlock()
+			return
+		case <-t.C:
+			if r.probeOnce(w) {
+				w.mu.Lock()
+				w.healthy = true
+				w.fails = 0
+				w.probing = false
+				w.mu.Unlock()
+				r.healthyG.Set(float64(len(r.Healthy())))
+				return
+			}
+		}
+	}
+}
+
+func (r *Remote) probeOnce(w *remoteWorker) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), r.opts.ProbeInterval)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.url+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10))
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// backoff returns the jittered delay before retry number attempt (1-based):
+// exponential from BaseBackoff, capped at MaxBackoff, uniform over [d/2, d).
+func (r *Remote) backoff(attempt int) time.Duration {
+	d := r.opts.BaseBackoff
+	for i := 1; i < attempt && d < r.opts.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > r.opts.MaxBackoff {
+		d = r.opts.MaxBackoff
+	}
+	half := d / 2
+	r.rngMu.Lock()
+	j := time.Duration(r.rng.Int63n(int64(half) + 1))
+	r.rngMu.Unlock()
+	return half + j
+}
+
+func (r *Remote) sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

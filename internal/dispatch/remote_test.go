@@ -1,0 +1,348 @@
+package dispatch
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// scriptedWorker plays one canned behaviour per request, in order, then
+// repeats its last behaviour forever.  It stands in for a flaky wbserve
+// worker without any real simulation work.
+type scriptedWorker struct {
+	mu       sync.Mutex
+	script   []func(w http.ResponseWriter)
+	requests int
+	times    []time.Time
+}
+
+func (s *scriptedWorker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/healthz" {
+		w.Write([]byte("ok"))
+		return
+	}
+	s.mu.Lock()
+	i := s.requests
+	s.requests++
+	s.times = append(s.times, time.Now())
+	if i >= len(s.script) {
+		i = len(s.script) - 1
+	}
+	step := s.script[i]
+	s.mu.Unlock()
+	step(w)
+}
+
+func (s *scriptedWorker) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.requests
+}
+
+func (s *scriptedWorker) requestTimes() []time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]time.Time(nil), s.times...)
+}
+
+func respondError(code int) func(http.ResponseWriter) {
+	return func(w http.ResponseWriter) { http.Error(w, "scripted failure", code) }
+}
+
+func respondGarbage(w http.ResponseWriter) { w.Write([]byte("}}} not json {{{")) }
+
+func respondMeasurement(m Measurement) func(http.ResponseWriter) {
+	return func(w http.ResponseWriter) { json.NewEncoder(w).Encode(m) }
+}
+
+func testJob() Job {
+	return Job{Bench: "li", Label: "base", Cfg: sim.Baseline(), N: 1000}
+}
+
+func fastOpts(reg *metrics.Registry) RemoteOptions {
+	return RemoteOptions{
+		JobTimeout:      2 * time.Second,
+		BaseBackoff:     time.Millisecond,
+		MaxBackoff:      4 * time.Millisecond,
+		QuarantineAfter: 100, // out of the way unless a test lowers it
+		ProbeInterval:   10 * time.Millisecond,
+		Metrics:         reg,
+	}
+}
+
+// A job must survive a 500, then a garbage body, and succeed on the third
+// attempt — with exactly two retries on the meter.
+func TestRemoteRetriesTransientFailures(t *testing.T) {
+	want := Measurement{Bench: "li", Label: "base", WBHit: 0.5}
+	worker := &scriptedWorker{script: []func(http.ResponseWriter){
+		respondError(http.StatusInternalServerError),
+		respondGarbage,
+		respondMeasurement(want),
+	}}
+	ts := httptest.NewServer(worker)
+	defer ts.Close()
+
+	reg := metrics.NewRegistry()
+	rem, err := NewRemote([]string{ts.URL}, fastOpts(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rem.Close()
+
+	got, err := rem.Run(context.Background(), testJob())
+	if err != nil {
+		t.Fatalf("job failed despite retries: %v", err)
+	}
+	if got != want {
+		t.Errorf("measurement %+v, want %+v", got, want)
+	}
+	if n := worker.count(); n != 3 {
+		t.Errorf("worker saw %d requests, want 3", n)
+	}
+	if v := reg.Counter("dispatch_jobs_retried_total").Value(); v != 2 {
+		t.Errorf("retried counter = %d, want 2", v)
+	}
+	if v := reg.Counter("dispatch_jobs_dispatched_total").Value(); v != 1 {
+		t.Errorf("dispatched counter = %d, want 1", v)
+	}
+	if v := reg.Counter("dispatch_jobs_failed_total").Value(); v != 0 {
+		t.Errorf("failed counter = %d, want 0", v)
+	}
+}
+
+// Retry delays must follow the exponential schedule: the sleep before
+// retry k is jittered over [d/2, d) with d = BaseBackoff·2^(k-1), so the
+// gap before retry 2 must be at least BaseBackoff — the upper bound of
+// retry 1's range.
+func TestRemoteBackoffOrdering(t *testing.T) {
+	base := 40 * time.Millisecond
+	worker := &scriptedWorker{script: []func(http.ResponseWriter){
+		respondError(http.StatusInternalServerError),
+		respondError(http.StatusInternalServerError),
+		respondMeasurement(Measurement{Bench: "li"}),
+	}}
+	ts := httptest.NewServer(worker)
+	defer ts.Close()
+
+	opts := fastOpts(nil)
+	opts.BaseBackoff = base
+	opts.MaxBackoff = time.Second
+	rem, err := NewRemote([]string{ts.URL}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rem.Close()
+
+	if _, err := rem.Run(context.Background(), testJob()); err != nil {
+		t.Fatal(err)
+	}
+	times := worker.requestTimes()
+	if len(times) != 3 {
+		t.Fatalf("worker saw %d requests, want 3", len(times))
+	}
+	gap1 := times[1].Sub(times[0])
+	gap2 := times[2].Sub(times[1])
+	if gap1 < base/2 {
+		t.Errorf("first retry after %v, want >= %v (half of BaseBackoff)", gap1, base/2)
+	}
+	if gap2 < base {
+		t.Errorf("second retry after %v, want >= %v (doubled backoff's lower bound)", gap2, base)
+	}
+}
+
+// A worker failing QuarantineAfter jobs in a row must leave the rotation
+// (jobs keep succeeding on the healthy worker), then return once its
+// /healthz answers again.
+func TestRemoteQuarantineAndReprobe(t *testing.T) {
+	var poisonMu sync.Mutex
+	healed := false
+	poisoned := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		poisonMu.Lock()
+		ok := healed
+		poisonMu.Unlock()
+		if !ok {
+			http.Error(w, "down", http.StatusInternalServerError)
+			return
+		}
+		if r.URL.Path == "/healthz" {
+			w.Write([]byte("ok"))
+			return
+		}
+		json.NewEncoder(w).Encode(Measurement{Bench: "li"})
+	}))
+	defer poisoned.Close()
+	good := httptest.NewServer(&scriptedWorker{script: []func(http.ResponseWriter){
+		respondMeasurement(Measurement{Bench: "li"}),
+	}})
+	defer good.Close()
+
+	reg := metrics.NewRegistry()
+	opts := fastOpts(reg)
+	opts.QuarantineAfter = 1
+	rem, err := NewRemote([]string{poisoned.URL, good.URL}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rem.Close()
+
+	// Enough jobs that at least one lands on the poisoned worker first.
+	for i := 0; i < 3; i++ {
+		if _, err := rem.Run(context.Background(), testJob()); err != nil {
+			t.Fatalf("job %d failed despite a healthy worker in the pool: %v", i, err)
+		}
+	}
+	healthy := rem.Healthy()
+	if len(healthy) != 1 || healthy[0] != good.URL {
+		t.Fatalf("healthy pool = %v, want just %q", healthy, good.URL)
+	}
+	if v := reg.Counter("dispatch_worker_quarantines_total").Value(); v != 1 {
+		t.Errorf("quarantine counter = %d, want 1", v)
+	}
+	if v := reg.Gauge("dispatch_workers_healthy").Value(); v != 1 {
+		t.Errorf("healthy gauge = %v, want 1", v)
+	}
+
+	// Heal the worker; the background prober must return it to rotation.
+	poisonMu.Lock()
+	healed = true
+	poisonMu.Unlock()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(rem.Healthy()) != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("healed worker never returned to rotation; healthy = %v", rem.Healthy())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if v := reg.Gauge("dispatch_workers_healthy").Value(); v != 2 {
+		t.Errorf("healthy gauge after heal = %v, want 2", v)
+	}
+}
+
+// A 422 means the job is unrunnable anywhere: no retries, the worker
+// stays in rotation, and the error reaches the caller at once.
+func TestRemotePermanentErrorSkipsRetries(t *testing.T) {
+	worker := &scriptedWorker{script: []func(http.ResponseWriter){
+		respondError(http.StatusUnprocessableEntity),
+	}}
+	ts := httptest.NewServer(worker)
+	defer ts.Close()
+
+	reg := metrics.NewRegistry()
+	rem, err := NewRemote([]string{ts.URL}, fastOpts(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rem.Close()
+
+	if _, err := rem.Run(context.Background(), testJob()); err == nil {
+		t.Fatal("rejected job reported success")
+	} else if !strings.Contains(err.Error(), "rejected") {
+		t.Errorf("error does not name the rejection: %v", err)
+	}
+	if n := worker.count(); n != 1 {
+		t.Errorf("worker saw %d requests, want 1 (permanent errors must not retry)", n)
+	}
+	if v := reg.Counter("dispatch_jobs_retried_total").Value(); v != 0 {
+		t.Errorf("retried counter = %d, want 0", v)
+	}
+	if v := reg.Counter("dispatch_jobs_failed_total").Value(); v != 1 {
+		t.Errorf("failed counter = %d, want 1", v)
+	}
+	if len(rem.Healthy()) != 1 {
+		t.Errorf("a permanent job error quarantined the worker")
+	}
+}
+
+// Exhausting the retry budget must yield an error naming the attempt
+// count, and count one failed job.
+func TestRemoteFailsAfterRetryBudget(t *testing.T) {
+	worker := &scriptedWorker{script: []func(http.ResponseWriter){
+		respondError(http.StatusInternalServerError),
+	}}
+	ts := httptest.NewServer(worker)
+	defer ts.Close()
+
+	reg := metrics.NewRegistry()
+	opts := fastOpts(reg)
+	opts.MaxRetries = 2
+	rem, err := NewRemote([]string{ts.URL}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rem.Close()
+
+	_, err = rem.Run(context.Background(), testJob())
+	if err == nil {
+		t.Fatal("job succeeded against an always-failing worker")
+	}
+	if !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Errorf("error does not report the attempt count: %v", err)
+	}
+	if n := worker.count(); n != 3 {
+		t.Errorf("worker saw %d requests, want 3", n)
+	}
+	if v := reg.Counter("dispatch_jobs_failed_total").Value(); v != 1 {
+		t.Errorf("failed counter = %d, want 1", v)
+	}
+}
+
+// A hung worker must be cut off by the per-attempt timeout rather than
+// stalling the sweep.
+func TestRemoteJobTimeout(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Far slower than the dispatcher's deadline, but bounded so the
+		// test server can drain its connections at Close.
+		time.Sleep(500 * time.Millisecond)
+		json.NewEncoder(w).Encode(Measurement{Bench: "li"})
+	}))
+	defer ts.Close()
+
+	opts := fastOpts(nil)
+	opts.JobTimeout = 30 * time.Millisecond
+	opts.MaxRetries = -1 // single attempt
+	rem, err := NewRemote([]string{ts.URL}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rem.Close()
+
+	start := time.Now()
+	_, err = rem.Run(context.Background(), testJob())
+	if err == nil {
+		t.Fatal("hung worker reported success")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("timeout took %v, want about %v", elapsed, opts.JobTimeout)
+	}
+}
+
+// NewRemote must reject an empty pool and normalise addresses.
+func TestNewRemoteAddresses(t *testing.T) {
+	if _, err := NewRemote(nil, RemoteOptions{}); err == nil {
+		t.Error("empty worker list accepted")
+	}
+	if _, err := NewRemote([]string{" ", ""}, RemoteOptions{}); err == nil {
+		t.Error("blank worker list accepted")
+	}
+	rem, err := NewRemote([]string{"host1:8101", "http://host2:8101/"}, RemoteOptions{ConcurrencyPerWorker: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rem.Close()
+	got := rem.Healthy()
+	want := []string{"http://host1:8101", "http://host2:8101"}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("normalised pool = %v, want %v", got, want)
+	}
+	if rem.Concurrency() != 6 {
+		t.Errorf("Concurrency() = %d, want 6", rem.Concurrency())
+	}
+}

@@ -1,0 +1,230 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dispatch"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func paritySuite(t *testing.T) ([]workload.Benchmark, []ConfigSpec) {
+	t.Helper()
+	var benches []workload.Benchmark
+	for _, name := range []string{"li", "compress"} {
+		b, ok := workload.ByName(name)
+		if !ok {
+			t.Fatalf("benchmark %q not registered", name)
+		}
+		benches = append(benches, b)
+	}
+	specs := []ConfigSpec{
+		{Label: "base", Cfg: sim.Baseline()},
+		{Label: "deep+lazy+readWB", Cfg: sim.Baseline().WithDepth(12).
+			WithRetire(core.RetireAt{N: 8}).WithHazard(core.ReadFromWB)},
+	}
+	return benches, specs
+}
+
+// The whole distributed design rests on this: the same matrix through the
+// local path and through a Remote backend over a real worker HTTP surface
+// must produce bit-identical measurements.
+func TestLocalRemoteParity(t *testing.T) {
+	benches, specs := paritySuite(t)
+	const n = 50_000
+
+	local := RunMatrix(benches, specs, n)
+
+	ts := httptest.NewServer(dispatch.WorkerHandler(nil))
+	defer ts.Close()
+	rem, err := dispatch.NewRemote([]string{ts.URL}, dispatch.RemoteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rem.Close()
+	remote, err := RunMatrixCtx(context.Background(), benches, specs,
+		Options{Instructions: n, Backend: rem})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(local, remote) {
+		t.Errorf("local and remote matrices differ:\nlocal  %+v\nremote %+v", local, remote)
+	}
+}
+
+// countingLocal executes jobs in-process, counting them; failAfter > 0
+// makes every run past that count fail, simulating a dying worker pool
+// partway through a sweep.
+type countingLocal struct {
+	mu        sync.Mutex
+	runs      int
+	failAfter int
+	local     dispatch.Local
+}
+
+func (c *countingLocal) Run(ctx context.Context, job dispatch.Job) (dispatch.Measurement, error) {
+	c.mu.Lock()
+	c.runs++
+	fail := c.failAfter > 0 && c.runs > c.failAfter
+	c.mu.Unlock()
+	if fail {
+		return dispatch.Measurement{}, errors.New("scripted backend failure")
+	}
+	return c.local.Run(ctx, job)
+}
+
+func (c *countingLocal) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.runs
+}
+
+// Kill a checkpointed sweep midway (the backend starts failing), rerun it
+// against the same journal: the rerun executes only the jobs the first
+// run did not journal, and the final matrix matches a pure local run.
+func TestMatrixCheckpointResume(t *testing.T) {
+	benches, specs := paritySuite(t)
+	const n = 30_000
+	total := len(benches) * len(specs)
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+
+	// First run: the inner backend dies after 2 jobs; the sweep must fail.
+	inner1 := &countingLocal{failAfter: 2}
+	ck1, err := dispatch.NewCheckpointed(inner1, path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = RunMatrixCtx(context.Background(), benches, specs,
+		Options{Instructions: n, Backend: ck1})
+	ck1.Close()
+	if err == nil {
+		t.Fatal("sweep succeeded despite a failing backend")
+	}
+
+	// Resumed run over the same journal with a healthy backend.
+	inner2 := &countingLocal{}
+	ck2, err := dispatch.NewCheckpointed(inner2, path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck2.Close()
+	journaled, _ := ck2.Loaded()
+	if journaled == 0 || journaled >= total {
+		t.Fatalf("first run journaled %d of %d jobs; expected a partial sweep", journaled, total)
+	}
+	resumed, err := RunMatrixCtx(context.Background(), benches, specs,
+		Options{Instructions: n, Backend: ck2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := inner2.count(), total-journaled; got != want {
+		t.Errorf("resumed run executed %d jobs, want %d (journal already held %d)",
+			got, want, journaled)
+	}
+	if local := RunMatrix(benches, specs, n); !reflect.DeepEqual(local, resumed) {
+		t.Errorf("resumed matrix differs from a pure local run:\nlocal   %+v\nresumed %+v", local, resumed)
+	}
+}
+
+// A backend failure must surface as an error from RunMatrixCtx and as a
+// recoverable *BackendError panic from the legacy RunMatrixOpts path.
+func TestMatrixBackendErrorSurfacing(t *testing.T) {
+	benches, specs := paritySuite(t)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "scripted failure", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	rem, err := dispatch.NewRemote([]string{ts.URL}, dispatch.RemoteOptions{
+		BaseBackoff: 1, MaxBackoff: 2, MaxRetries: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rem.Close()
+	o := Options{Instructions: 10_000, Backend: rem}
+
+	if _, err := RunMatrixCtx(context.Background(), benches, specs, o); err == nil {
+		t.Error("RunMatrixCtx returned no error from an all-failing pool")
+	}
+
+	func() {
+		defer func() {
+			p := recover()
+			if p == nil {
+				t.Error("RunMatrixOpts did not panic on backend failure")
+				return
+			}
+			if _, ok := p.(*BackendError); !ok {
+				t.Errorf("panic value %T, want *BackendError", p)
+			}
+		}()
+		RunMatrixOpts(benches, specs, o)
+	}()
+}
+
+// A cancelled context must abort the sweep with the context's error.
+func TestMatrixContextCancel(t *testing.T) {
+	benches, specs := paritySuite(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunMatrixCtx(ctx, benches, specs,
+		Options{Instructions: 10_000, Backend: &dispatch.Local{}})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+// The harness must size its worker pool from the backend's Concurrency
+// hint: a hint of 1 serialises the jobs.
+func TestMatrixHonoursConcurrencyHint(t *testing.T) {
+	benches, specs := paritySuite(t)
+	b := &serialProbe{}
+	if _, err := RunMatrixCtx(context.Background(), benches, specs,
+		Options{Instructions: 5_000, Backend: b}); err != nil {
+		t.Fatal(err)
+	}
+	if b.maxInflight() != 1 {
+		t.Errorf("max in-flight jobs = %d, want 1 under a Concurrency()=1 hint", b.maxInflight())
+	}
+}
+
+// serialProbe is a backend reporting Concurrency 1 and recording the
+// maximum number of concurrent Run calls it observed.
+type serialProbe struct {
+	mu       sync.Mutex
+	inflight int
+	max      int
+	local    dispatch.Local
+}
+
+func (s *serialProbe) Concurrency() int { return 1 }
+
+func (s *serialProbe) Run(ctx context.Context, job dispatch.Job) (dispatch.Measurement, error) {
+	s.mu.Lock()
+	s.inflight++
+	if s.inflight > s.max {
+		s.max = s.inflight
+	}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.inflight--
+		s.mu.Unlock()
+	}()
+	return s.local.Run(ctx, job)
+}
+
+func (s *serialProbe) maxInflight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.max
+}

@@ -14,21 +14,30 @@
 // latency) across the run; cmd/wbserve serves the same registry over
 // HTTP.
 //
+// Execution is pluggable.  Matrix jobs are fully independent and
+// deterministic, so Options.Backend can swap the in-process runner for
+// any internal/dispatch backend: a dispatch.Remote shards the sweep
+// across `wbserve -worker` processes, and a dispatch.Checkpointed
+// journals completed jobs so a killed sweep resumes where it stopped.
+// The default (nil) backend runs every job in this process, unchanged.
+// docs/DISTRIBUTED.md is the operator guide for the distributed path.
+//
 // The per-experiment index in DESIGN.md maps every experiment ID here to
 // the paper item it reproduces; EXPERIMENTS.md records measured-vs-paper
 // outcomes.
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/dispatch"
 	"repro/internal/metrics"
 	"repro/internal/sim"
-	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -48,9 +57,18 @@ type Options struct {
 	Progress func(ProgressEvent)
 	// Metrics, when non-nil, accumulates observability counters for the
 	// run: experiment_* throughput series (jobs, wall time, instructions,
-	// simulated cycles) and the sim_* counters published by every
-	// finished machine.
+	// simulated cycles) and — on the default in-process path — the sim_*
+	// counters published by every finished machine.
 	Metrics *metrics.Registry
+	// Backend, when non-nil, executes matrix jobs through
+	// internal/dispatch instead of in-process: dispatch.Remote shards a
+	// sweep across wbserve workers, dispatch.Checkpointed journals
+	// completed jobs for resumption, and dispatch.Local reproduces the
+	// default path explicitly.  nil keeps today's behaviour exactly.
+	// Benchmarks handed to a matrix run must be name-resolvable
+	// (workload.ByName) for a distributed backend, since jobs travel by
+	// benchmark name; every registered experiment satisfies this.
+	Backend dispatch.Backend
 }
 
 func (o Options) instructions() uint64 {
@@ -67,15 +85,10 @@ func (o Options) benchmarks() []workload.Benchmark {
 	return o.Benchmarks
 }
 
-// Measurement is the outcome of one (benchmark, configuration) run.
-type Measurement struct {
-	Bench string
-	Label string
-	C     stats.Counters
-	WBHit float64 // write-buffer store hit rate
-	L1Hit float64 // L1 load hit rate
-	L2Hit float64 // finite-L2 demand-read hit rate (1 for perfect L2)
-}
+// Measurement is the outcome of one (benchmark, configuration) run.  It
+// is an alias of dispatch.Measurement so the harness and the execution
+// backends share one type; fields are documented there.
+type Measurement = dispatch.Measurement
 
 // Run executes one benchmark on one configuration.  The first quarter of
 // the stream is warm-up: it executes normally but is excluded from the
@@ -86,26 +99,16 @@ func Run(b workload.Benchmark, label string, cfg sim.Config, n uint64) Measureme
 }
 
 // runJob is Run with optional metrics publication: when reg is non-nil the
-// finished machine's counters are folded into it.
+// finished machine's counters are folded into it.  Execution lives in
+// dispatch.ExecuteBench so the local path and the distributed workers run
+// byte-for-byte the same code; an invalid configuration panics, matching
+// the sim.MustNew behaviour this wrapped historically.
 func runJob(b workload.Benchmark, label string, cfg sim.Config, n uint64, reg *metrics.Registry) Measurement {
-	m := sim.MustNew(cfg)
-	warmRun(m, b.Stream(n), n)
-	c := m.Counters()
-	l2 := 1.0
-	if cfg.L2 != nil {
-		l2 = m.L2Stats().ReadHitRate()
+	m, err := dispatch.ExecuteBench(b, label, cfg, n, reg)
+	if err != nil {
+		panic(err)
 	}
-	if reg != nil {
-		m.PublishMetrics(reg)
-	}
-	return Measurement{
-		Bench: b.Name,
-		Label: label,
-		C:     c,
-		WBHit: m.WBStoreHitRate(),
-		L1Hit: c.L1LoadHitRate(),
-		L2Hit: l2,
-	}
+	return m
 }
 
 // ConfigSpec pairs a configuration with its display label.
@@ -127,7 +130,40 @@ func RunMatrix(benches []workload.Benchmark, specs []ConfigSpec, n uint64) [][]M
 // simulator counters.  o.Instructions selects the per-run instruction
 // count; o.Benchmarks is ignored — the benchmark list is the explicit
 // argument.
+//
+// With a non-nil o.Backend, job execution can fail (a remote pool can
+// exhaust its retries); RunMatrixOpts surfaces that by panicking with a
+// *BackendError, since the registered experiments' Run functions have no
+// error channel.  Callers driving remote sweeps recover it at the top
+// (cmd/wbexp) or call RunMatrixCtx directly.
 func RunMatrixOpts(benches []workload.Benchmark, specs []ConfigSpec, o Options) [][]Measurement {
+	out, err := RunMatrixCtx(context.Background(), benches, specs, o)
+	if err != nil {
+		panic(&BackendError{Err: err})
+	}
+	return out
+}
+
+// BackendError wraps a dispatch-backend failure surfaced through the
+// panicking RunMatrixOpts path, so callers can recover it by type and
+// report it as an operational error rather than a crash.
+type BackendError struct{ Err error }
+
+func (e *BackendError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the dispatch error for errors.Is/As.
+func (e *BackendError) Unwrap() error { return e.Err }
+
+// RunMatrixCtx is the full-featured matrix runner: RunMatrixOpts plus a
+// context and an error return.  Jobs run on a pool of goroutines — sized
+// by GOMAXPROCS, or by the backend's Concurrency hint when it offers one
+// (a remote pool wants width proportional to its workers, not to local
+// cores).  With o.Backend nil every job executes in-process, exactly the
+// historical behaviour, and the only error source is ctx cancellation.
+// The first job failure cancels the remaining jobs and is returned; the
+// partial matrix is discarded (a checkpointing backend preserves the
+// completed jobs for the rerun).
+func RunMatrixCtx(ctx context.Context, benches []workload.Benchmark, specs []ConfigSpec, o Options) ([][]Measurement, error) {
 	n := o.instructions()
 	out := make([][]Measurement, len(benches))
 	for i := range out {
@@ -161,30 +197,83 @@ func RunMatrixOpts(benches []workload.Benchmark, specs []ConfigSpec, o Options) 
 			JobTime:      jobTime,
 		})
 	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		errMu.Unlock()
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if o.Backend != nil {
+		if h, ok := o.Backend.(interface{ Concurrency() int }); ok {
+			if k := h.Concurrency(); k > 0 {
+				workers = k
+			}
+		}
+	}
 	type job struct{ bi, ci int }
 	jobs := make(chan job)
 	var wg sync.WaitGroup
-	workers := runtime.GOMAXPROCS(0)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
+				if ctx.Err() != nil {
+					continue // drain; the sweep is aborting
+				}
 				start := time.Now()
-				mnt := runJob(benches[j.bi], specs[j.ci].Label, specs[j.ci].Cfg, n, o.Metrics)
+				var mnt Measurement
+				if o.Backend == nil {
+					mnt = runJob(benches[j.bi], specs[j.ci].Label, specs[j.ci].Cfg, n, o.Metrics)
+				} else {
+					var err error
+					mnt, err = o.Backend.Run(ctx, dispatch.Job{
+						Bench: benches[j.bi].Name,
+						Label: specs[j.ci].Label,
+						Cfg:   specs[j.ci].Cfg,
+						N:     n,
+					})
+					if err != nil {
+						fail(fmt.Errorf("experiment: job %s/%s: %w",
+							benches[j.bi].Name, specs[j.ci].Label, err))
+						continue
+					}
+				}
 				out[j.bi][j.ci] = mnt
 				report(mnt, time.Since(start))
 			}
 		}()
 	}
+feed:
 	for bi := range benches {
 		for ci := range specs {
-			jobs <- job{bi, ci}
+			select {
+			case jobs <- job{bi, ci}:
+			case <-ctx.Done():
+				break feed
+			}
 		}
 	}
 	close(jobs)
 	wg.Wait()
-	return out
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Experiment is one reproducible paper item.

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/analytic"
 	"repro/internal/core"
+	"repro/internal/dispatch"
 	"repro/internal/mem"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -330,15 +331,9 @@ func streamWarm(m *sim.Machine, b workload.Benchmark, n uint64) {
 	warmRun(m, b.Stream(n), n)
 }
 
-// warmRun executes the first quarter of the stream unmeasured.
+// warmRun executes the first quarter of the stream unmeasured.  The
+// implementation lives in dispatch.WarmRun so local and remote execution
+// share the warm-up split exactly.
 func warmRun(m *sim.Machine, s trace.Stream, n uint64) {
-	for i := uint64(0); i < n/4; i++ {
-		r, ok := s.Next()
-		if !ok {
-			break
-		}
-		m.Step(r)
-	}
-	m.ResetStats()
-	m.Run(s)
+	dispatch.WarmRun(m, s, n)
 }
