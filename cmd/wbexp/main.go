@@ -13,6 +13,13 @@
 //	wbexp -exp fig5 -workers host1:8101,host2:8101   # shard across wbserve -worker processes
 //	wbexp -all -checkpoint sweep.jsonl               # kill it, rerun it, it resumes
 //
+// Beyond the registered paper items, -config sweeps caller-supplied
+// machines: each machconf JSON file (wbsim -dump-config writes one;
+// -dump-config here prints the baseline) becomes one configuration column:
+//
+//	wbexp -dump-config > base.json       # edit copies of this
+//	wbexp -config base.json,deep.json
+//
 // Each figure experiment prints one row per benchmark with the total
 // write-buffer stall percentage and its (L2-read-access / buffer-full /
 // load-hazard) split, one column per configuration — the textual analogue
@@ -29,6 +36,8 @@ import (
 
 	"repro/internal/dispatch"
 	"repro/internal/experiment"
+	"repro/internal/machconf"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/svgplot"
 	"repro/internal/textplot"
@@ -45,6 +54,8 @@ func main() {
 		quiet      = flag.Bool("quiet", false, "suppress the live progress line on stderr")
 		workersCSV = flag.String("workers", "", "comma-separated wbserve -worker addresses to dispatch sweep jobs to")
 		checkpoint = flag.String("checkpoint", "", "JSONL journal path; completed jobs are skipped when the sweep reruns")
+		configCSV  = flag.String("config", "", "comma-separated machconf JSON files; sweeps them as one custom experiment")
+		dumpConfig = flag.Bool("dump-config", false, "print the baseline machine's canonical machconf JSON and exit")
 	)
 	flag.Parse()
 	if *svg != "" {
@@ -66,6 +77,21 @@ func main() {
 		for _, e := range experiment.All() {
 			fmt.Printf("%-18s %s\n", e.ID, e.Title)
 		}
+	case *dumpConfig:
+		blob, err := machconf.Encode(sim.Baseline())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wbexp: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(blob))
+	case *configCSV != "":
+		specs, err := loadSpecs(*configCSV)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wbexp: %v\n", err)
+			os.Exit(1)
+		}
+		e := experiment.CustomSweep(specs)
+		runOne(e, *n, *plot, *svg, backend, progressFor(*quiet, e.ID))
 	case *all:
 		all := experiment.All()
 		for i, e := range all {
@@ -82,6 +108,30 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// loadSpecs reads one machconf JSON file per -config entry, validating
+// each machine up front so a bad file fails before any simulation starts.
+// The column label is the file name; the canonical hash disambiguates
+// files that happen to share one.
+func loadSpecs(csv string) ([]experiment.ConfigSpec, error) {
+	var specs []experiment.ConfigSpec
+	for _, path := range strings.Split(csv, ",") {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		cfg, err := machconf.Decode(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if err := machconf.Validate(cfg); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		label := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		specs = append(specs, experiment.ConfigSpec{Label: label, Cfg: cfg})
+	}
+	return specs, nil
 }
 
 // buildBackend assembles the dispatch stack the flags describe: remote

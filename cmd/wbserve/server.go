@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dispatch"
 	"repro/internal/experiment"
+	"repro/internal/machconf"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -49,6 +50,18 @@ type RunRequest struct {
 	// that depth; IssueWidth > 1 enables the superscalar extension.
 	WriteCache int `json:"write_cache,omitempty"`
 	IssueWidth int `json:"issue_width,omitempty"`
+	// Config, when present, is a complete machconf machine description (as
+	// produced by wbsim -dump-config or machconf.Encode).  It replaces
+	// every machine-shaping scalar above — mixing the two is an error —
+	// and is the only way to request a registry-registered custom policy.
+	Config json.RawMessage `json:"config,omitempty"`
+}
+
+// hasScalarConfig reports whether any machine-shaping scalar field was set.
+func (r RunRequest) hasScalarConfig() bool {
+	return r.Depth != 0 || r.Width != 0 || r.RetireAt != 0 || r.AgingTimeout != 0 ||
+		r.Hazard != "" || r.L1Size != 0 || r.L2Lat != 0 || r.L2Size != 0 ||
+		r.MemLat != 0 || r.WriteCache != 0 || r.IssueWidth != 0
 }
 
 // normalize fills baseline defaults so equivalent requests share one cache
@@ -62,6 +75,12 @@ func (r RunRequest) normalize(maxN uint64) (RunRequest, error) {
 	}
 	if r.N > maxN {
 		return r, fmt.Errorf("n %d exceeds the server cap of %d", r.N, maxN)
+	}
+	if len(r.Config) > 0 {
+		if r.hasScalarConfig() {
+			return r, fmt.Errorf("config blob and machine fields are mutually exclusive")
+		}
+		return r, nil
 	}
 	if r.Depth == 0 {
 		r.Depth = 4
@@ -93,19 +112,23 @@ func (r RunRequest) normalize(maxN uint64) (RunRequest, error) {
 // (server fault).
 var errInvalidConfig = errors.New("invalid machine configuration")
 
-// config builds the simulator configuration, relying on sim.Config.Validate
-// for the microarchitectural invariants; validation failures are wrapped
-// in errInvalidConfig.
+// config builds the simulator configuration — decoding the machconf blob
+// when one was sent, assembling the scalars otherwise — and relies on
+// machconf.Validate for the microarchitectural invariants; validation
+// failures are wrapped in errInvalidConfig.
 func (r RunRequest) config() (sim.Config, error) {
-	var hazard core.HazardPolicy
-	found := false
-	for _, h := range core.HazardPolicies {
-		if h.String() == r.Hazard {
-			hazard, found = h, true
-			break
+	if len(r.Config) > 0 {
+		cfg, err := machconf.Decode(r.Config)
+		if err != nil {
+			return sim.Config{}, err
 		}
+		if err := machconf.Validate(cfg); err != nil {
+			return sim.Config{}, fmt.Errorf("%w: %v", errInvalidConfig, err)
+		}
+		return cfg, nil
 	}
-	if !found {
+	hazard, ok := machconf.HazardByName(r.Hazard)
+	if !ok {
 		return sim.Config{}, fmt.Errorf("unknown hazard policy %q", r.Hazard)
 	}
 	cfg := sim.Baseline().
@@ -123,25 +146,26 @@ func (r RunRequest) config() (sim.Config, error) {
 	if r.WriteCache > 0 {
 		cfg = cfg.WithWriteCache(r.WriteCache)
 	}
-	if err := cfg.Validate(); err != nil {
+	if err := machconf.Validate(cfg); err != nil {
 		return sim.Config{}, fmt.Errorf("%w: %v", errInvalidConfig, err)
 	}
 	return cfg, nil
 }
 
-// label renders the non-baseline request fields as a compact descriptor.
-func (r RunRequest) label() string {
+// label renders the request as a compact descriptor: the non-baseline
+// scalars, or the canonical hash prefix when the machine arrived as a blob.
+func (r RunRequest) label(hash string) string {
+	if len(r.Config) > 0 {
+		return "machconf:" + hash[:12]
+	}
 	return fmt.Sprintf("depth=%d,width=%d,retire=%d,hazard=%s", r.Depth, r.Width, r.RetireAt, r.Hazard)
 }
 
-// key is the LRU cache key: the normalized request is canonical, so its
-// JSON encoding (fixed field order) identifies config+benchmark+n exactly.
-func (r RunRequest) key() string {
-	b, err := json.Marshal(r)
-	if err != nil { // a struct of scalars cannot fail to marshal
-		panic(err)
-	}
-	return string(b)
+// cacheKey is the LRU key: benchmark, instruction count, and the machine's
+// canonical machconf hash.  A scalar request and a canonical blob that
+// describe the same machine share one entry.
+func cacheKey(bench string, n uint64, hash string) string {
+	return fmt.Sprintf("%s|%d|%s", bench, n, hash)
 }
 
 // RunResponse is the JSON reply of POST /run: the paper's measurement for
@@ -309,7 +333,13 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	key := req.key()
+	hash, err := machconf.Hash(cfg)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+
+	key := cacheKey(req.Bench, req.N, hash)
 	if cached, ok := s.cache.get(key); ok {
 		s.reg.Counter("wbserve_cache_hits_total").Inc()
 		resp := *cached
@@ -320,7 +350,7 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	s.reg.Counter("wbserve_cache_misses_total").Inc()
 	matrix := experiment.RunMatrixOpts(
 		[]workload.Benchmark{b},
-		[]experiment.ConfigSpec{{Label: req.label(), Cfg: cfg}},
+		[]experiment.ConfigSpec{{Label: req.label(hash), Cfg: cfg}},
 		experiment.Options{Instructions: req.N, Metrics: s.reg},
 	)
 	resp := responseFrom(matrix[0][0])

@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -10,7 +11,9 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/dispatch"
+	"repro/internal/machconf"
 	"repro/internal/sim"
 )
 
@@ -185,6 +188,123 @@ func TestJobEndpoint(t *testing.T) {
 	}
 	if s.reg.Counter(`wbserve_requests_total{path="/job"}`).Value() != 1 {
 		t.Errorf("/job not instrumented")
+	}
+}
+
+// burstRetire is a custom retirement policy with no built-in wire family:
+// it waits for Burst buffered entries, then drains them as one burst.
+type burstRetire struct{ Burst int }
+
+func (p burstRetire) NextStart(occ int, headAlloc, lastStart, now uint64) (uint64, bool) {
+	return now, occ >= p.Burst
+}
+func (p burstRetire) Name() string { return fmt.Sprintf("burst(%d)", p.Burst) }
+
+var registerBurstOnce sync.Once
+
+func registerBurst() {
+	registerBurstOnce.Do(func() {
+		machconf.RegisterRetirement(machconf.RetirementCodec{
+			Kind: "burst",
+			Encode: func(p core.RetirementPolicy) (any, bool) {
+				b, ok := p.(burstRetire)
+				if !ok {
+					return nil, false
+				}
+				return map[string]int{"burst": b.Burst}, true
+			},
+			Decode: func(raw json.RawMessage) (core.RetirementPolicy, error) {
+				var params struct {
+					Burst int `json:"burst"`
+				}
+				if err := json.Unmarshal(raw, &params); err != nil {
+					return nil, err
+				}
+				return burstRetire{Burst: params.Burst}, nil
+			},
+		})
+	})
+}
+
+// A custom policy registered with the machconf registry round-trips
+// through the real wbserve worker surface: the wire job carries the
+// registered kind, the worker decodes and runs it, and the measurement
+// matches local execution exactly.
+func TestJobEndpointCustomPolicy(t *testing.T) {
+	registerBurst()
+	_, ts := testServer(t)
+	cfg := sim.Baseline().WithDepth(8).WithRetire(burstRetire{Burst: 6})
+	job := dispatch.Job{Bench: "compress", Label: "burst", Cfg: cfg, N: 100_000}
+	want, err := dispatch.Execute(job, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := postJob(t, ts, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("remote custom-policy measurement differs:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// POST /run accepts the machconf canonical form in the config field; a
+// scalar request and a blob describing the same machine must share one
+// cache entry (the key is the canonical hash, not the request shape).
+func TestRunConfigBlob(t *testing.T) {
+	_, ts := testServer(t)
+	blob, err := machconf.Encode(sim.Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Scalar request first: all defaults, i.e. the baseline machine.
+	if _, out := postRun(t, ts, `{"bench":"li","n":100000}`); out.Cached {
+		t.Fatal("first request reported cached")
+	}
+	resp, out := postRun(t, ts, fmt.Sprintf(`{"bench":"li","n":100000,"config":%s}`, blob))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("blob request: status %d", resp.StatusCode)
+	}
+	if !out.Cached {
+		t.Error("equivalent blob request missed the scalar request's cache entry")
+	}
+
+	// A blob for a machine no scalar request can describe still runs, and
+	// its label carries the canonical hash prefix.
+	registerBurst()
+	custom := sim.Baseline().WithRetire(burstRetire{Burst: 3})
+	cblob, err := machconf.Encode(custom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, out = postRun(t, ts, fmt.Sprintf(`{"bench":"li","n":100000,"config":%s}`, cblob))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("custom-policy blob: status %d", resp.StatusCode)
+	}
+	if !strings.HasPrefix(out.Config, "machconf:") {
+		t.Errorf("blob request label = %q, want a machconf hash prefix", out.Config)
+	}
+}
+
+func TestRunConfigBlobRejections(t *testing.T) {
+	_, ts := testServer(t)
+	blob, err := machconf.Encode(sim.Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, tc := range map[string]struct {
+		body string
+		want int
+	}{
+		"blob plus machine field": {fmt.Sprintf(`{"bench":"li","depth":8,"config":%s}`, blob), http.StatusBadRequest},
+		"unparsable blob":         {`{"bench":"li","config":{"v":99}}`, http.StatusBadRequest},
+		"invalid machine":         {`{"bench":"li","config":` + strings.Replace(string(blob), `"wb_depth":4`, `"wb_depth":-1`, 1) + `}`, http.StatusUnprocessableEntity},
+	} {
+		resp, _ := postRun(t, ts, tc.body)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d", name, resp.StatusCode, tc.want)
+		}
 	}
 }
 

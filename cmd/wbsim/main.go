@@ -9,6 +9,13 @@
 //	wbsim -bench su2cor -l2size 524288 -memlat 50 -n 2000000
 //	wbsim -trace li.wbt                            # run a recorded trace (wbtrace -record)
 //	wbsim -list
+//
+// The machine can also travel as a file.  -dump-config prints the flag-built
+// machine in machconf's canonical JSON; -config runs a machine from such a
+// file (the same form wbserve's /run accepts and wbexp -config sweeps):
+//
+//	wbsim -depth 12 -hazard read-from-WB -dump-config > deep.json
+//	wbsim -bench li -config deep.json
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/machconf"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -25,19 +33,21 @@ import (
 
 func main() {
 	var (
-		benchName = flag.String("bench", "", "benchmark name (see -list)")
-		traceFile = flag.String("trace", "", "run a recorded trace file instead of a benchmark")
-		list      = flag.Bool("list", false, "list benchmarks and exit")
-		n         = flag.Uint64("n", 1_000_000, "dynamic instructions to simulate")
-		depth     = flag.Int("depth", 4, "write buffer depth (entries)")
-		width     = flag.Int("width", 4, "write buffer entry width (words); 1 = non-coalescing")
-		retire    = flag.Int("retire", 2, "retire-at high-water mark")
-		aging     = flag.Uint64("aging", 0, "aging timeout in cycles (0 = off)")
-		hazard    = flag.String("hazard", "flush-full", "load-hazard policy: flush-full, flush-partial, flush-item-only, read-from-WB")
-		l1size    = flag.Int("l1size", 8192, "L1 data cache size in bytes")
-		l2lat     = flag.Uint64("l2lat", 6, "L2 access latency in cycles")
-		l2size    = flag.Int("l2size", 0, "finite L2 size in bytes (0 = perfect)")
-		memlat    = flag.Uint64("memlat", 25, "main memory latency in cycles")
+		benchName  = flag.String("bench", "", "benchmark name (see -list)")
+		traceFile  = flag.String("trace", "", "run a recorded trace file instead of a benchmark")
+		list       = flag.Bool("list", false, "list benchmarks and exit")
+		n          = flag.Uint64("n", 1_000_000, "dynamic instructions to simulate")
+		depth      = flag.Int("depth", 4, "write buffer depth (entries)")
+		width      = flag.Int("width", 4, "write buffer entry width (words); 1 = non-coalescing")
+		retire     = flag.Int("retire", 2, "retire-at high-water mark")
+		aging      = flag.Uint64("aging", 0, "aging timeout in cycles (0 = off)")
+		hazard     = flag.String("hazard", "flush-full", "load-hazard policy: flush-full, flush-partial, flush-item-only, read-from-WB")
+		l1size     = flag.Int("l1size", 8192, "L1 data cache size in bytes")
+		l2lat      = flag.Uint64("l2lat", 6, "L2 access latency in cycles")
+		l2size     = flag.Int("l2size", 0, "finite L2 size in bytes (0 = perfect)")
+		memlat     = flag.Uint64("memlat", 25, "main memory latency in cycles")
+		configFile = flag.String("config", "", "machconf JSON machine description (replaces the machine flags)")
+		dumpConfig = flag.Bool("dump-config", false, "print the machine's canonical machconf JSON and exit")
 	)
 	flag.Parse()
 
@@ -48,6 +58,52 @@ func main() {
 		}
 		return
 	}
+
+	var cfg sim.Config
+	if *configFile != "" {
+		if set := machineFlagsSet(); len(set) > 0 {
+			fmt.Fprintf(os.Stderr, "wbsim: -config replaces the machine flags; drop %s\n", set)
+			os.Exit(1)
+		}
+		data, err := os.ReadFile(*configFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wbsim:", err)
+			os.Exit(1)
+		}
+		cfg, err = machconf.Decode(data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wbsim:", err)
+			os.Exit(1)
+		}
+	} else {
+		cfg = sim.Baseline().
+			WithDepth(*depth).
+			WithRetire(core.RetireAt{N: *retire, Timeout: *aging}).
+			WithL1Size(*l1size).
+			WithL2Latency(*l2lat).
+			WithMemLat(*memlat)
+		cfg.WB.WordsPerEntry = *width
+		if *l2size > 0 {
+			cfg = cfg.WithL2(*l2size)
+		}
+		h, err := parseHazard(*hazard)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wbsim:", err)
+			os.Exit(1)
+		}
+		cfg = cfg.WithHazard(h)
+	}
+
+	if *dumpConfig {
+		blob, err := machconf.Encode(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wbsim:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(blob))
+		return
+	}
+
 	var stream trace.Stream
 	var name string
 	if *traceFile != "" {
@@ -72,23 +128,6 @@ func main() {
 		stream, name = b.Stream(*n), b.Name
 	}
 
-	cfg := sim.Baseline().
-		WithDepth(*depth).
-		WithRetire(core.RetireAt{N: *retire, Timeout: *aging}).
-		WithL1Size(*l1size).
-		WithL2Latency(*l2lat).
-		WithMemLat(*memlat)
-	cfg.WB.WordsPerEntry = *width
-	if *l2size > 0 {
-		cfg = cfg.WithL2(*l2size)
-	}
-	h, err := parseHazard(*hazard)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "wbsim:", err)
-		os.Exit(1)
-	}
-	cfg = cfg.WithHazard(h)
-
 	m, err := sim.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wbsim:", err)
@@ -96,6 +135,22 @@ func main() {
 	}
 	m.Run(stream)
 	printResult(name, m)
+}
+
+// machineFlagsSet lists the machine-shaping flags the user set explicitly,
+// which conflict with -config.
+func machineFlagsSet() []string {
+	machine := map[string]bool{
+		"depth": true, "width": true, "retire": true, "aging": true,
+		"hazard": true, "l1size": true, "l2lat": true, "l2size": true, "memlat": true,
+	}
+	var set []string
+	flag.Visit(func(f *flag.Flag) {
+		if machine[f.Name] {
+			set = append(set, "-"+f.Name)
+		}
+	})
+	return set
 }
 
 func parseHazard(s string) (core.HazardPolicy, error) {

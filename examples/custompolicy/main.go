@@ -4,16 +4,22 @@
 // store-heavy phases (to maximise coalescing) — and race it against the
 // paper's fixed policies.
 //
-// It demonstrates the core.RetirementPolicy extension point: any type with
-// a NextStart method plugs into the machine.
+// It demonstrates two extension points together: core.RetirementPolicy
+// (any type with a NextStart method plugs into the machine) and the
+// machconf policy registry (registering a codec makes the policy
+// wire-encodable, so it can journal into checkpoints, travel to
+// wbserve -worker processes, and be requested through wbserve's /run
+// config blob — see docs/DISTRIBUTED.md).
 //
 //	go run ./examples/custompolicy
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/machconf"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -46,6 +52,38 @@ func (p phased) Name() string {
 	return fmt.Sprintf("phased(%d/%d,win=%d)", p.Eager, p.Lazy, p.Window)
 }
 
+// phasedParams is the policy's wire payload; typed so the canonical
+// encoding is deterministic.
+type phasedParams struct {
+	Window uint64 `json:"window"`
+	Eager  int    `json:"eager"`
+	Lazy   int    `json:"lazy"`
+}
+
+// init registers phased with the machconf registry.  This is the whole
+// cost of making a custom policy distributable: a remote worker running a
+// binary with this registration accepts phased configurations on its /job
+// endpoint exactly like the built-in families.
+func init() {
+	machconf.RegisterRetirement(machconf.RetirementCodec{
+		Kind: "phased",
+		Encode: func(p core.RetirementPolicy) (any, bool) {
+			ph, ok := p.(phased)
+			if !ok {
+				return nil, false
+			}
+			return phasedParams{Window: ph.Window, Eager: ph.Eager, Lazy: ph.Lazy}, true
+		},
+		Decode: func(raw json.RawMessage) (core.RetirementPolicy, error) {
+			var params phasedParams
+			if err := json.Unmarshal(raw, &params); err != nil {
+				return nil, err
+			}
+			return phased{Window: params.Window, Eager: params.Eager, Lazy: params.Lazy}, nil
+		},
+	})
+}
+
 func main() {
 	const n = 300_000
 	policies := []core.RetirementPolicy{
@@ -76,4 +114,19 @@ func main() {
 		}
 		fmt.Println()
 	}
+
+	// Because phased is registered, a configuration using it has a wire
+	// form and a canonical identity like any built-in policy.
+	cfg := sim.Baseline().WithDepth(12).
+		WithRetire(phased{Window: 4096, Eager: 2, Lazy: 8}).
+		WithHazard(core.ReadFromWB)
+	blob, err := machconf.Encode(cfg)
+	if err != nil {
+		panic(err)
+	}
+	hash, err := machconf.Hash(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nwire form: %s\ncanonical hash: %s…\n", blob, hash[:16])
 }

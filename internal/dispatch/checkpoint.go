@@ -104,8 +104,8 @@ func (c *Checkpointed) Loaded() (loaded, skipped int) {
 
 // Run implements Backend: journaled jobs return instantly; fresh jobs go
 // to the inner backend and are journaled on success.  A job whose
-// configuration has no canonical key (a custom retirement policy) passes
-// through unjournaled.
+// configuration has no canonical key (a retirement policy with no
+// registered machconf codec) passes through unjournaled.
 func (c *Checkpointed) Run(ctx context.Context, job Job) (Measurement, error) {
 	key, err := job.Key()
 	if err != nil {

@@ -65,7 +65,8 @@ func TestWireRoundTrip(t *testing.T) {
 	}
 }
 
-// customPolicy is a retirement policy the wire format cannot express.
+// customPolicy is a retirement policy with no registered machconf codec,
+// so the wire format cannot express it.
 type customPolicy struct{}
 
 func (customPolicy) NextStart(occ int, headAlloc, lastStart, now uint64) (uint64, bool) {

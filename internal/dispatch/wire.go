@@ -4,188 +4,54 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
-	"fmt"
 
-	"repro/internal/cache"
-	"repro/internal/core"
-	"repro/internal/mem"
-	"repro/internal/sim"
+	"repro/internal/machconf"
 )
 
 // The wire format is the JSON job description POST /job accepts and the
-// canonical form the checkpoint journal hashes.  It must describe a
-// sim.Config completely — a lossy encoding would let a remote run drift
-// from the local one — so every Config field appears, and the retirement
-// policy (an open interface) is encoded by kind for the three policy
-// families the repository defines.  Custom policies (examples/custompolicy)
-// have no wire form and can only run on the Local backend; encodeJob
-// reports that explicitly rather than guessing.
+// canonical form the checkpoint journal hashes.  The machine itself is not
+// described here at all: the config field carries a machconf canonical
+// blob, so the schema for the machine lives in exactly one place
+// (internal/machconf) and this file never changes when sim.Config grows a
+// field.  Any policy registered with the machconf registry — including
+// custom ones (examples/custompolicy) — travels to remote workers and into
+// checkpoint journals with no dispatch-side changes.
 
-// wireJob is the JSON encoding of a Job.
+// wireJob is the JSON encoding of a Job: the benchmark coordinates plus
+// the machine's canonical form.
 type wireJob struct {
-	Bench  string     `json:"bench"`
-	Label  string     `json:"label,omitempty"`
-	N      uint64     `json:"n"`
-	Config wireConfig `json:"config"`
-}
-
-// wireConfig flattens sim.Config into scalars.
-type wireConfig struct {
-	L1                   wireCache  `json:"l1"`
-	L2                   *wireCache `json:"l2,omitempty"`
-	L2ReadLat            uint64     `json:"l2_read_lat"`
-	L2WriteLat           uint64     `json:"l2_write_lat"`
-	MemLat               uint64     `json:"mem_lat"`
-	WBDepth              int        `json:"wb_depth"`
-	WBWords              int        `json:"wb_words"`
-	LineBytes            int        `json:"line_bytes"`
-	WordBytes            int        `json:"word_bytes"`
-	Retire               wireRetire `json:"retire"`
-	Hazard               string     `json:"hazard"`
-	WriteThreshold       int        `json:"write_threshold,omitempty"`
-	IssueWidth           int        `json:"issue_width,omitempty"`
-	WriteTransferCycles  uint64     `json:"write_transfer_cycles,omitempty"`
-	WriteCacheDepth      int        `json:"write_cache_depth,omitempty"`
-	ChargeWriteMissFetch bool       `json:"charge_write_miss_fetch,omitempty"`
-	IMissRate            float64    `json:"i_miss_rate,omitempty"`
-	ISeed                uint64     `json:"i_seed,omitempty"`
-}
-
-type wireCache struct {
-	SizeBytes int `json:"size_bytes"`
-	LineBytes int `json:"line_bytes"`
-	Assoc     int `json:"assoc"`
-}
-
-// wireRetire encodes the retirement policy by family.
-type wireRetire struct {
-	Kind     string `json:"kind"` // "retire-at" | "fixed-rate" | "eager"
-	N        int    `json:"n,omitempty"`
-	Timeout  uint64 `json:"timeout,omitempty"`
-	Interval uint64 `json:"interval,omitempty"`
-}
-
-func encodeCache(c cache.Config) wireCache {
-	return wireCache{SizeBytes: c.SizeBytes, LineBytes: c.LineBytes, Assoc: c.Assoc}
-}
-
-func decodeCache(w wireCache) cache.Config {
-	return cache.Config{SizeBytes: w.SizeBytes, LineBytes: w.LineBytes, Assoc: w.Assoc}
-}
-
-func encodeRetire(p core.RetirementPolicy) (wireRetire, error) {
-	switch r := p.(type) {
-	case core.RetireAt:
-		return wireRetire{Kind: "retire-at", N: r.N, Timeout: r.Timeout}, nil
-	case core.FixedRate:
-		return wireRetire{Kind: "fixed-rate", Interval: r.Interval}, nil
-	case core.Eager:
-		return wireRetire{Kind: "eager"}, nil
-	case nil:
-		return wireRetire{}, fmt.Errorf("dispatch: no retirement policy to encode")
-	default:
-		return wireRetire{}, fmt.Errorf("dispatch: retirement policy %q has no wire encoding; "+
-			"custom policies run only on the Local backend", p.Name())
-	}
-}
-
-func decodeRetire(w wireRetire) (core.RetirementPolicy, error) {
-	switch w.Kind {
-	case "retire-at":
-		return core.RetireAt{N: w.N, Timeout: w.Timeout}, nil
-	case "fixed-rate":
-		return core.FixedRate{Interval: w.Interval}, nil
-	case "eager":
-		return core.Eager{}, nil
-	default:
-		return nil, fmt.Errorf("dispatch: unknown retirement policy kind %q", w.Kind)
-	}
+	Bench  string          `json:"bench"`
+	Label  string          `json:"label,omitempty"`
+	N      uint64          `json:"n"`
+	Config json.RawMessage `json:"config"`
 }
 
 // encodeJob renders a job in the wire format, or reports why it cannot
-// travel (a retirement policy with no wire encoding).
+// travel (a retirement policy with no registered machconf codec).
 func encodeJob(job Job) (wireJob, error) {
-	retire, err := encodeRetire(job.Cfg.Retire)
+	blob, err := machconf.Encode(job.Cfg)
 	if err != nil {
 		return wireJob{}, err
 	}
-	cfg := job.Cfg
-	w := wireConfig{
-		L1:                   encodeCache(cfg.L1),
-		L2ReadLat:            cfg.L2ReadLat,
-		L2WriteLat:           cfg.L2WriteLat,
-		MemLat:               cfg.MemLat,
-		WBDepth:              cfg.WB.Depth,
-		WBWords:              cfg.WB.WordsPerEntry,
-		LineBytes:            cfg.WB.Geometry.LineBytes(),
-		WordBytes:            cfg.WB.Geometry.WordBytes(),
-		Retire:               retire,
-		Hazard:               cfg.Hazard.String(),
-		WriteThreshold:       cfg.WriteThreshold,
-		IssueWidth:           cfg.IssueWidth,
-		WriteTransferCycles:  cfg.WriteTransferCycles,
-		WriteCacheDepth:      cfg.WriteCacheDepth,
-		ChargeWriteMissFetch: cfg.ChargeWriteMissFetch,
-		IMissRate:            cfg.IMissRate,
-		ISeed:                cfg.ISeed,
-	}
-	if cfg.L2 != nil {
-		l2 := encodeCache(*cfg.L2)
-		w.L2 = &l2
-	}
-	return wireJob{Bench: job.Bench, Label: job.Label, N: job.N, Config: w}, nil
+	return wireJob{Bench: job.Bench, Label: job.Label, N: job.N, Config: blob}, nil
 }
 
-// decodeJob rebuilds a Job from the wire format.  It checks only what the
-// decoding itself needs (geometry, policy names); full machine validation
-// happens in Execute via sim.New.
+// decodeJob rebuilds a Job from the wire format.  Decoding is structural
+// (schema version, geometry, registered policy kinds); full machine
+// validation happens in Execute via sim.New.
 func decodeJob(w wireJob) (Job, error) {
-	geom, err := mem.NewGeometry(w.Config.LineBytes, w.Config.WordBytes)
-	if err != nil {
-		return Job{}, fmt.Errorf("dispatch: %w", err)
-	}
-	retire, err := decodeRetire(w.Config.Retire)
+	cfg, err := machconf.Decode(w.Config)
 	if err != nil {
 		return Job{}, err
-	}
-	var hazard core.HazardPolicy
-	found := false
-	for _, h := range core.HazardPolicies {
-		if h.String() == w.Config.Hazard {
-			hazard, found = h, true
-			break
-		}
-	}
-	if !found {
-		return Job{}, fmt.Errorf("dispatch: unknown hazard policy %q", w.Config.Hazard)
-	}
-	cfg := sim.Config{
-		L1:                   decodeCache(w.Config.L1),
-		L2ReadLat:            w.Config.L2ReadLat,
-		L2WriteLat:           w.Config.L2WriteLat,
-		MemLat:               w.Config.MemLat,
-		WB:                   core.Config{Depth: w.Config.WBDepth, WordsPerEntry: w.Config.WBWords, Geometry: geom},
-		Retire:               retire,
-		Hazard:               hazard,
-		WriteThreshold:       w.Config.WriteThreshold,
-		IssueWidth:           w.Config.IssueWidth,
-		WriteTransferCycles:  w.Config.WriteTransferCycles,
-		WriteCacheDepth:      w.Config.WriteCacheDepth,
-		ChargeWriteMissFetch: w.Config.ChargeWriteMissFetch,
-		IMissRate:            w.Config.IMissRate,
-		ISeed:                w.Config.ISeed,
-	}
-	if w.Config.L2 != nil {
-		l2 := decodeCache(*w.Config.L2)
-		cfg.L2 = &l2
 	}
 	return Job{Bench: w.Bench, Label: w.Label, Cfg: cfg, N: w.N}, nil
 }
 
 // Key returns the job's canonical identity: the hex SHA-256 of its wire
 // encoding with the display label stripped, so a checkpointed result is
-// found again regardless of how a rerun labels its columns.  Jobs whose
-// configuration has no wire encoding have no key.
+// found again regardless of how a rerun labels its columns.  The embedded
+// config blob is machconf's canonical form, so equal machines always key
+// equal.  Jobs whose configuration has no wire encoding have no key.
 func (j Job) Key() (string, error) {
 	w, err := encodeJob(j)
 	if err != nil {

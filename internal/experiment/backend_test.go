@@ -2,16 +2,19 @@ package experiment
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/dispatch"
+	"repro/internal/machconf"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -58,6 +61,101 @@ func TestLocalRemoteParity(t *testing.T) {
 
 	if !reflect.DeepEqual(local, remote) {
 		t.Errorf("local and remote matrices differ:\nlocal  %+v\nremote %+v", local, remote)
+	}
+}
+
+// phasedRetire is a custom retirement policy outside the built-in wire
+// families: even windows retire at Eager, odd windows at Lazy.
+type phasedRetire struct {
+	Window uint64
+	Eager  int
+	Lazy   int
+}
+
+func (p phasedRetire) NextStart(occ int, headAlloc, lastStart, now uint64) (uint64, bool) {
+	hwm := p.Eager
+	if (now/p.Window)%2 == 1 {
+		hwm = p.Lazy
+	}
+	if occ >= hwm {
+		return now, true
+	}
+	return 0, false
+}
+func (p phasedRetire) Name() string { return "phased-test" }
+
+var registerPhasedOnce sync.Once
+
+func registerPhased() {
+	registerPhasedOnce.Do(func() {
+		machconf.RegisterRetirement(machconf.RetirementCodec{
+			Kind: "phased-test",
+			Encode: func(p core.RetirementPolicy) (any, bool) {
+				ph, ok := p.(phasedRetire)
+				if !ok {
+					return nil, false
+				}
+				return map[string]any{"window": ph.Window, "eager": ph.Eager, "lazy": ph.Lazy}, true
+			},
+			Decode: func(raw json.RawMessage) (core.RetirementPolicy, error) {
+				var params struct {
+					Window uint64 `json:"window"`
+					Eager  int    `json:"eager"`
+					Lazy   int    `json:"lazy"`
+				}
+				if err := json.Unmarshal(raw, &params); err != nil {
+					return nil, err
+				}
+				return phasedRetire{Window: params.Window, Eager: params.Eager, Lazy: params.Lazy}, nil
+			},
+		})
+	})
+}
+
+// A custom policy registered with the machconf registry is a first-class
+// citizen of the distributed path: the same sweep through the local runner
+// and through a Remote backend over a real worker HTTP surface must agree
+// bit for bit.  Before the registry this configuration could not even be
+// encoded for the wire.
+func TestLocalRemoteParityCustomPolicy(t *testing.T) {
+	registerPhased()
+	benches, _ := paritySuite(t)
+	specs := []ConfigSpec{{
+		Label: "phased",
+		Cfg: sim.Baseline().WithDepth(12).
+			WithRetire(phasedRetire{Window: 4096, Eager: 2, Lazy: 8}).
+			WithHazard(core.ReadFromWB),
+	}}
+	const n = 50_000
+
+	canon, err := specs[0].Canonical()
+	if err != nil {
+		t.Fatalf("custom-policy spec has no canonical form: %v", err)
+	}
+	if !strings.Contains(string(canon), `"kind":"phased-test"`) {
+		t.Fatalf("canonical form does not carry the registered kind: %s", canon)
+	}
+	if h, err := specs[0].Hash(); err != nil || len(h) != 64 {
+		t.Fatalf("custom-policy spec hash = %q, %v", h, err)
+	}
+
+	local := RunMatrix(benches, specs, n)
+
+	ts := httptest.NewServer(dispatch.WorkerHandler(nil))
+	defer ts.Close()
+	rem, err := dispatch.NewRemote([]string{ts.URL}, dispatch.RemoteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rem.Close()
+	remote, err := RunMatrixCtx(context.Background(), benches, specs,
+		Options{Instructions: n, Backend: rem})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(local, remote) {
+		t.Errorf("custom-policy local and remote matrices differ:\nlocal  %+v\nremote %+v", local, remote)
 	}
 }
 

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/dispatch"
+	"repro/internal/machconf"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -115,6 +116,27 @@ func runJob(b workload.Benchmark, label string, cfg sim.Config, n uint64, reg *m
 type ConfigSpec struct {
 	Label string
 	Cfg   sim.Config
+}
+
+// Canonical renders the spec's machine in machconf's canonical form — the
+// same bytes the dispatch wire format ships and wbsim -dump-config prints.
+func (s ConfigSpec) Canonical() ([]byte, error) {
+	return machconf.Encode(s.Cfg)
+}
+
+// Hash returns the machine's canonical machconf content address, the
+// identity the checkpoint journal and the wbserve result cache key on.
+func (s ConfigSpec) Hash() (string, error) {
+	return machconf.Hash(s.Cfg)
+}
+
+// CustomSweep builds an unregistered experiment over caller-supplied
+// configurations — the wbexp -config path, where the specs come from
+// machconf files rather than a paper figure.  The report has the standard
+// stall-figure shape.
+func CustomSweep(specs []ConfigSpec) Experiment {
+	return stallFigure("custom", "Custom sweep (machconf configurations)",
+		func() []ConfigSpec { return specs })
 }
 
 // RunMatrix runs every benchmark against every configuration, in parallel

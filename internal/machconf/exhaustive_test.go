@@ -1,0 +1,83 @@
+package machconf
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// configMutators holds, for every sim.Config field, a mutation that must
+// change the canonical encoding.  This is the schema's drift alarm: adding
+// a Config field without a wire form used to be silent (a distributed run
+// would quietly diverge from a local one); now the reflection walk below
+// fails until the field appears both in the Wire codec and here.
+var configMutators = map[string]func(*sim.Config){
+	"L1":                   func(c *sim.Config) { c.L1.SizeBytes = 16 << 10 },
+	"L2":                   func(c *sim.Config) { *c = c.WithL2(512 << 10) },
+	"L2ReadLat":            func(c *sim.Config) { c.L2ReadLat = 10 },
+	"L2WriteLat":           func(c *sim.Config) { c.L2WriteLat = 9 },
+	"MemLat":               func(c *sim.Config) { c.MemLat = 50 },
+	"WB":                   func(c *sim.Config) { c.WB.Depth = 12 },
+	"Retire":               func(c *sim.Config) { *c = c.WithRetire(core.FixedRate{Interval: 7}) },
+	"Hazard":               func(c *sim.Config) { *c = c.WithHazard(core.ReadFromWB) },
+	"WriteThreshold":       func(c *sim.Config) { c.WriteThreshold = 3 },
+	"IssueWidth":           func(c *sim.Config) { c.IssueWidth = 4 },
+	"WriteTransferCycles":  func(c *sim.Config) { c.WriteTransferCycles = 2 },
+	"WriteCacheDepth":      func(c *sim.Config) { c.WriteCacheDepth = 8 },
+	"ChargeWriteMissFetch": func(c *sim.Config) { c.ChargeWriteMissFetch = true },
+	"IMissRate":            func(c *sim.Config) { c.IMissRate = 0.02 },
+	"ISeed":                func(c *sim.Config) { c.ISeed = 42 },
+}
+
+// TestWireCoversEveryConfigField walks sim.Config by reflection and
+// demands that (a) every field has a registered mutation, (b) applying it
+// changes the canonical encoding (the field is really encoded, not merely
+// listed), and (c) the mutated machine survives a round trip unchanged
+// (the field is really decoded too).
+func TestWireCoversEveryConfigField(t *testing.T) {
+	base := sim.Baseline()
+	enc0, err := Encode(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	typ := reflect.TypeOf(sim.Config{})
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		mutate, ok := configMutators[name]
+		if !ok {
+			t.Errorf("sim.Config gained field %q with no machconf wire form: "+
+				"add it to Wire, ToWire, FromWire, and configMutators", name)
+			continue
+		}
+		cfg := base
+		mutate(&cfg)
+		enc1, err := Encode(cfg)
+		if err != nil {
+			t.Errorf("%s: encoding the mutated config: %v", name, err)
+			continue
+		}
+		if bytes.Equal(enc0, enc1) {
+			t.Errorf("%s: mutation did not change the canonical encoding — "+
+				"the field is listed but not encoded", name)
+			continue
+		}
+		got, err := Decode(enc1)
+		if err != nil {
+			t.Errorf("%s: decoding the mutated config: %v", name, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, cfg) {
+			t.Errorf("%s: round trip lost the mutation:\n got %+v\nwant %+v", name, got, cfg)
+		}
+	}
+	// The inverse direction: a mutator for a field that no longer exists
+	// is stale and should be deleted.
+	for name := range configMutators {
+		if _, ok := typ.FieldByName(name); !ok {
+			t.Errorf("configMutators entry %q names a field sim.Config no longer has", name)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package machconf
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode holds the codec to its two wire-safety contracts:
+//
+//  1. Decode never panics, whatever bytes arrive — the worker endpoint
+//     feeds it network input.
+//  2. The canonical form is a fixed point: whatever decodes must
+//     re-encode, and encode→decode→encode is byte-identical, which is
+//     what makes Hash a stable content address.
+//
+// CI runs a short -fuzztime smoke of this alongside the seed corpus.
+func FuzzDecode(f *testing.F) {
+	for _, cfg := range testConfigs() {
+		b, err := Encode(cfg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"v":1}`))
+	f.Add([]byte(`{"v":1,"retire":{"kind":"eager"},"hazard":"flush-full","line_bytes":32,"word_bytes":8}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, err := Decode(data)
+		if err != nil {
+			return // rejected input is fine; panicking is not
+		}
+		enc1, err := Encode(cfg)
+		if err != nil {
+			t.Fatalf("decoded config failed to re-encode: %v", err)
+		}
+		cfg2, err := Decode(enc1)
+		if err != nil {
+			t.Fatalf("canonical encoding failed to decode: %v\n%s", err, enc1)
+		}
+		enc2, err := Encode(cfg2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("encode→decode→encode not byte-identical:\n first %s\nsecond %s", enc1, enc2)
+		}
+	})
+}

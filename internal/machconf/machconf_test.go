@@ -1,0 +1,231 @@
+package machconf
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// testConfigs is a spread of machines covering every Config field class:
+// baseline, finite L2, write cache, superscalar + narrow datapath, aging
+// and fixed-rate and eager retirement, I-cache extension.
+func testConfigs() map[string]sim.Config {
+	withI := sim.Baseline()
+	withI.IMissRate = 0.02
+	withI.ISeed = 42
+	withI.ChargeWriteMissFetch = true
+	narrow := sim.Baseline().WithIssueWidth(4)
+	narrow.WriteTransferCycles = 2
+	narrow.WriteThreshold = 3
+	return map[string]sim.Config{
+		"baseline":   sim.Baseline(),
+		"deep-rwb":   sim.Baseline().WithDepth(12).WithRetire(core.RetireAt{N: 8}).WithHazard(core.ReadFromWB),
+		"finite-l2":  sim.Baseline().WithL2(512 << 10).WithMemLat(50),
+		"writecache": sim.Baseline().WithWriteCache(8),
+		"aging":      sim.Baseline().WithRetire(core.RetireAt{N: 2, Timeout: 256}),
+		"fixed-rate": sim.Baseline().WithRetire(core.FixedRate{Interval: 6}),
+		"eager":      sim.Baseline().WithRetire(core.Eager{}),
+		"extensions": withI,
+		"narrow":     narrow,
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for name, cfg := range testConfigs() {
+		b, err := Encode(cfg)
+		if err != nil {
+			t.Errorf("%s: encode: %v", name, err)
+			continue
+		}
+		got, err := Decode(b)
+		if err != nil {
+			t.Errorf("%s: decode: %v", name, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, cfg) {
+			t.Errorf("%s: round trip changed the config:\n got %+v\nwant %+v", name, got, cfg)
+		}
+		// Canonical: re-encoding the decoded config is byte-identical.
+		b2, err := Encode(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b, b2) {
+			t.Errorf("%s: encoding is not canonical:\n first %s\nsecond %s", name, b, b2)
+		}
+	}
+}
+
+func TestHashIdentity(t *testing.T) {
+	h1, err := Hash(sim.Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h1) != 64 {
+		t.Fatalf("hash %q is not a sha256 hex digest", h1)
+	}
+	if h2, _ := Hash(sim.Baseline()); h2 != h1 {
+		t.Error("equal configs hashed differently")
+	}
+	seen := map[string]string{h1: "baseline"}
+	for name, cfg := range testConfigs() {
+		if name == "baseline" {
+			continue
+		}
+		h, err := Hash(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := seen[h]; dup {
+			t.Errorf("configs %q and %q share hash %s", name, prev, h)
+		}
+		seen[h] = name
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	canonical, err := Encode(sim.Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range map[string]string{
+		"malformed":      `{`,
+		"unknown field":  strings.Replace(string(canonical), `"v":1`, `"v":1,"bogus":7`, 1),
+		"bad version":    strings.Replace(string(canonical), `"v":1`, `"v":99`, 1),
+		"unknown retire": strings.Replace(string(canonical), `"kind":"retire-at"`, `"kind":"nosuch"`, 1),
+		"unknown hazard": strings.Replace(string(canonical), `"hazard":"flush-full"`, `"hazard":"explode"`, 1),
+		"bad geometry":   strings.Replace(string(canonical), `"word_bytes":8`, `"word_bytes":3`, 1),
+		"trailing data":  string(canonical) + `{"v":1}`,
+		"unknown params": strings.Replace(string(canonical), `"params":{"n":2}`, `"params":{"n":2,"x":1}`, 1),
+	} {
+		if _, err := Decode([]byte(data)); err == nil {
+			t.Errorf("%s: decode accepted %s", name, data)
+		}
+	}
+}
+
+// Decode is structural, not semantic: an invalid machine (the kind a
+// worker must answer 422 for, not fail to parse) still travels.
+func TestDecodeCarriesInvalidMachines(t *testing.T) {
+	bad := sim.Baseline().WithDepth(-1)
+	b, err := Encode(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatalf("structurally sound but invalid machine failed to decode: %v", err)
+	}
+	if err := Validate(got); err == nil {
+		t.Error("Validate accepted a negative-depth buffer")
+	}
+}
+
+// A policy registered at runtime becomes encodable and decodable without
+// any schema change — the registry is what keeps wire.go free of policy
+// enumerations.
+func TestRuntimeRegisteredPolicy(t *testing.T) {
+	registerTestPolicy(t)
+	cfg := sim.Baseline().WithRetire(testPolicy{Boost: 3})
+	b, err := Encode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"kind":"test-policy"`) {
+		t.Fatalf("encoding does not carry the registered kind: %s", b)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, cfg) {
+		t.Errorf("registered policy round trip changed the config:\n got %+v\nwant %+v", got, cfg)
+	}
+}
+
+func TestUnregisteredPolicyErrors(t *testing.T) {
+	cfg := sim.Baseline().WithRetire(unregisteredPolicy{})
+	if _, err := Encode(cfg); err == nil {
+		t.Error("unregistered policy unexpectedly encoded")
+	} else if !strings.Contains(err.Error(), "RegisterRetirement") {
+		t.Errorf("error %q does not say how to register", err)
+	}
+}
+
+// testPolicy is a trivial custom retirement policy used across the
+// registry tests.
+type testPolicy struct {
+	Boost int
+}
+
+func (p testPolicy) NextStart(occ int, headAlloc, lastStart, now uint64) (uint64, bool) {
+	return now, occ >= p.Boost
+}
+func (p testPolicy) Name() string { return "test-policy" }
+
+type unregisteredPolicy struct{}
+
+func (unregisteredPolicy) NextStart(occ int, headAlloc, lastStart, now uint64) (uint64, bool) {
+	return now, occ > 0
+}
+func (unregisteredPolicy) Name() string { return "unregistered" }
+
+var testPolicyOnce = false
+
+// registerTestPolicy registers testPolicy exactly once per test binary.
+func registerTestPolicy(t *testing.T) {
+	t.Helper()
+	if testPolicyOnce {
+		return
+	}
+	testPolicyOnce = true
+	RegisterRetirement(RetirementCodec{
+		Kind: "test-policy",
+		Encode: func(p core.RetirementPolicy) (any, bool) {
+			tp, ok := p.(testPolicy)
+			if !ok {
+				return nil, false
+			}
+			return map[string]int{"boost": tp.Boost}, true
+		},
+		Decode: func(raw json.RawMessage) (core.RetirementPolicy, error) {
+			var params struct {
+				Boost int `json:"boost"`
+			}
+			if err := decodeParams(raw, &params); err != nil {
+				return nil, err
+			}
+			return testPolicy{Boost: params.Boost}, nil
+		},
+	})
+}
+
+func TestRegisterRejectsDuplicatesAndIncomplete(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	registerTestPolicy(t)
+	mustPanic("duplicate retirement kind", func() {
+		RegisterRetirement(RetirementCodec{
+			Kind:   "test-policy",
+			Encode: func(core.RetirementPolicy) (any, bool) { return nil, false },
+			Decode: func(json.RawMessage) (core.RetirementPolicy, error) { return core.Eager{}, nil },
+		})
+	})
+	mustPanic("incomplete codec", func() {
+		RegisterRetirement(RetirementCodec{Kind: "incomplete"})
+	})
+	mustPanic("duplicate hazard", func() {
+		RegisterHazard(core.FlushFull.String(), core.FlushFull)
+	})
+}

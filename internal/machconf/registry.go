@@ -1,0 +1,209 @@
+package machconf
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Policy is the wire form of a pluggable policy: a registered kind string
+// plus that kind's parameter payload.  The payload is produced by the
+// kind's codec, so the schema stays open — new policy families add a codec,
+// not a wire field.
+type Policy struct {
+	Kind   string          `json:"kind"`
+	Params json.RawMessage `json:"params,omitempty"`
+}
+
+// RetirementCodec makes one retirement-policy family wire-encodable.
+// Encode claims a policy value (returning its parameter payload and true)
+// or declines it; Decode rebuilds the policy from the payload.  Both
+// directions must be deterministic and mutually inverse — the canonical
+// hash and the checkpoint journal depend on it.
+type RetirementCodec struct {
+	// Kind is the family's wire identifier ("retire-at", "fixed-rate", …).
+	Kind string
+	// Encode returns the parameter payload for a policy of this family,
+	// or ok=false when the policy belongs to a different family.  A nil
+	// payload encodes a parameterless kind.
+	Encode func(p core.RetirementPolicy) (params any, ok bool)
+	// Decode rebuilds the policy from its payload; raw is nil when the
+	// wire form carried no params.
+	Decode func(raw json.RawMessage) (core.RetirementPolicy, error)
+}
+
+var (
+	regMu        sync.RWMutex
+	retireCodecs []RetirementCodec  // encode tries these in registration order
+	retireKinds  = map[string]int{} // kind -> index into retireCodecs
+	hazardKinds  = map[string]core.HazardPolicy{}
+)
+
+// RegisterRetirement adds a retirement-policy family to the wire schema.
+// Registration is typically done from an init function (the built-in
+// families) or at program start-up (examples/custompolicy); once a kind is
+// registered the policy travels through every consumer of this package —
+// checkpoints, remote workers, wbserve — with no further changes.  It
+// panics on a duplicate or incomplete codec, since that is a programming
+// error, not an input error.
+func RegisterRetirement(c RetirementCodec) {
+	if c.Kind == "" || c.Encode == nil || c.Decode == nil {
+		panic("machconf: RegisterRetirement needs a kind, an Encode, and a Decode")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := retireKinds[c.Kind]; dup {
+		panic(fmt.Sprintf("machconf: duplicate retirement kind %q", c.Kind))
+	}
+	retireKinds[c.Kind] = len(retireCodecs)
+	retireCodecs = append(retireCodecs, c)
+}
+
+// RegisterHazard adds a named load-hazard policy to the wire schema.  The
+// four paper policies are pre-registered under their core names.
+func RegisterHazard(name string, p core.HazardPolicy) {
+	if name == "" {
+		panic("machconf: RegisterHazard needs a name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := hazardKinds[name]; dup {
+		panic(fmt.Sprintf("machconf: duplicate hazard policy %q", name))
+	}
+	hazardKinds[name] = p
+}
+
+// HazardByName resolves a registered hazard-policy name.
+func HazardByName(name string) (core.HazardPolicy, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	p, ok := hazardKinds[name]
+	return p, ok
+}
+
+// EncodeRetirement renders a retirement policy in its registered wire
+// form.  A policy no registered codec claims cannot travel; the error says
+// how to fix that.
+func EncodeRetirement(p core.RetirementPolicy) (Policy, error) {
+	if p == nil {
+		return Policy{}, fmt.Errorf("machconf: no retirement policy to encode")
+	}
+	regMu.RLock()
+	codecs := retireCodecs
+	regMu.RUnlock()
+	for _, c := range codecs {
+		params, ok := c.Encode(p)
+		if !ok {
+			continue
+		}
+		var raw json.RawMessage
+		if params != nil {
+			b, err := json.Marshal(params)
+			if err != nil {
+				return Policy{}, fmt.Errorf("machconf: encoding %q params: %w", c.Kind, err)
+			}
+			raw = b
+		}
+		return Policy{Kind: c.Kind, Params: raw}, nil
+	}
+	return Policy{}, fmt.Errorf("machconf: retirement policy %q has no registered codec; "+
+		"call machconf.RegisterRetirement to make it wire-encodable", p.Name())
+}
+
+// DecodeRetirement rebuilds a retirement policy from its wire form.
+func DecodeRetirement(w Policy) (core.RetirementPolicy, error) {
+	regMu.RLock()
+	idx, ok := retireKinds[w.Kind]
+	var c RetirementCodec
+	if ok {
+		c = retireCodecs[idx]
+	}
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("machconf: unknown retirement policy kind %q", w.Kind)
+	}
+	p, err := c.Decode(w.Params)
+	if err != nil {
+		return nil, fmt.Errorf("machconf: decoding %q params: %w", w.Kind, err)
+	}
+	return p, nil
+}
+
+// decodeParams strictly unmarshals a params payload into dst; a nil or
+// empty payload leaves dst at its zero value.
+func decodeParams(raw json.RawMessage, dst any) error {
+	if len(raw) == 0 {
+		return nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	return dec.Decode(dst)
+}
+
+// ─── built-in policy families ────────────────────────────────────────────
+
+type retireAtParams struct {
+	N       int    `json:"n,omitempty"`
+	Timeout uint64 `json:"timeout,omitempty"`
+}
+
+type fixedRateParams struct {
+	Interval uint64 `json:"interval,omitempty"`
+}
+
+func init() {
+	RegisterRetirement(RetirementCodec{
+		Kind: "retire-at",
+		Encode: func(p core.RetirementPolicy) (any, bool) {
+			r, ok := p.(core.RetireAt)
+			if !ok {
+				return nil, false
+			}
+			return retireAtParams{N: r.N, Timeout: r.Timeout}, true
+		},
+		Decode: func(raw json.RawMessage) (core.RetirementPolicy, error) {
+			var p retireAtParams
+			if err := decodeParams(raw, &p); err != nil {
+				return nil, err
+			}
+			return core.RetireAt{N: p.N, Timeout: p.Timeout}, nil
+		},
+	})
+	RegisterRetirement(RetirementCodec{
+		Kind: "fixed-rate",
+		Encode: func(p core.RetirementPolicy) (any, bool) {
+			r, ok := p.(core.FixedRate)
+			if !ok {
+				return nil, false
+			}
+			return fixedRateParams{Interval: r.Interval}, true
+		},
+		Decode: func(raw json.RawMessage) (core.RetirementPolicy, error) {
+			var p fixedRateParams
+			if err := decodeParams(raw, &p); err != nil {
+				return nil, err
+			}
+			return core.FixedRate{Interval: p.Interval}, nil
+		},
+	})
+	RegisterRetirement(RetirementCodec{
+		Kind: "eager",
+		Encode: func(p core.RetirementPolicy) (any, bool) {
+			_, ok := p.(core.Eager)
+			return nil, ok
+		},
+		Decode: func(raw json.RawMessage) (core.RetirementPolicy, error) {
+			var p struct{}
+			if err := decodeParams(raw, &p); err != nil {
+				return nil, err
+			}
+			return core.Eager{}, nil
+		},
+	})
+	for _, h := range core.HazardPolicies {
+		RegisterHazard(h.String(), h)
+	}
+}

@@ -17,10 +17,13 @@ type Machine struct {
 
 	l1 *cache.Cache
 	l2 *cache.Cache // nil: perfect L2
+	// wb is the FIFO the retirement engine drains.  Under the write-cache
+	// path it is that cache's one-entry victim buffer (eager retirement).
 	wb *core.Buffer
-	// wc is non-nil when the configuration selects a write cache; wb then
-	// serves as its one-entry victim buffer (eager retirement).
-	wc *core.WriteCache
+	// path is the configured write stage — the plain coalescing buffer or
+	// Jouppi's write cache — behind the storePath interface; everything
+	// design-specific about stores and load servicing lives there.
+	path storePath
 
 	c stats.Counters
 
@@ -69,20 +72,9 @@ func New(cfg Config) (*Machine, error) {
 		l1:  cache.New(cfg.L1),
 	}
 	if cfg.WriteCacheDepth > 0 {
-		wcCfg := core.Config{
-			Depth:         cfg.WriteCacheDepth,
-			WordsPerEntry: cfg.WB.WordsPerEntry,
-			Geometry:      cfg.WB.Geometry,
-		}
-		m.wc = core.NewWriteCache(wcCfg)
-		// The victim buffer: one entry, written out as soon as possible.
-		vbCfg := wcCfg
-		vbCfg.Depth = 1
-		m.wb = core.NewBuffer(vbCfg)
-		m.cfg.Retire = core.Eager{}
-		m.cfg.Hazard = core.ReadFromWB // the write cache always services reads
+		m.path = newWriteCachePath(m, cfg)
 	} else {
-		m.wb = core.NewBuffer(cfg.WB)
+		m.path = newBufferPath(m, cfg)
 	}
 	if cfg.L2 != nil {
 		m.l2 = cache.New(*cfg.L2)
@@ -90,11 +82,7 @@ func New(cfg Config) (*Machine, error) {
 	if cfg.IMissRate > 0 {
 		m.irand = rng.New(cfg.ISeed)
 	}
-	if cfg.WriteCacheDepth > 0 {
-		m.occHist = make([]uint64, cfg.WriteCacheDepth+1)
-	} else {
-		m.occHist = make([]uint64, cfg.WB.Depth+1)
-	}
+	m.occHist = make([]uint64, m.path.histSize())
 	return m, nil
 }
 
@@ -143,10 +131,7 @@ func (m *Machine) Counters() stats.Counters {
 	c.Cycles = m.clock - m.clockBase
 	ws := m.wb.Stats()
 	c.Retirements = ws.Retirements
-	c.FlushedEntries = ws.Flushes
-	if m.wc != nil {
-		c.FlushedEntries += m.wc.Stats().Flushes
-	}
+	c.FlushedEntries = ws.Flushes + m.path.flushedExtra()
 	return c
 }
 
@@ -164,9 +149,7 @@ func (m *Machine) ResetStats() {
 		m.l2.ResetStats()
 	}
 	m.wb.ResetStats()
-	if m.wc != nil {
-		m.wc.ResetStats()
-	}
+	m.path.resetStats()
 	for i := range m.occHist {
 		m.occHist[i] = 0
 	}
@@ -175,12 +158,7 @@ func (m *Machine) ResetStats() {
 
 // WBStats exposes the write stage's event counters (allocations, merges,
 // …): the write cache's when one is configured, else the write buffer's.
-func (m *Machine) WBStats() core.Stats {
-	if m.wc != nil {
-		return m.wc.Stats()
-	}
-	return m.wb.Stats()
-}
+func (m *Machine) WBStats() core.Stats { return m.path.stats() }
 
 // L1Stats exposes the L1 data cache's counters.
 func (m *Machine) L1Stats() cache.Stats { return m.l1.Stats() }
@@ -343,60 +321,8 @@ func (m *Machine) store(addr mem.Addr) {
 	// Write-through, write-around: update L1 only if the line is present;
 	// the data always enters the write stage.
 	m.l1.WriteHit(addr)
-	if m.wc != nil {
-		m.occHist[m.wc.Occupancy()]++
-	} else {
-		m.occHist[m.wb.Occupancy()]++
-	}
-
-	if m.wc != nil {
-		m.storeWriteCache(addr, t)
-		return
-	}
-
-	switch m.wb.Store(addr, t) {
-	case core.StoreAllocated:
-		m.stateChangedAt = t
-		m.clock = t + m.base
-		return
-	case core.StoreMerged:
-		m.clock = t + m.base
-		return
-	}
-
-	// Buffer full: the store stalls until a retirement frees an entry
-	// (Section 2.3: buffer-full stall).
-	m.c.BlockedStores++
-	tFree := m.waitForFree(t)
-	if m.wb.Store(addr, tFree) == core.StoreBlocked {
-		panic("sim: store still blocked after an entry was freed")
-	}
-	m.stateChangedAt = tFree
-	stall := tFree - t
-	m.c.AddStall(stats.BufferFull, stall)
-	m.clock = t + m.base + stall
-}
-
-// storeWriteCache applies a store to the write cache.  A merge or a free
-// slot costs one cycle; an eviction parks the victim in the one-entry
-// victim buffer, stalling (buffer-full) only when that buffer is still
-// busy with the previous victim.
-func (m *Machine) storeWriteCache(addr mem.Addr, t uint64) {
-	victim, hasVictim := m.wc.Store(addr, t)
-	if !hasVictim {
-		m.clock = t + m.base
-		return
-	}
-	now := t
-	if m.wb.IsFull() {
-		m.c.BlockedStores++
-		now = m.waitForFree(t)
-	}
-	m.wb.Insert(victim)
-	m.stateChangedAt = now
-	stall := now - t
-	m.c.AddStall(stats.BufferFull, stall)
-	m.clock = t + m.base + stall
+	m.occHist[m.path.storeOccupancy()]++
+	m.path.store(addr, t)
 }
 
 // waitForFree advances time until a retirement completes, freeing an entry
@@ -431,19 +357,8 @@ func (m *Machine) load(addr mem.Addr) {
 		return
 	}
 
-	if m.wc != nil {
-		// The write cache services reads directly; the victim buffer is
-		// covered by the ordinary probe below (read-from-WB is forced).
-		if wordValid, hit := m.wc.Probe(addr); hit {
-			m.c.HazardEvents++
-			if wordValid {
-				m.c.WBReadHits++
-				m.clock = t + m.base
-				return
-			}
-			m.readMissService(t, addr)
-			return
-		}
+	if m.path.frontProbe(addr, t) {
+		return
 	}
 
 	idx, wordValid, wbHit := m.wb.Probe(addr)
@@ -597,11 +512,7 @@ func (m *Machine) membar() {
 	for _, e := range m.wb.FlushAll() {
 		portStart += m.cfg.writeLat() + m.l2WritePenalty(m.wb.AddrOf(e), e.Valid)
 	}
-	if m.wc != nil {
-		for _, e := range m.wc.DrainAll() {
-			portStart += m.cfg.writeLat() + m.l2WritePenalty(m.wc.AddrOf(e), e.Valid)
-		}
-	}
+	portStart = m.path.drainAll(portStart)
 	m.portBusyUntil = portStart
 	m.stateChangedAt = portStart
 	stall := portStart - t

@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// bufferPath is the paper's baseline write stage: stores coalesce into the
+// FIFO write buffer (m.wb) and leave through the lazy-drain retirement
+// engine.  The path holds no state of its own beyond the machine's buffer;
+// it exists so each write-stage design reads as one straight-line file.
+type bufferPath struct {
+	m *Machine
+}
+
+func newBufferPath(m *Machine, cfg Config) *bufferPath {
+	m.wb = core.NewBuffer(cfg.WB)
+	return &bufferPath{m: m}
+}
+
+func (p *bufferPath) storeOccupancy() int  { return p.m.wb.Occupancy() }
+func (p *bufferPath) histSize() int        { return p.m.cfg.WB.Depth + 1 }
+func (p *bufferPath) stats() core.Stats    { return p.m.wb.Stats() }
+func (p *bufferPath) flushedExtra() uint64 { return 0 }
+func (p *bufferPath) resetStats()          {}
+
+// store coalesces into the buffer, or stalls until a retirement frees an
+// entry (Section 2.3: buffer-full stall).
+func (p *bufferPath) store(addr mem.Addr, t uint64) {
+	m := p.m
+	switch m.wb.Store(addr, t) {
+	case core.StoreAllocated:
+		m.stateChangedAt = t
+		m.clock = t + m.base
+		return
+	case core.StoreMerged:
+		m.clock = t + m.base
+		return
+	}
+	m.c.BlockedStores++
+	tFree := m.waitForFree(t)
+	if m.wb.Store(addr, tFree) == core.StoreBlocked {
+		panic("sim: store still blocked after an entry was freed")
+	}
+	m.stateChangedAt = tFree
+	stall := tFree - t
+	m.c.AddStall(stats.BufferFull, stall)
+	m.clock = t + m.base + stall
+}
+
+// frontProbe: the plain buffer has no front-side store; loads go straight
+// to the ordinary write-buffer probe and the configured hazard policy.
+func (p *bufferPath) frontProbe(mem.Addr, uint64) bool { return false }
+
+// drainAll: nothing beyond m.wb, which the membar flushes itself.
+func (p *bufferPath) drainAll(portStart uint64) uint64 { return portStart }

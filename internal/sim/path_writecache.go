@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// writeCachePath is Section 5's alternative write stage: a small
+// fully-associative write cache absorbs stores and services reads, and its
+// evictions leave through a one-entry victim buffer — the machine's m.wb
+// at depth 1, retired eagerly — so the retirement engine, port arbitration,
+// and stall accounting are shared with the buffer path unchanged.
+type writeCachePath struct {
+	m  *Machine
+	wc *core.WriteCache
+}
+
+func newWriteCachePath(m *Machine, cfg Config) *writeCachePath {
+	wcCfg := core.Config{
+		Depth:         cfg.WriteCacheDepth,
+		WordsPerEntry: cfg.WB.WordsPerEntry,
+		Geometry:      cfg.WB.Geometry,
+	}
+	// The victim buffer: one entry, written out as soon as possible.
+	vbCfg := wcCfg
+	vbCfg.Depth = 1
+	m.wb = core.NewBuffer(vbCfg)
+	m.cfg.Retire = core.Eager{}
+	m.cfg.Hazard = core.ReadFromWB // the write cache always services reads
+	return &writeCachePath{m: m, wc: core.NewWriteCache(wcCfg)}
+}
+
+func (p *writeCachePath) storeOccupancy() int  { return p.wc.Occupancy() }
+func (p *writeCachePath) histSize() int        { return p.m.cfg.WriteCacheDepth + 1 }
+func (p *writeCachePath) stats() core.Stats    { return p.wc.Stats() }
+func (p *writeCachePath) flushedExtra() uint64 { return p.wc.Stats().Flushes }
+func (p *writeCachePath) resetStats()          { p.wc.ResetStats() }
+
+// store applies a store to the write cache.  A merge or a free slot costs
+// one cycle; an eviction parks the victim in the one-entry victim buffer,
+// stalling (buffer-full) only when that buffer is still busy with the
+// previous victim.
+func (p *writeCachePath) store(addr mem.Addr, t uint64) {
+	m := p.m
+	victim, hasVictim := p.wc.Store(addr, t)
+	if !hasVictim {
+		m.clock = t + m.base
+		return
+	}
+	now := t
+	if m.wb.IsFull() {
+		m.c.BlockedStores++
+		now = m.waitForFree(t)
+	}
+	m.wb.Insert(victim)
+	m.stateChangedAt = now
+	stall := now - t
+	m.c.AddStall(stats.BufferFull, stall)
+	m.clock = t + m.base + stall
+}
+
+// frontProbe services a missing load from the write cache; the victim
+// buffer is covered by the ordinary probe that follows (read-from-WB is
+// forced).
+func (p *writeCachePath) frontProbe(addr mem.Addr, t uint64) bool {
+	m := p.m
+	wordValid, hit := p.wc.Probe(addr)
+	if !hit {
+		return false
+	}
+	m.c.HazardEvents++
+	if wordValid {
+		m.c.WBReadHits++
+		m.clock = t + m.base
+		return true
+	}
+	m.readMissService(t, addr)
+	return true
+}
+
+// drainAll writes every write-cache line to L2 behind the already-flushed
+// victim buffer during a membar drain.
+func (p *writeCachePath) drainAll(portStart uint64) uint64 {
+	m := p.m
+	for _, e := range p.wc.DrainAll() {
+		portStart += m.cfg.writeLat() + m.l2WritePenalty(p.wc.AddrOf(e), e.Valid)
+	}
+	return portStart
+}

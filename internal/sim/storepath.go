@@ -1,0 +1,38 @@
+package sim
+
+import (
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+// storePath is the write stage behind the store port: the component a
+// store enters after L1 and a missing load may be serviced from.  The
+// paper studies two designs — the coalescing write buffer (Sections 2–4)
+// and Jouppi's write cache (Section 5) — which share the machine's
+// retirement engine, L2-port arbitration, and stall accounting but differ
+// in how stores are absorbed, evicted, and probed by loads.  Each design
+// lives in its own file (path_buffer.go, path_writecache.go); Machine
+// holds exactly one.
+type storePath interface {
+	// storeOccupancy is the occupancy an arriving store observes; it
+	// indexes Machine.occHist.
+	storeOccupancy() int
+	// histSize is the occupancy histogram's bucket count (capacity + 1).
+	histSize() int
+	// stats exposes the write stage's event counters (WBStats).
+	stats() core.Stats
+	// flushedExtra counts entries flushed outside m.wb's own accounting.
+	flushedExtra() uint64
+	// resetStats zeroes path-private counters; Machine resets m.wb itself.
+	resetStats()
+	// store applies a store at cycle t, charges any buffer-full stall, and
+	// advances the machine clock.  drainTo(t) has already run.
+	store(addr mem.Addr, t uint64)
+	// frontProbe gives the path first claim on a load that missed L1,
+	// before the ordinary write-buffer probe.  It returns true when it
+	// serviced the load completely (stats charged, clock advanced).
+	frontProbe(addr mem.Addr, t uint64) bool
+	// drainAll writes every path-private entry to L2 during a membar
+	// drain, returning the advanced port-ready cycle.
+	drainAll(portStart uint64) uint64
+}
