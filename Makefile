@@ -1,0 +1,42 @@
+# Convenience targets; CI runs the same commands (see .github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: all build test race vet bench bench-explore smoke-explore
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+	$(GO) build ./examples/...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# bench runs the repository's benchmark smoke set: the simulator hot path,
+# one figure regeneration, and the explore-subsystem micro-benchmark below.
+bench: bench-explore
+	$(GO) test -bench BenchmarkStep -benchtime 100000x -run '^$$' ./internal/sim/
+	$(GO) test -bench 'BenchmarkSimulatorThroughput|BenchmarkFig5' -benchtime 1x -run '^$$' .
+
+# bench-explore runs a small guided wbopt search and records its throughput
+# (jobs/sec) and pruning counters in BENCH_explore.json.  The committed file
+# is the reference point; regenerate it on the machine you care about.
+bench-explore:
+	$(GO) run ./cmd/wbopt -space spaces/smoke.json -n 200000 -seed 1 -quiet \
+		-stats-out BENCH_explore.json
+	@cat BENCH_explore.json
+
+# smoke-explore is the CI acceptance smoke: a guided search over the 2-axis
+# smoke space must exit 0 and put a read-from-WB machine on its frontier.
+smoke-explore:
+	$(GO) run ./cmd/wbopt -space spaces/smoke.json -n 100000 -seed 1 -quiet \
+		-out /tmp/wbopt-smoke.json
+	grep -q 'read-from-WB' /tmp/wbopt-smoke.json
+	grep -q '"frontier": \[' /tmp/wbopt-smoke.json

@@ -6,30 +6,23 @@
 //
 //	wbcompare -a depth=4 -b depth=12,retire=8,hazard=read-from-WB
 //	wbcompare -a depth=8 -b wcache=8 -n 500000
+//	wbcompare -a @deep.json -b @deep.json,hazard=flush-full
 //
-// A configuration string is a comma-separated list of key=value pairs:
-//
-//	depth=N        write buffer depth
-//	retire=N       retire-at-N high-water mark
-//	aging=N        aging timeout in cycles
-//	hazard=P       flush-full | flush-partial | flush-item-only | read-from-WB
-//	wcache=N       use an N-entry write cache instead of a buffer
-//	l1=BYTES       L1 size
-//	l2lat=N        L2 latency
-//	l2=BYTES       finite L2 size
-//	memlat=N       memory latency
+// A configuration is a machconf spec string — the same syntax wbsim, wbexp,
+// and wbopt speak: a comma-separated list of key=value pairs over the
+// baseline machine (depth, width, retire, aging, hazard, wcache, l1, l2lat,
+// l2, memlat, threshold, issue), or @file.json to start from a canonical
+// machconf file (wbsim -dump-config writes one), optionally followed by
+// more key=value overrides.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
-	"repro/internal/core"
 	"repro/internal/experiment"
-	"repro/internal/sim"
+	"repro/internal/machconf"
 	"repro/internal/workload"
 )
 
@@ -41,11 +34,11 @@ func main() {
 	)
 	flag.Parse()
 
-	cfgA, err := parseConfig(*aSpec)
+	cfgA, err := machconf.ParseSpec(*aSpec)
 	if err != nil {
 		fatalf("-a: %v", err)
 	}
-	cfgB, err := parseConfig(*bSpec)
+	cfgB, err := machconf.ParseSpec(*bSpec)
 	if err != nil {
 		fatalf("-b: %v", err)
 	}
@@ -70,60 +63,6 @@ func main() {
 	}
 	k := float64(len(workload.All()))
 	fmt.Printf("%-12s %10.2f %10.2f %+10.2f\n", "mean", sumA/k, sumB/k, (sumB-sumA)/k)
-}
-
-func parseConfig(spec string) (sim.Config, error) {
-	cfg := sim.Baseline()
-	if spec == "" {
-		return cfg, nil
-	}
-	retire := core.RetireAt{N: 2}
-	for _, kv := range strings.Split(spec, ",") {
-		key, val, found := strings.Cut(kv, "=")
-		if !found {
-			return cfg, fmt.Errorf("malformed %q (want key=value)", kv)
-		}
-		switch key {
-		case "hazard":
-			parsed := false
-			for _, h := range core.HazardPolicies {
-				if h.String() == val {
-					cfg = cfg.WithHazard(h)
-					parsed = true
-				}
-			}
-			if !parsed {
-				return cfg, fmt.Errorf("unknown hazard policy %q", val)
-			}
-			continue
-		}
-		num, err := strconv.Atoi(val)
-		if err != nil {
-			return cfg, fmt.Errorf("%s: %v", key, err)
-		}
-		switch key {
-		case "depth":
-			cfg = cfg.WithDepth(num)
-		case "retire":
-			retire.N = num
-		case "aging":
-			retire.Timeout = uint64(num)
-		case "wcache":
-			cfg = cfg.WithWriteCache(num)
-		case "l1":
-			cfg = cfg.WithL1Size(num)
-		case "l2lat":
-			cfg = cfg.WithL2Latency(uint64(num))
-		case "l2":
-			cfg = cfg.WithL2(num)
-		case "memlat":
-			cfg = cfg.WithMemLat(uint64(num))
-		default:
-			return cfg, fmt.Errorf("unknown key %q", key)
-		}
-	}
-	cfg = cfg.WithRetire(retire)
-	return cfg, cfg.Validate()
 }
 
 func fatalf(format string, args ...any) {

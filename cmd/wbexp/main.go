@@ -65,7 +65,8 @@ func main() {
 		}
 	}
 
-	backend, closeBackend, err := buildBackend(*workersCSV, *checkpoint)
+	backend, closeBackend, err := dispatch.BuildBackend(*workersCSV, *checkpoint, nil,
+		func(format string, args ...any) { fmt.Fprintf(os.Stderr, "wbexp: "+format+"\n", args...) })
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "wbexp: %v\n", err)
 		os.Exit(1)
@@ -110,67 +111,21 @@ func main() {
 	}
 }
 
-// loadSpecs reads one machconf JSON file per -config entry, validating
-// each machine up front so a bad file fails before any simulation starts.
-// The column label is the file name; the canonical hash disambiguates
-// files that happen to share one.
+// loadSpecs reads one machconf JSON file per -config entry through the
+// shared machconf loader (decode + validate), so a bad file fails before
+// any simulation starts.  The column label is the file name; the canonical
+// hash disambiguates files that happen to share one.
 func loadSpecs(csv string) ([]experiment.ConfigSpec, error) {
 	var specs []experiment.ConfigSpec
 	for _, path := range strings.Split(csv, ",") {
-		data, err := os.ReadFile(path)
+		cfg, err := machconf.LoadFile(path)
 		if err != nil {
 			return nil, err
-		}
-		cfg, err := machconf.Decode(data)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", path, err)
-		}
-		if err := machconf.Validate(cfg); err != nil {
-			return nil, fmt.Errorf("%s: %w", path, err)
 		}
 		label := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
 		specs = append(specs, experiment.ConfigSpec{Label: label, Cfg: cfg})
 	}
 	return specs, nil
-}
-
-// buildBackend assembles the dispatch stack the flags describe: remote
-// workers when -workers is set (local execution otherwise), wrapped in a
-// checkpoint journal when -checkpoint is set.  With neither flag the
-// backend is nil and the harness runs exactly as before.
-func buildBackend(workersCSV, checkpoint string) (dispatch.Backend, func(), error) {
-	cleanup := func() {}
-	var backend dispatch.Backend
-	if workersCSV != "" {
-		rem, err := dispatch.NewRemote(strings.Split(workersCSV, ","), dispatch.RemoteOptions{})
-		if err != nil {
-			return nil, cleanup, err
-		}
-		backend = rem
-		cleanup = rem.Close
-	}
-	if checkpoint != "" {
-		inner := backend
-		if inner == nil {
-			inner = &dispatch.Local{}
-		}
-		ckpt, err := dispatch.NewCheckpointed(inner, checkpoint, nil)
-		if err != nil {
-			cleanup()
-			return nil, func() {}, err
-		}
-		if loaded, skipped := ckpt.Loaded(); loaded > 0 || skipped > 0 {
-			fmt.Fprintf(os.Stderr, "wbexp: checkpoint %s: %d completed jobs replayed, %d unparsable lines skipped\n",
-				checkpoint, loaded, skipped)
-		}
-		innerCleanup := cleanup
-		cleanup = func() {
-			ckpt.Close()
-			innerCleanup()
-		}
-		backend = ckpt
-	}
-	return backend, cleanup, nil
 }
 
 // progressFor builds the per-experiment live progress callback, or nil

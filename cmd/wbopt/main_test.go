@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadSpaceDefaultAndOverride(t *testing.T) {
+	s, err := loadSpace("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Depths) == 0 {
+		t.Fatal("default space has no depth axis")
+	}
+
+	s, err = loadSpace("", "l2lat=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Base == nil || s.Base.L2WriteLat != 10 {
+		t.Fatalf("-base override not applied: %+v", s.Base)
+	}
+
+	if _, err := loadSpace("", "mystery=1"); err == nil {
+		t.Error("bad -base spec accepted")
+	}
+	if _, err := loadSpace("/no/such/space.json", ""); err == nil {
+		t.Error("missing space file accepted")
+	}
+}
+
+func TestLoadSpaceFileWithBaseOverride(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "space.json")
+	if err := os.WriteFile(path, []byte(`{"depths": [2, 4], "base": "l2lat=8"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := loadSpace(path, "l2lat=12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// -base wins over the file's own base.
+	if s.Base == nil || s.Base.L2WriteLat != 12 {
+		t.Fatalf("base = %+v", s.Base)
+	}
+	if len(s.Depths) != 2 {
+		t.Fatalf("depths = %v", s.Depths)
+	}
+}
+
+func TestPickBenches(t *testing.T) {
+	bs, err := pickBenches("li,fft")
+	if err != nil || len(bs) != 2 || bs[0].Name != "li" || bs[1].Name != "fft" {
+		t.Fatalf("pickBenches = %v, %v", bs, err)
+	}
+	if bs, err := pickBenches(""); err != nil || bs != nil {
+		t.Fatalf("empty csv should mean the full suite (nil), got %v, %v", bs, err)
+	}
+	if _, err := pickBenches("li,nope"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}

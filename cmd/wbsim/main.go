@@ -65,12 +65,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "wbsim: -config replaces the machine flags; drop %s\n", set)
 			os.Exit(1)
 		}
-		data, err := os.ReadFile(*configFile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "wbsim:", err)
-			os.Exit(1)
-		}
-		cfg, err = machconf.Decode(data)
+		var err error
+		cfg, err = machconf.LoadFile(*configFile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "wbsim:", err)
 			os.Exit(1)
@@ -154,10 +150,8 @@ func machineFlagsSet() []string {
 }
 
 func parseHazard(s string) (core.HazardPolicy, error) {
-	for _, h := range core.HazardPolicies {
-		if h.String() == s {
-			return h, nil
-		}
+	if h, ok := machconf.HazardByName(s); ok {
+		return h, nil
 	}
 	return 0, fmt.Errorf("unknown hazard policy %q", s)
 }

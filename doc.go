@@ -17,6 +17,12 @@
 // via experiment.ProgressReporter) and the Metrics registry that
 // RunMatrixOpts feeds per-job throughput into.
 //
+// On top of the harness sits a design-space search subsystem
+// (internal/explore): a Space enumerates legal machines, strategies spend a
+// cycle-exact simulation budget (exhaustively, randomly, or guided by the
+// analytic Markov model in internal/analytic), and results reduce to Pareto
+// frontiers over CPI overhead versus buffer area.  See docs/EXPLORATION.md.
+//
 // Entry points:
 //
 //	cmd/wbexp     — regenerate any table or figure, with live progress (wbexp -exp fig5)
@@ -25,6 +31,7 @@
 //	cmd/wbcompare — A/B two configurations across the suite
 //	cmd/wbmodel   — query the analytic buffer model
 //	cmd/wbserve   — serve simulations over HTTP (JSON API, /metrics, pprof)
+//	cmd/wbopt     — search the design space for Pareto-optimal buffers
 //	examples/     — runnable demos of the library API
 //
 // bench_test.go in this directory holds one testing.B benchmark per paper

@@ -1,0 +1,64 @@
+// Explore: drive the design-space search programmatically — build a Space,
+// run the exhaustive grid and the analytic-guided strategy side by side,
+// and compare what each found and what each spent.  The library analogue of
+// `wbopt -strategy guided` vs `wbopt -strategy grid`.
+//
+//	go run ./examples/explore
+//	go run ./examples/explore -n 200000
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/workload"
+)
+
+func main() {
+	n := flag.Uint64("n", 100_000, "instructions per full-length run")
+	flag.Parse()
+
+	// The paper's depth × retire sweep crossed with the two extreme hazard
+	// policies, capped at 64 word-slots of buffer area.
+	space := &explore.Space{
+		Depths:  []int{2, 4, 8, 12},
+		Retires: []int{1, 2, 4, 8},
+		Hazards: []core.HazardPolicy{core.FlushFull, core.ReadFromWB},
+		MaxCost: 64,
+	}
+	li, _ := workload.ByName("li")
+	fft, _ := workload.ByName("fft")
+	env := explore.Env{
+		Benches: []workload.Benchmark{li, fft},
+		N:       *n,
+		Seed:    1,
+	}
+
+	grid, err := explore.Grid{}.Search(context.Background(), space, env)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "explore:", err)
+		os.Exit(1)
+	}
+	guided, err := explore.Guided{}.Search(context.Background(), space, env)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "explore:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("space: %d configurations × %d benchmarks\n\n", grid.SpaceSize, len(grid.Suite))
+	for _, res := range []*explore.Result{grid, guided} {
+		best, _ := res.Best()
+		fmt.Printf("%-7s spent %5.1f full-length sims, best %s (CPI overhead %.4f)\n",
+			res.Strategy, res.CostSpent, best.Label, best.CPIOverhead)
+		for _, p := range res.Frontier {
+			fmt.Printf("        frontier: cost %3d  overhead %.4f  %s\n", p.Cost, p.CPIOverhead, p.Label)
+		}
+	}
+
+	check := guided.PaperCheck()
+	fmt.Printf("\nread-from-WB on the guided frontier: %v\n", check.FrontierHasReadFromWB)
+}

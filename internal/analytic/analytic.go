@@ -77,6 +77,22 @@ type Prediction struct {
 	Occupancy []float64
 	// Utilization is the fraction of cycles the L2 port spends writing.
 	Utilization float64
+	// StallFraction is the fraction of wall-clock cycles the processor
+	// spends stalled on a full buffer (the stationary mass of the
+	// blocked-store states).
+	StallFraction float64
+}
+
+// CPIOverhead returns the predicted buffer-full stall cycles per executed
+// instruction — the model's analogue of the simulator's
+// Stalls[BufferFull]/Instructions, and the quantity internal/explore ranks
+// design-space candidates by.  Instructions complete only while the
+// processor is running, so the overhead is stalled time per running cycle.
+func (p Prediction) CPIOverhead() float64 {
+	if p.StallFraction >= 1 {
+		return math.Inf(1)
+	}
+	return p.StallFraction / (1 - p.StallFraction)
 }
 
 // Solve computes the stationary distribution.
@@ -199,9 +215,11 @@ func Solve(p Params) (Prediction, error) {
 	if arrivals > 0 {
 		pred.PBlocked = blocked / arrivals
 	}
+	pred.StallFraction = 1 - running
 	// Guard the [0,1] ranges against accumulated rounding.
 	pred.PBlocked = clamp01(pred.PBlocked)
 	pred.Utilization = clamp01(pred.Utilization)
+	pred.StallFraction = clamp01(pred.StallFraction)
 	return pred, nil
 }
 

@@ -1,0 +1,53 @@
+package dispatch
+
+import (
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// BuildBackend assembles the execution stack the standard CLI flags
+// describe, shared by cmd/wbexp and cmd/wbopt: remote workers when
+// workersCSV is non-empty (in-process execution otherwise), wrapped in a
+// resumable checkpoint journal when checkpointPath is non-empty.  With
+// neither, the backend is nil and the experiment harness runs exactly its
+// default path.
+//
+// reg, when non-nil, receives the checkpoint counters.  logf, when
+// non-nil, is told how many journaled jobs a pre-existing checkpoint
+// replayed (CLIs print it to stderr).  The returned cleanup closes
+// whatever was built and is safe to call exactly once.
+func BuildBackend(workersCSV, checkpointPath string, reg *metrics.Registry, logf func(format string, args ...any)) (Backend, func(), error) {
+	cleanup := func() {}
+	var backend Backend
+	if workersCSV != "" {
+		rem, err := NewRemote(strings.Split(workersCSV, ","), RemoteOptions{})
+		if err != nil {
+			return nil, cleanup, err
+		}
+		backend = rem
+		cleanup = rem.Close
+	}
+	if checkpointPath != "" {
+		inner := backend
+		if inner == nil {
+			inner = &Local{}
+		}
+		ckpt, err := NewCheckpointed(inner, checkpointPath, reg)
+		if err != nil {
+			cleanup()
+			return nil, func() {}, err
+		}
+		if loaded, skipped := ckpt.Loaded(); (loaded > 0 || skipped > 0) && logf != nil {
+			logf("checkpoint %s: %d completed jobs replayed, %d unparsable lines skipped",
+				checkpointPath, loaded, skipped)
+		}
+		innerCleanup := cleanup
+		cleanup = func() {
+			ckpt.Close()
+			innerCleanup()
+		}
+		backend = ckpt
+	}
+	return backend, cleanup, nil
+}

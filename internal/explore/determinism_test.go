@@ -1,0 +1,115 @@
+package explore
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dispatch"
+)
+
+// Satellite of the reproducibility story: a fixed (space, seed, budget,
+// suite, n) must render byte-identical canonical result JSON on every run
+// and on every backend.  The checkpoint journal, the acceptance criterion,
+// and wbopt's -out artifact all key on this.
+
+func detSpace() *Space {
+	return &Space{
+		Depths:  []int{2, 4, 8},
+		Retires: []int{1, 2, 4},
+		Hazards: []core.HazardPolicy{core.FlushFull, core.ReadFromWB},
+	}
+}
+
+func canonical(t *testing.T, strat Strategy, env Env) []byte {
+	t.Helper()
+	res, err := strat.Search(context.Background(), detSpace(), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := res.MarshalCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+func TestSameSeedByteIdentical(t *testing.T) {
+	for _, name := range []string{"grid", "random", "guided"} {
+		strat, _ := ByName(name)
+		env := smallEnv(42)
+		env.Budget = 8
+		a := canonical(t, strat, env)
+		b := canonical(t, strat, env)
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: two same-seed runs differ", name)
+		}
+	}
+}
+
+func TestDifferentSeedChangesRandom(t *testing.T) {
+	envA, envB := smallEnv(1), smallEnv(2)
+	envA.Budget, envB.Budget = 4, 4
+	a := canonical(t, Random{}, envA)
+	b := canonical(t, Random{}, envB)
+	if bytes.Equal(a, b) {
+		t.Error("random sample insensitive to the seed (suspicious for this space)")
+	}
+}
+
+// TestLocalWorkerByteParity runs the guided search once in-process and once
+// through a Remote backend against a real worker HTTP surface; the two
+// canonical artifacts must be byte-identical.
+func TestLocalWorkerByteParity(t *testing.T) {
+	env := smallEnv(42)
+	env.Budget = 8
+	local := canonical(t, Guided{}, env)
+
+	ts := httptest.NewServer(dispatch.WorkerHandler(nil))
+	defer ts.Close()
+	rem, err := dispatch.NewRemote([]string{ts.URL}, dispatch.RemoteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rem.Close()
+	env.Backend = rem
+	remote := canonical(t, Guided{}, env)
+
+	if !bytes.Equal(local, remote) {
+		t.Fatal("guided search differs between local and worker execution")
+	}
+}
+
+// TestCheckpointResume journals a guided search, then reruns it against the
+// journal: every simulation replays, none run, and the artifact is
+// byte-identical.
+func TestCheckpointResume(t *testing.T) {
+	path := t.TempDir() + "/opt.jsonl"
+	env := smallEnv(42)
+	env.Budget = 8
+
+	ck1, err := dispatch.NewCheckpointed(&dispatch.Local{}, path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Backend = ck1
+	first := canonical(t, Guided{}, env)
+	ck1.Close()
+
+	ck2, err := dispatch.NewCheckpointed(&dispatch.Local{}, path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck2.Close()
+	if loaded, _ := ck2.Loaded(); loaded == 0 {
+		t.Fatal("journal empty on resume")
+	}
+	env.Backend = ck2
+	second := canonical(t, Guided{}, env)
+
+	if !bytes.Equal(first, second) {
+		t.Fatal("resumed search differs from the original")
+	}
+}

@@ -1,0 +1,72 @@
+package explore
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// The subsystem's acceptance criterion: on the default suite, the guided
+// strategy spending at most 25% of the exhaustive grid's simulations must
+// land within 2% CPI overhead of the grid optimum, and its frontier must be
+// non-empty.  CPI ratios compare (1 + overhead), i.e. whole-machine CPI
+// with a unit base, so the bound is meaningful even for tiny overheads.
+func TestGuidedMatchesGridWithinBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full benchmark suite")
+	}
+	space := &Space{
+		Depths:  []int{2, 4, 8, 12},
+		Retires: []int{1, 2, 4, 8},
+		Hazards: []core.HazardPolicy{core.FlushFull, core.ReadFromWB},
+	}
+	cands, err := space.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	env := Env{N: 20_000, Seed: 1} // full default suite
+	grid, err := Grid{}.Search(context.Background(), space, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gridJobs := float64(len(cands) * len(grid.Suite))
+	if grid.CostSpent != gridJobs {
+		t.Fatalf("grid cost %.1f, want %.1f", grid.CostSpent, gridJobs)
+	}
+
+	env.Budget = 0.25 * gridJobs
+	guided, err := Guided{}.Search(context.Background(), space, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if guided.CostSpent > 0.25*gridJobs+1e-9 {
+		t.Fatalf("guided spent %.1f sims, above 25%% of the grid's %.0f", guided.CostSpent, gridJobs)
+	}
+	if len(guided.Frontier) == 0 {
+		t.Fatal("guided frontier is empty")
+	}
+
+	gBest, ok := guided.Best()
+	if !ok {
+		t.Fatal("guided produced no evaluation")
+	}
+	eBest, _ := grid.Best()
+	if ratio := (1 + gBest.CPIOverhead) / (1 + eBest.CPIOverhead); ratio > 1.02 {
+		t.Fatalf("guided best CPI %.5f is %.2f%% above grid best %.5f (limit 2%%)",
+			gBest.CPIOverhead, 100*(ratio-1), eBest.CPIOverhead)
+	}
+
+	// The paper's winning hazard policy must survive the search.
+	hasRFWB := false
+	for _, p := range guided.Frontier {
+		if p.Hazard == core.ReadFromWB.String() {
+			hasRFWB = true
+		}
+	}
+	if !hasRFWB {
+		t.Error("no read-from-WB configuration on the guided frontier")
+	}
+}

@@ -1,0 +1,141 @@
+package machconf
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// This file is the one compact-spec parser for the whole repository.
+// Historically cmd/wbcompare, cmd/wbsim, and cmd/wbexp each grew a private
+// way of turning user input into a sim.Config (a key=value parser, a flag
+// assembler with its own hazard lookup, and a JSON-file loader); they now
+// all call here, so the spec vocabulary below and the canonical JSON form
+// are the only two ways a machine is ever described from the outside.
+
+// ParseSpec builds a machine from a compact comma-separated key=value
+// string, starting from the paper's baseline.  A spec beginning with '@'
+// instead starts from a canonical machconf JSON file — "@deep.json", or
+// "@deep.json,hazard=flush-full" to override on top of it — so every
+// spec-taking flag also accepts config blobs.
+//
+// Keys:
+//
+//	depth=N        write buffer depth (entries)
+//	width=N        entry width in words (1 = non-coalescing)
+//	retire=N       retire-at-N high-water mark
+//	aging=N        aging timeout in cycles (0 = off)
+//	hazard=P       flush-full | flush-partial | flush-item-only | read-from-WB
+//	               (any policy registered with RegisterHazard)
+//	wcache=N       use an N-entry write cache instead of a buffer
+//	l1=BYTES       L1 size
+//	l2lat=N        L2 latency (read and write)
+//	l2=BYTES       finite L2 size (0 = perfect)
+//	memlat=N       main-memory latency
+//	threshold=N    UltraSPARC-style write-priority threshold
+//	issue=W        superscalar issue width
+//
+// The returned configuration is fully validated.
+func ParseSpec(spec string) (sim.Config, error) {
+	return ParseSpecFrom(sim.Baseline(), spec)
+}
+
+// ParseSpecFrom is ParseSpec starting from an arbitrary base machine; keys
+// not mentioned in the spec keep the base's values.  When the base uses a
+// retire-at policy, retire=/aging= edit it in place; with any other policy
+// they replace it by a fresh retire-at.
+func ParseSpecFrom(base sim.Config, spec string) (sim.Config, error) {
+	if strings.HasPrefix(spec, "@") {
+		path, rest, _ := strings.Cut(strings.TrimPrefix(spec, "@"), ",")
+		loaded, err := LoadFile(path)
+		if err != nil {
+			return sim.Config{}, err
+		}
+		return ParseSpecFrom(loaded, rest)
+	}
+	cfg := base
+	if spec == "" {
+		return cfg, cfg.Validate()
+	}
+	retire, _ := cfg.Retire.(core.RetireAt)
+	if retire.N == 0 {
+		retire.N = 2
+	}
+	retireTouched := false
+	for _, kv := range strings.Split(spec, ",") {
+		key, val, found := strings.Cut(kv, "=")
+		if !found {
+			return cfg, fmt.Errorf("machconf: malformed %q (want key=value)", kv)
+		}
+		if key == "hazard" {
+			h, ok := HazardByName(val)
+			if !ok {
+				return cfg, fmt.Errorf("machconf: unknown hazard policy %q", val)
+			}
+			cfg = cfg.WithHazard(h)
+			continue
+		}
+		num, err := strconv.Atoi(val)
+		if err != nil {
+			return cfg, fmt.Errorf("machconf: %s: %v", key, err)
+		}
+		switch key {
+		case "depth":
+			cfg = cfg.WithDepth(num)
+		case "width":
+			cfg.WB.WordsPerEntry = num
+		case "retire":
+			retire.N = num
+			retireTouched = true
+		case "aging":
+			retire.Timeout = uint64(num)
+			retireTouched = true
+		case "wcache":
+			cfg = cfg.WithWriteCache(num)
+		case "l1":
+			cfg = cfg.WithL1Size(num)
+		case "l2lat":
+			cfg = cfg.WithL2Latency(uint64(num))
+		case "l2":
+			if num > 0 {
+				cfg = cfg.WithL2(num)
+			} else {
+				cfg.L2 = nil
+			}
+		case "memlat":
+			cfg = cfg.WithMemLat(uint64(num))
+		case "threshold":
+			cfg.WriteThreshold = num
+		case "issue":
+			cfg = cfg.WithIssueWidth(num)
+		default:
+			return cfg, fmt.Errorf("machconf: unknown key %q", key)
+		}
+	}
+	if retireTouched {
+		cfg = cfg.WithRetire(retire)
+	}
+	return cfg, cfg.Validate()
+}
+
+// LoadFile reads, decodes, and validates a canonical machconf JSON file —
+// the standard way a machine travels as an artifact (wbsim -dump-config
+// writes one; wbsim/wbexp -config and wbopt space bases read them).
+func LoadFile(path string) (sim.Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	cfg, err := Decode(data)
+	if err != nil {
+		return sim.Config{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if err := Validate(cfg); err != nil {
+		return sim.Config{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return cfg, nil
+}

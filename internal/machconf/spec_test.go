@@ -1,0 +1,127 @@
+package machconf
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func TestParseSpecEmpty(t *testing.T) {
+	cfg, err := ParseSpec("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.WB.Depth != sim.Baseline().WB.Depth {
+		t.Errorf("empty spec depth = %d, want baseline %d", cfg.WB.Depth, sim.Baseline().WB.Depth)
+	}
+}
+
+func TestParseSpecFull(t *testing.T) {
+	cfg, err := ParseSpec("depth=12,retire=8,hazard=read-from-WB,l2=1048576,memlat=50,l2lat=10,l1=16384,aging=64,width=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.WB.Depth != 12 {
+		t.Errorf("depth = %d", cfg.WB.Depth)
+	}
+	if cfg.WB.WordsPerEntry != 2 {
+		t.Errorf("width = %d", cfg.WB.WordsPerEntry)
+	}
+	if cfg.Hazard != core.ReadFromWB {
+		t.Errorf("hazard = %v", cfg.Hazard)
+	}
+	if cfg.L2 == nil || cfg.L2.SizeBytes != 1<<20 {
+		t.Errorf("L2 = %+v", cfg.L2)
+	}
+	if cfg.MemLat != 50 || cfg.L2ReadLat != 10 || cfg.L1.SizeBytes != 16384 {
+		t.Errorf("latencies/sizes wrong: %+v", cfg)
+	}
+	r, ok := cfg.Retire.(core.RetireAt)
+	if !ok || r.N != 8 || r.Timeout != 64 {
+		t.Errorf("retire = %#v", cfg.Retire)
+	}
+}
+
+func TestParseSpecWriteCache(t *testing.T) {
+	cfg, err := ParseSpec("wcache=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.WriteCacheDepth != 8 {
+		t.Errorf("write-cache depth = %d", cfg.WriteCacheDepth)
+	}
+}
+
+func TestParseSpecLeavesUntouchedKeysAlone(t *testing.T) {
+	base := sim.Baseline().WithRetire(core.RetireAt{N: 3, Timeout: 99})
+	cfg, err := ParseSpecFrom(base, "depth=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := cfg.Retire.(core.RetireAt)
+	if !ok || r.N != 3 || r.Timeout != 99 {
+		t.Errorf("retire policy not preserved: %#v", cfg.Retire)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"nonsense",
+		"depth",
+		"depth=abc",
+		"hazard=bogus",
+		"mystery=4",
+		"depth=0", // fails validation
+		"@/no/such/file.json",
+	} {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("spec %q unexpectedly parsed", spec)
+		}
+	}
+}
+
+func TestParseSpecAtFile(t *testing.T) {
+	want, err := ParseSpec("depth=12,retire=6,hazard=read-from-WB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := Encode(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "deep.json")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := ParseSpec("@" + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := Hash(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := Hash(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Errorf("@file round trip changed the machine: %s != %s", h2, h1)
+	}
+
+	// @file with trailing overrides: the override applies, the rest holds.
+	got, err = ParseSpec("@" + path + ",hazard=flush-full")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hazard != core.FlushFull {
+		t.Errorf("override hazard = %v", got.Hazard)
+	}
+	if got.WB.Depth != 12 {
+		t.Errorf("override clobbered depth: %d", got.WB.Depth)
+	}
+}
