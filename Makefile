@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-explore smoke-explore
+.PHONY: all build test race vet bench bench-explore smoke-explore chaos
 
 all: vet build test
 
@@ -32,6 +32,12 @@ bench-explore:
 	$(GO) run ./cmd/wbopt -space spaces/smoke.json -n 200000 -seed 1 -quiet \
 		-stats-out BENCH_explore.json
 	@cat BENCH_explore.json
+
+# chaos runs the deterministic fault-injection suite under the race
+# detector: every faultline scenario (crash, hang, slow, corrupt, bitflip,
+# 5xx storm, partition) must still yield byte-identical sweep results.
+chaos:
+	$(GO) test -race -run 'TestChaos' ./internal/faultline/ ./internal/explore/
 
 # smoke-explore is the CI acceptance smoke: a guided search over the 2-axis
 # smoke space must exit 0 and put a read-from-WB machine on its frontier.

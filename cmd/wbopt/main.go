@@ -29,7 +29,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/dispatch"
@@ -54,6 +56,7 @@ func main() {
 		statsOut   = flag.String("stats-out", "", "write wall-clock search statistics (jobs/sec, sims skipped) to this JSON file")
 		workersCSV = flag.String("workers", "", "comma-separated wbserve -worker addresses to dispatch simulations to")
 		checkpoint = flag.String("checkpoint", "", "JSONL journal path; completed simulations are skipped when the search reruns")
+		verify     = flag.Float64("verify", 0, "fraction (0..1] of remote simulations to re-execute locally; any divergence aborts the search")
 		quiet      = flag.Bool("quiet", false, "suppress the live progress line on stderr")
 	)
 	flag.Parse()
@@ -72,8 +75,13 @@ func main() {
 	}
 
 	reg := metrics.NewRegistry()
-	backend, closeBackend, err := dispatch.BuildBackend(*workersCSV, *checkpoint, reg,
-		func(format string, args ...any) { fmt.Fprintf(os.Stderr, "wbopt: "+format+"\n", args...) })
+	backend, closeBackend, err := dispatch.BuildBackendOpts(dispatch.BuildOptions{
+		Workers:        *workersCSV,
+		Checkpoint:     *checkpoint,
+		VerifyFraction: *verify,
+		Metrics:        reg,
+		Logf:           func(format string, args ...any) { fmt.Fprintf(os.Stderr, "wbopt: "+format+"\n", args...) },
+	})
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -91,9 +99,18 @@ func main() {
 		env.Progress = experiment.ProgressReporter(os.Stderr, "wbopt/"+strat.Name())
 	}
 
+	// SIGINT/SIGTERM cancel the search context: dispatch stops promptly
+	// (mid-backoff and mid-hedge included) and, with -checkpoint, the
+	// journal holds every finished simulation for the rerun to resume.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	start := time.Now()
-	res, err := strat.Search(context.Background(), space, env)
+	res, err := strat.Search(ctx, space, env)
 	if err != nil {
+		if ctx.Err() != nil && *checkpoint != "" {
+			fmt.Fprintf(os.Stderr, "wbopt: interrupted; rerun with -checkpoint %s to resume\n", *checkpoint)
+		}
 		fatalf("%v", err)
 	}
 	wall := time.Since(start)

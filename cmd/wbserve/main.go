@@ -26,7 +26,8 @@
 //	POST /run           run one (benchmark, configuration): JSON in, JSON out
 //	POST /job           run one sweep job (wire format; -worker only)
 //	GET  /metrics       Prometheus text exposition of the metrics registry
-//	GET  /healthz       liveness probe (the dispatcher's re-probe target)
+//	GET  /healthz       readiness probe: 200 while accepting work, 503 while
+//	                    starting or draining (the dispatcher's re-probe target)
 //	GET  /debug/pprof/  net/http/pprof profiles
 //	GET  /debug/vars    expvar JSON (cmdline, memstats)
 //
@@ -36,11 +37,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 )
 
@@ -50,6 +55,7 @@ func main() {
 		cacheSize = flag.Int("cachesize", 256, "bounded LRU result cache capacity (entries)")
 		maxN      = flag.Uint64("maxn", 20_000_000, "largest per-request instruction count accepted")
 		worker    = flag.Bool("worker", false, "serve POST /job so wbexp -workers can dispatch sweep jobs here")
+		drain     = flag.Duration("draintimeout", 30*time.Second, "graceful-shutdown deadline for in-flight requests on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
@@ -65,5 +71,34 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "wbserve: listening on %s (cache %d entries, maxn %d%s)\n",
 		*addr, *cacheSize, *maxN, mode)
-	log.Fatal(srv.ListenAndServe())
+
+	// Graceful shutdown: the first SIGINT/SIGTERM flips the server to
+	// draining — /healthz turns 503 so dispatchers route around us, new
+	// /run and /job work is refused — then http.Server.Shutdown lets
+	// in-flight requests finish under the drain deadline.  A second
+	// signal kills the process the usual way (NotifyContext unregisters
+	// after the first).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	s.ready.SetDraining()
+	fmt.Fprintf(os.Stderr, "wbserve: signal received, draining in-flight requests (up to %v)\n", *drain)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Fatalf("wbserve: drain deadline exceeded: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "wbserve: drained, exiting")
 }

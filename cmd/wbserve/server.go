@@ -224,38 +224,57 @@ func responseFrom(m experiment.Measurement) *RunResponse {
 }
 
 // server ties the HTTP surface to the experiment harness: a bounded LRU
-// over measurements and a shared metrics registry.
+// over measurements, a shared metrics registry, and a readiness state
+// that sequences graceful shutdown (drain begins → /healthz flips to 503
+// so dispatchers stop routing here → new work is refused → in-flight
+// requests finish under http.Server.Shutdown).
 type server struct {
 	cache    *lruCache
 	reg      *metrics.Registry
 	maxN     uint64
 	worker   bool
+	ready    *dispatch.Readiness
 	inflight atomic.Int64
 }
 
 func newServer(cacheSize int, maxN uint64, worker bool) *server {
-	return &server{
+	s := &server{
 		cache:  newLRU(cacheSize),
 		reg:    metrics.NewRegistry(),
 		maxN:   maxN,
 		worker: worker,
+		ready:  dispatch.NewReadiness(),
 	}
+	// Construction is cheap and the process serves nothing until the
+	// listener is up, so the server is born ready; main flips it to
+	// draining on SIGINT/SIGTERM.
+	s.ready.SetReady()
+	return s
 }
 
 // handler builds the route table.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /experiments", s.instrument("/experiments", s.handleExperiments))
-	mux.HandleFunc("POST /run", s.instrument("/run", s.handleRun))
+	mux.HandleFunc("POST /run", s.instrument("/run", s.refuseWhenDraining(s.handleRun)))
 	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		// Readiness, not liveness: a draining (or starting) process
+		// answers 503 so load balancers and the dispatch re-prober route
+		// around it, with the state name as the body for operators.
+		if !s.ready.IsReady() {
+			http.Error(w, s.ready.State(), http.StatusServiceUnavailable)
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	}))
 	if s.worker {
 		// The sweep-worker surface: POST /job runs one wire-encoded
 		// matrix job for a dispatch.Remote coordinator, feeding the same
-		// registry /metrics exports.
-		jobs := dispatch.WorkerHandler(s.reg)
+		// registry /metrics exports.  The shared readiness state makes
+		// the worker refuse jobs (503 → dispatcher retries elsewhere)
+		// once draining begins.
+		jobs := dispatch.WorkerHandlerState(s.reg, s.ready)
 		mux.Handle("POST /job", s.instrument("/job", jobs.ServeHTTP))
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -265,6 +284,19 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
 	return mux
+}
+
+// refuseWhenDraining gates a work-accepting endpoint on readiness: during
+// shutdown, in-flight requests finish but new work gets an immediate 503
+// (transient, safe to retry elsewhere) instead of racing the listener.
+func (s *server) refuseWhenDraining(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !s.ready.IsReady() {
+			httpError(w, http.StatusServiceUnavailable, "server is %s", s.ready.State())
+			return
+		}
+		h(w, r)
+	}
 }
 
 // instrument wraps a handler with request counting, latency tracking, and

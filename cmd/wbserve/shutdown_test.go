@@ -1,0 +1,72 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The graceful-shutdown contract: once draining starts, new work is
+// refused with 503 and /healthz routes dispatchers away, but a request
+// already executing runs to completion under http.Server.Shutdown.
+func TestGracefulShutdownDrainsInflight(t *testing.T) {
+	s, ts := testServer(t)
+
+	// A deliberately heavy request to hold in flight across the drain.
+	slow := make(chan *http.Response, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/run", "application/json",
+			strings.NewReader(`{"bench":"li","n":5000000}`))
+		if err != nil {
+			slow <- nil
+			return
+		}
+		resp.Body.Close()
+		slow <- resp
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.inflight.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("slow request never arrived")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	s.ready.SetDraining()
+
+	if resp, err := http.Get(ts.URL + "/healthz"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("/healthz while draining = %d, want 503", resp.StatusCode)
+		}
+	}
+	if resp, _ := postRun(t, ts, `{"bench":"li"}`); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/run while draining = %d, want 503", resp.StatusCode)
+	}
+	if resp, err := http.Post(ts.URL+"/job", "application/json", strings.NewReader(`{}`)); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("/job while draining = %d, want 503", resp.StatusCode)
+		}
+	}
+
+	// Shutdown must wait for the in-flight run and return cleanly.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := ts.Config.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown did not drain cleanly: %v", err)
+	}
+	resp := <-slow
+	if resp == nil {
+		t.Fatal("in-flight request was killed by shutdown")
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("in-flight request finished with %d, want 200", resp.StatusCode)
+	}
+}

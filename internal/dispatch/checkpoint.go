@@ -45,12 +45,21 @@ type Checkpointed struct {
 
 	hits   *metrics.Counter
 	writes *metrics.Counter
+	logf   func(format string, args ...any)
 }
 
 // NewCheckpointed opens (creating if absent) the journal at path and
 // replays it over the inner backend.  reg, when non-nil, receives
 // dispatch_checkpoint_hits_total and dispatch_checkpoint_appends_total.
 func NewCheckpointed(inner Backend, path string, reg *metrics.Registry) (*Checkpointed, error) {
+	return NewCheckpointedLogf(inner, path, reg, nil)
+}
+
+// NewCheckpointedLogf is NewCheckpointed with a log sink: replay reports
+// each journal line it skipped (a torn tail from a killed writer, or
+// stray corruption) so an operator resuming a sweep sees exactly which
+// records were lost and will rerun, instead of a silent count.
+func NewCheckpointedLogf(inner Backend, path string, reg *metrics.Registry, logf func(format string, args ...any)) (*Checkpointed, error) {
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
@@ -59,6 +68,7 @@ func NewCheckpointed(inner Backend, path string, reg *metrics.Registry) (*Checkp
 		done:   map[string]Measurement{},
 		hits:   reg.Counter("dispatch_checkpoint_hits_total"),
 		writes: reg.Counter("dispatch_checkpoint_appends_total"),
+		logf:   logf,
 	}
 	if existing, err := os.ReadFile(path); err == nil {
 		c.replay(existing)
@@ -79,7 +89,9 @@ func NewCheckpointed(inner Backend, path string, reg *metrics.Registry) (*Checkp
 func (c *Checkpointed) replay(data []byte) {
 	sc := bufio.NewScanner(bytes.NewReader(data))
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	lineNo := 0
 	for sc.Scan() {
+		lineNo++
 		line := bytes.TrimSpace(sc.Bytes())
 		if len(line) == 0 {
 			continue
@@ -87,6 +99,9 @@ func (c *Checkpointed) replay(data []byte) {
 		var rec checkpointRecord
 		if err := json.Unmarshal(line, &rec); err != nil || rec.Key == "" {
 			c.skipped++
+			if c.logf != nil {
+				c.logf("checkpoint: skipping unparsable journal line %d (%d bytes); that job will rerun", lineNo, len(line))
+			}
 			continue
 		}
 		c.done[rec.Key] = rec.Measurement

@@ -1,10 +1,12 @@
 package dispatch
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
@@ -213,5 +215,52 @@ func TestCheckpointForwardsConcurrency(t *testing.T) {
 	defer ck.Close()
 	if got := ck.Concurrency(); got != 0 {
 		t.Errorf("Concurrency() over a hint-less backend = %d, want 0", got)
+	}
+}
+
+// A corrupted journal line must be reported to the log sink with its line
+// number, not just silently counted — the operator deserves to know which
+// record was lost and will rerun.
+func TestCheckpointLogsCorruptLines(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	inner := &countingBackend{}
+	ck, err := NewCheckpointed(inner, path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := sweepJobs()[:2]
+	for _, job := range jobs {
+		if _, err := ck.Run(context.Background(), job); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ck.Close()
+
+	// Corrupt the SECOND record mid-JSON (not just the tail): a crashed
+	// writer tears the end, but disk rot can hit anywhere.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	mangled := append([]byte{}, lines[0]...)
+	mangled = append(mangled, lines[1][:len(lines[1])/2]...)
+	mangled = append(mangled, '\n')
+	if err := os.WriteFile(path, mangled, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var logs []string
+	ck2, err := NewCheckpointedLogf(&countingBackend{}, path, nil,
+		func(format string, args ...any) { logs = append(logs, fmt.Sprintf(format, args...)) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck2.Close()
+	if loaded, skipped := ck2.Loaded(); loaded != 1 || skipped != 1 {
+		t.Fatalf("Loaded() = (%d, %d), want (1, 1)", loaded, skipped)
+	}
+	if len(logs) != 1 || !strings.Contains(logs[0], "line 2") {
+		t.Errorf("skip log = %q, want one entry naming line 2", logs)
 	}
 }

@@ -6,41 +6,74 @@ import (
 	"repro/internal/metrics"
 )
 
+// BuildOptions describes the execution stack the standard CLI flags
+// select; BuildBackendOpts assembles it.
+type BuildOptions struct {
+	// Workers is the comma-separated worker URL list (the -workers flag).
+	// Empty means in-process execution.
+	Workers string
+	// Checkpoint is the resumable journal path (the -checkpoint flag).
+	// Empty disables journaling.
+	Checkpoint string
+	// VerifyFraction, in (0, 1], re-executes that fraction of remote jobs
+	// locally and aborts on divergence (the -verify flag).
+	VerifyFraction float64
+	// Metrics, when non-nil, receives the dispatch and checkpoint series.
+	Metrics *metrics.Registry
+	// Logf, when non-nil, receives operational events: checkpoint replay
+	// and corruption reports, pool downgrades, verification divergences.
+	Logf func(format string, args ...any)
+}
+
 // BuildBackend assembles the execution stack the standard CLI flags
 // describe, shared by cmd/wbexp and cmd/wbopt: remote workers when
 // workersCSV is non-empty (in-process execution otherwise), wrapped in a
 // resumable checkpoint journal when checkpointPath is non-empty.  With
 // neither, the backend is nil and the experiment harness runs exactly its
 // default path.
-//
-// reg, when non-nil, receives the checkpoint counters.  logf, when
-// non-nil, is told how many journaled jobs a pre-existing checkpoint
-// replayed (CLIs print it to stderr).  The returned cleanup closes
-// whatever was built and is safe to call exactly once.
 func BuildBackend(workersCSV, checkpointPath string, reg *metrics.Registry, logf func(format string, args ...any)) (Backend, func(), error) {
+	return BuildBackendOpts(BuildOptions{
+		Workers: workersCSV, Checkpoint: checkpointPath, Metrics: reg, Logf: logf,
+	})
+}
+
+// BuildBackendOpts is BuildBackend with the full option set.  Unlike the
+// bare Remote library type, the CLI stack turns the resilience defenses
+// on: hedged requests against the pool's p95 latency, graceful
+// degradation to local execution when every worker is gone, and (when
+// opts.VerifyFraction is set) seeded local re-verification of remote
+// results.  The returned cleanup closes whatever was built and is safe to
+// call exactly once.
+func BuildBackendOpts(opts BuildOptions) (Backend, func(), error) {
 	cleanup := func() {}
 	var backend Backend
-	if workersCSV != "" {
-		rem, err := NewRemote(strings.Split(workersCSV, ","), RemoteOptions{})
+	if opts.Workers != "" {
+		rem, err := NewRemote(strings.Split(opts.Workers, ","), RemoteOptions{
+			Metrics:         opts.Metrics,
+			Logf:            opts.Logf,
+			HedgePercentile: 0.95,
+			FallbackLocal:   true,
+			VerifyFraction:  opts.VerifyFraction,
+		})
 		if err != nil {
 			return nil, cleanup, err
 		}
 		backend = rem
 		cleanup = rem.Close
 	}
-	if checkpointPath != "" {
+	if opts.Checkpoint != "" {
 		inner := backend
 		if inner == nil {
 			inner = &Local{}
 		}
-		ckpt, err := NewCheckpointed(inner, checkpointPath, reg)
+		ckpt, err := NewCheckpointedLogf(inner, opts.Checkpoint, opts.Metrics, opts.Logf)
 		if err != nil {
 			cleanup()
 			return nil, func() {}, err
 		}
-		if loaded, skipped := ckpt.Loaded(); (loaded > 0 || skipped > 0) && logf != nil {
-			logf("checkpoint %s: %d completed jobs replayed, %d unparsable lines skipped",
-				checkpointPath, loaded, skipped)
+		if loaded, skipped := ckpt.Loaded(); (loaded > 0 || skipped > 0) && opts.Logf != nil {
+			opts.Logf("checkpoint %s: %d completed jobs replayed, %d unparsable lines skipped",
+				opts.Checkpoint, loaded, skipped)
 		}
 		innerCleanup := cleanup
 		cleanup = func() {

@@ -1,0 +1,62 @@
+package dispatch
+
+import "sync/atomic"
+
+// Readiness is a worker's lifecycle state, distinguishing "process answers
+// HTTP" from "process should be given work".  A worker is Starting while it
+// warms up, Ready while it accepts jobs, and Draining once shutdown has
+// begun and in-flight work is finishing.
+//
+// The /healthz endpoint reports the state with a status code the Remote
+// dispatcher already understands: 200 only when Ready, 503 otherwise.  The
+// quarantine re-prober treats any non-200 as "still down", so a worker
+// that is starting or draining is skipped instead of being returned to
+// rotation and burning a job (and a retry) on a machine that would refuse
+// it.  POST /job answers 503 during Starting and Draining for the same
+// reason: the dispatcher retries elsewhere immediately.
+type Readiness struct {
+	state atomic.Int32
+}
+
+// Readiness states, in lifecycle order.
+const (
+	Starting int32 = iota
+	Ready
+	Draining
+)
+
+// NewReadiness returns a Readiness in the Starting state.
+func NewReadiness() *Readiness {
+	return &Readiness{}
+}
+
+// SetReady marks the worker ready to accept jobs.
+func (r *Readiness) SetReady() { r.state.Store(Ready) }
+
+// SetDraining marks the worker as shutting down: health checks and new
+// jobs are refused while in-flight work completes.
+func (r *Readiness) SetDraining() { r.state.Store(Draining) }
+
+// IsReady reports whether the worker should be given work.  A nil
+// Readiness is always ready, so handlers without lifecycle management
+// (tests, embedded workers) need no state object.
+func (r *Readiness) IsReady() bool {
+	return r == nil || r.state.Load() == Ready
+}
+
+// State returns the state's wire name: "starting", "ok", or "draining" —
+// the /healthz body, so probes and operators see why a worker is not
+// taking work.
+func (r *Readiness) State() string {
+	if r == nil {
+		return "ok"
+	}
+	switch r.state.Load() {
+	case Ready:
+		return "ok"
+	case Draining:
+		return "draining"
+	default:
+		return "starting"
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/machconf"
 	"repro/internal/metrics"
 )
 
@@ -21,11 +22,28 @@ import (
 // dispatch_worker_job_errors_total, dispatch_worker_job_microseconds, and
 // every finished machine's sim_* counters.
 //
+// Every measurement response carries an integrity checksum over the job's
+// canonical machconf hash and the exact payload bytes (ChecksumHeader);
+// the Remote dispatcher rejects a response whose payload no longer matches
+// its checksum, so corruption in flight reads as a worker fault, not data.
+//
 // Status codes distinguish the caller's fault from the job's: 400 for a
 // body that does not decode to a job (or names an unknown benchmark),
 // 422 for a well-formed job whose machine fails simulator validation.
-// Both are permanent — the Remote backend does not retry them.
+// Both are permanent — the Remote backend does not retry them.  A worker
+// that is starting or draining answers 503 (transient; retry elsewhere).
+//
+// The handler is always ready; a worker with a real lifecycle (wbserve's
+// graceful shutdown) uses WorkerHandlerState with a shared Readiness.
 func WorkerHandler(reg *metrics.Registry) http.Handler {
+	return WorkerHandlerState(reg, nil)
+}
+
+// WorkerHandlerState is WorkerHandler with an explicit readiness state:
+// /healthz reports it (200 only when ready) and POST /job refuses work
+// with 503 while the worker is starting or draining.  A nil state means
+// always ready.
+func WorkerHandlerState(reg *metrics.Registry, rdy *Readiness) http.Handler {
 	var (
 		jobs    *metrics.Counter
 		jobErrs *metrics.Counter
@@ -38,9 +56,18 @@ func WorkerHandler(reg *metrics.Registry) http.Handler {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if !rdy.IsReady() {
+			http.Error(w, rdy.State(), http.StatusServiceUnavailable)
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("POST /job", func(w http.ResponseWriter, r *http.Request) {
+		if !rdy.IsReady() {
+			// Not a job error: the job is fine, this machine is not.
+			http.Error(w, rdy.State(), http.StatusServiceUnavailable)
+			return
+		}
 		if jobs != nil {
 			jobs.Inc()
 		}
@@ -69,8 +96,18 @@ func WorkerHandler(reg *metrics.Registry) http.Handler {
 		if latency != nil {
 			latency.Observe(uint64(time.Since(start).Microseconds()))
 		}
+		payload, err := json.Marshal(m)
+		if err != nil { // scalars only; cannot happen
+			workerError(w, jobErrs, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		// The job arrived as a canonical machconf blob, so its hash always
+		// exists; attest the payload with it.
+		if hash, err := machconf.Hash(job.Cfg); err == nil {
+			w.Header().Set(ChecksumHeader, Checksum(hash, payload))
+		}
 		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(m)
+		w.Write(payload)
 	})
 	return mux
 }

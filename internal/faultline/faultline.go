@@ -1,0 +1,168 @@
+// Package faultline is a deterministic fault-injection layer for the
+// distributed sweep stack: it wraps the worker HTTP surface (and,
+// optionally, a dispatch.Backend) and makes a seeded, reproducible subset
+// of job attempts fail in a chosen way — crash, hang, slow response,
+// truncated payload, bit-flipped measurement, 5xx storm, or a hard
+// partition of part of the worker pool.
+//
+// The point is verification, not vandalism.  Every simulator job is
+// deterministic, so a sweep that survives an injected fault schedule must
+// produce byte-identical results to a fault-free run; the chaos tests in
+// this package and in internal/explore assert exactly that for every
+// scenario.  Determinism of the *schedule* is therefore load-bearing:
+//
+//   - Whether a job is targeted, and how many of its attempts fault, is a
+//     pure function of (scenario seed, job payload hash) — independent of
+//     wall-clock time, goroutine scheduling, or which worker the attempt
+//     lands on.
+//   - Which attempt faults is decided by a per-job arrival ordinal shared
+//     across the whole pool (see Pool), so a retry that lands on a
+//     different worker continues the same schedule rather than restarting
+//     it.
+//   - MaxFaults is bounded below the dispatcher's attempt budget, so every
+//     targeted job eventually succeeds and the parity assertion is
+//     meaningful rather than vacuous.
+//
+// No math/rand, no time-based seeds: replaying a scenario replays the
+// byte-identical fault schedule.
+package faultline
+
+import (
+	"crypto/sha256"
+	"math"
+	"time"
+)
+
+// Kind names one failure mode a Scenario injects.
+type Kind string
+
+// The fault taxonomy.  Each kind exercises a distinct defense in the
+// dispatch layer; docs/DISTRIBUTED.md maps kinds to defenses.
+const (
+	// Crash aborts the connection mid-request: the client sees EOF.
+	// Defense: retry with backoff, quarantine on repeat.
+	Crash Kind = "crash"
+	// Hang accepts the request and never answers.  Defense: the
+	// per-attempt JobTimeout, then retry elsewhere.
+	Hang Kind = "hang"
+	// Slow serves a correct answer after an injected delay.  Defense:
+	// hedged requests — the straggler is raced against a second worker.
+	Slow Kind = "slow"
+	// Corrupt serves a truncated, garbled measurement payload under the
+	// original (now stale) checksum.  Defense: integrity rejection.
+	Corrupt Kind = "corrupt"
+	// BitFlip serves a measurement with one flipped mantissa bit, the
+	// kind of corruption that decodes cleanly and would silently poison a
+	// sweep.  Defense: integrity rejection (the checksum covers payload
+	// bytes, not JSON well-formedness).
+	BitFlip Kind = "bitflip"
+	// Storm answers 503 for the scheduled attempts — an overload or
+	// restarting-fleet signature.  Defense: retry with jittered backoff.
+	Storm Kind = "storm"
+	// Partition makes a worker-pool subset unreachable for the whole run,
+	// health checks included.  Defense: quarantine shifts load to the
+	// survivors; a full partition degrades to local execution.
+	Partition Kind = "partition"
+)
+
+// Scenario is one seeded fault schedule.
+type Scenario struct {
+	// Name labels the scenario in tests and logs.
+	Name string
+	// Kind selects the failure mode.
+	Kind Kind
+	// Seed makes the schedule reproducible; two runs with equal seeds
+	// fault the same jobs on the same attempts.
+	Seed uint64
+	// Rate, in (0, 1], is the fraction of jobs targeted (by payload hash,
+	// so the same jobs are hit on every run).  Ignored by Partition.
+	Rate float64
+	// MaxFaults bounds how many of a targeted job's attempts fault; the
+	// actual count is seeded per job in [1, MaxFaults].  Keep it below
+	// the dispatcher's attempt budget or targeted jobs can never finish.
+	MaxFaults int
+	// Latency is the injected delay for Slow.
+	Latency time.Duration
+	// PartitionFraction, in (0, 1], is the fraction of the worker pool
+	// Partition makes unreachable (rounded up).
+	PartitionFraction float64
+}
+
+// Scenarios returns the canonical chaos suite: one scenario per fault
+// kind, with rates high enough to guarantee injections on a small sweep
+// and fault counts below the dispatcher's default attempt budget.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{Name: "crash", Kind: Crash, Seed: 11, Rate: 0.35, MaxFaults: 2},
+		{Name: "hang", Kind: Hang, Seed: 12, Rate: 0.45, MaxFaults: 1},
+		{Name: "slow", Kind: Slow, Seed: 13, Rate: 0.35, MaxFaults: 1, Latency: 60 * time.Millisecond},
+		{Name: "corrupt", Kind: Corrupt, Seed: 14, Rate: 0.35, MaxFaults: 2},
+		{Name: "bitflip", Kind: BitFlip, Seed: 15, Rate: 0.35, MaxFaults: 2},
+		{Name: "storm", Kind: Storm, Seed: 16, Rate: 0.5, MaxFaults: 2},
+		{Name: "partition", Kind: Partition, Seed: 17, PartitionFraction: 0.5},
+	}
+}
+
+// hash64 derives a uint64 from the scenario seed, a domain tag, and the
+// job payload hash.  The tag separates the "is this job targeted" stream
+// from the "how many attempts fault" stream so the two decisions are
+// independent.
+func (s Scenario) hash64(tag string, jobHash []byte) uint64 {
+	h := sha256.New()
+	var sb [8]byte
+	for i := range sb {
+		sb[i] = byte(s.Seed >> (8 * i))
+	}
+	h.Write(sb[:])
+	h.Write([]byte(tag))
+	h.Write(jobHash)
+	sum := h.Sum(nil)
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v = v<<8 | uint64(sum[i])
+	}
+	return v
+}
+
+// Targets reports whether the job with the given payload hash is in this
+// scenario's fault set.
+func (s Scenario) Targets(jobHash []byte) bool {
+	if s.Rate <= 0 {
+		return false
+	}
+	if s.Rate >= 1 {
+		return true
+	}
+	v := s.hash64("target", jobHash)
+	return float64(v)/math.MaxUint64 < s.Rate
+}
+
+// FaultCount returns how many of a targeted job's attempts fault:
+// seeded per job, uniform over [1, MaxFaults].
+func (s Scenario) FaultCount(jobHash []byte) int {
+	if s.MaxFaults <= 1 {
+		return 1
+	}
+	return 1 + int(s.hash64("count", jobHash)%uint64(s.MaxFaults))
+}
+
+// PartitionedWorkers returns how many of poolSize workers a Partition
+// scenario makes unreachable: ceil(PartitionFraction · poolSize).
+func (s Scenario) PartitionedWorkers(poolSize int) int {
+	if s.Kind != Partition || s.PartitionFraction <= 0 {
+		return 0
+	}
+	n := int(math.Ceil(s.PartitionFraction * float64(poolSize)))
+	if n > poolSize {
+		n = poolSize
+	}
+	return n
+}
+
+// JobHash is the identity under which a job's fault schedule is keyed:
+// the SHA-256 of its wire payload.  Retries and hedges of one job carry
+// identical payloads, so they share a schedule.
+func JobHash(payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	return sum[:]
+}

@@ -1,0 +1,185 @@
+package faultline
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/dispatch"
+	"repro/internal/metrics"
+)
+
+// Pool holds the shared state of one scenario running over one worker
+// pool: the per-job arrival ordinals that decide which attempt of a job
+// faults.  The ordinal store is shared by every wrapped worker, so a
+// retry (or hedge) that lands on a different worker sees attempt N+1 of
+// the same schedule rather than attempt 1 of a fresh one — the property
+// that makes fault schedules independent of dispatcher routing.
+type Pool struct {
+	scenario Scenario
+
+	mu       sync.Mutex
+	arrivals map[string]int
+
+	injected *metrics.Counter
+	passed   *metrics.Counter
+}
+
+// NewPool creates the shared state for one scenario.  reg, when non-nil,
+// receives faultline_injections_total{kind=...} and
+// faultline_passthroughs_total{kind=...}.
+func NewPool(s Scenario, reg *metrics.Registry) *Pool {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	kind := string(s.Kind)
+	return &Pool{
+		scenario: s,
+		arrivals: map[string]int{},
+		injected: reg.Counter(metrics.Label("faultline_injections_total", "kind", kind)),
+		passed:   reg.Counter(metrics.Label("faultline_passthroughs_total", "kind", kind)),
+	}
+}
+
+// Injected reports how many faults the pool has injected so far — chaos
+// tests assert it is non-zero, so a scenario that silently stopped
+// targeting anything reads as a test failure, not a vacuous pass.
+func (p *Pool) Injected() uint64 { return p.injected.Value() }
+
+// arrival returns the 1-based pool-wide arrival ordinal for a job.
+func (p *Pool) arrival(jobHash []byte) int {
+	key := string(jobHash)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.arrivals[key]++
+	return p.arrivals[key]
+}
+
+// Worker wraps one worker's HTTP handler with the pool's scenario.
+// index and poolSize place the worker for Partition decisions (workers
+// with index < partitioned-count are unreachable).
+func (p *Pool) Worker(index, poolSize int, inner http.Handler) http.Handler {
+	partitioned := index < p.scenario.PartitionedWorkers(poolSize)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if partitioned {
+			// The whole process is unreachable: abort every connection,
+			// health checks included, so the worker can never leave
+			// quarantine.
+			p.injected.Inc()
+			panic(http.ErrAbortHandler)
+		}
+		if r.Method != http.MethodPost || r.URL.Path != "/job" {
+			inner.ServeHTTP(w, r)
+			return
+		}
+		payload, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			http.Error(w, "faultline: body read failed", http.StatusBadRequest)
+			return
+		}
+		r.Body = io.NopCloser(bytes.NewReader(payload))
+		jobHash := JobHash(payload)
+		if !p.scenario.Targets(jobHash) {
+			inner.ServeHTTP(w, r)
+			return
+		}
+		ordinal := p.arrival(jobHash)
+		if ordinal > p.scenario.FaultCount(jobHash) {
+			// This job's scheduled faults are spent; let it succeed.
+			p.passed.Inc()
+			inner.ServeHTTP(w, r)
+			return
+		}
+		p.injected.Inc()
+		switch p.scenario.Kind {
+		case Crash:
+			panic(http.ErrAbortHandler)
+		case Hang:
+			// Never answer; the dispatcher's JobTimeout cancels the
+			// request context, which also lets the server shut down.
+			<-r.Context().Done()
+		case Storm:
+			http.Error(w, "faultline: injected overload", http.StatusServiceUnavailable)
+		case Slow:
+			t := time.NewTimer(p.scenario.Latency)
+			defer t.Stop()
+			select {
+			case <-t.C:
+			case <-r.Context().Done():
+				return
+			}
+			inner.ServeHTTP(w, r) // correct answer, late — hedging's prey
+		case Corrupt:
+			cr := capture(inner, r)
+			cr.body = garble(cr.body)
+			cr.replay(w)
+		case BitFlip:
+			cr := capture(inner, r)
+			cr.body = flipMeasurementBit(cr.body)
+			cr.replay(w)
+		default:
+			inner.ServeHTTP(w, r)
+		}
+	})
+}
+
+// capturedResponse is an in-memory http.ResponseWriter: the inner handler
+// runs to completion, then the middleware mutates the body and replays it
+// with the ORIGINAL headers — including the worker's integrity checksum,
+// which is now stale and is exactly how the dispatcher catches the fault.
+type capturedResponse struct {
+	header http.Header
+	status int
+	body   []byte
+}
+
+func capture(inner http.Handler, r *http.Request) *capturedResponse {
+	c := &capturedResponse{header: http.Header{}, status: http.StatusOK}
+	inner.ServeHTTP(c, r)
+	return c
+}
+
+func (c *capturedResponse) Header() http.Header { return c.header }
+func (c *capturedResponse) WriteHeader(s int)   { c.status = s }
+func (c *capturedResponse) Write(b []byte) (int, error) {
+	c.body = append(c.body, b...)
+	return len(b), nil
+}
+
+func (c *capturedResponse) replay(w http.ResponseWriter) {
+	for k, vs := range c.header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(c.status)
+	w.Write(c.body)
+}
+
+// garble truncates a payload to half and appends noise — a torn or
+// proxy-mangled response.  It keeps the result non-empty and different
+// from the original so the checksum always mismatches.
+func garble(body []byte) []byte {
+	out := append([]byte{}, body[:len(body)/2]...)
+	return append(out, []byte("<<faultline-garbled>>")...)
+}
+
+// flipMeasurementBit decodes a measurement, flips the lowest mantissa bit
+// of its write-buffer hit rate, and re-encodes — corruption that still
+// parses.  If the body is not a measurement it falls back to garbling.
+func flipMeasurementBit(body []byte) []byte {
+	var m dispatch.Measurement
+	if err := json.Unmarshal(body, &m); err != nil {
+		return garble(body)
+	}
+	m.WBHit = math.Float64frombits(math.Float64bits(m.WBHit) ^ 1)
+	out, err := json.Marshal(m)
+	if err != nil {
+		return garble(body)
+	}
+	return out
+}

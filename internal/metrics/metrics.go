@@ -128,6 +128,37 @@ func (h *Histogram) Mean() float64 {
 	return float64(h.sum.Load()) / float64(n)
 }
 
+// Quantile estimates the q-quantile (0 < q < 1) of the observations: the
+// exclusive upper bound of the bucket holding the ceil(q·count)-th smallest
+// observation.  The log2 bucketing makes the estimate coarse — at worst a
+// factor of two above the true quantile — which is exactly the fidelity a
+// straggler-detection threshold needs (dispatch hedging keys its re-issue
+// delay on the pool's p95 job latency).  With no observations it returns 0.
+func (h *Histogram) Quantile(q float64) uint64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(n)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for k := range h.buckets {
+		seen += h.buckets[k].Load()
+		if seen >= rank {
+			return bucketBound(k)
+		}
+	}
+	return bucketBound(HistogramBuckets - 1)
+}
+
 // Buckets returns a copy of the non-empty bucket counts, keyed by the
 // bucket's exclusive upper bound (2^k; the v == 0 bucket reports bound 1).
 func (h *Histogram) Buckets() map[uint64]uint64 {

@@ -189,3 +189,31 @@ func TestConcurrentUse(t *testing.T) {
 		t.Fatalf("shared histogram count = %d, want 8000", got)
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	h := &Histogram{}
+	if got := h.Quantile(0.95); got != 0 {
+		t.Errorf("empty histogram Quantile = %d, want 0", got)
+	}
+	// 90 fast observations in [8,16), 10 stragglers in [1024,2048): the
+	// median lands in the fast bucket, the p95 in the straggler bucket.
+	for i := 0; i < 90; i++ {
+		h.Observe(10)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1500)
+	}
+	if got := h.Quantile(0.5); got != 16 {
+		t.Errorf("p50 = %d, want 16 (the fast bucket's bound)", got)
+	}
+	if got := h.Quantile(0.95); got != 2048 {
+		t.Errorf("p95 = %d, want 2048 (the straggler bucket's bound)", got)
+	}
+	// Out-of-range q clamps instead of panicking.
+	if got := h.Quantile(-1); got != 16 {
+		t.Errorf("q<0 = %d, want the first bucket bound 16", got)
+	}
+	if got := h.Quantile(2); got != 2048 {
+		t.Errorf("q>1 = %d, want the maximum bucket bound 2048", got)
+	}
+}
