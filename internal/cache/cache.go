@@ -92,10 +92,15 @@ func (s Stats) WriteHitRate() float64 {
 	return float64(s.WriteHits) / float64(s.WriteAccesses)
 }
 
-// Cache is a set-associative tag store with LRU replacement.
+// Cache is a set-associative tag store with LRU replacement.  The ways of
+// all sets live in one flat array — set s occupies ways[s*assoc:(s+1)*assoc]
+// — so a lookup is a mask, a multiply, and a short scan, with no slice-of-
+// slices indirection on the simulator's hot path.  Direct-mapped lookups
+// (every paper L1 configuration) take a branch-free single-way fast path.
 type Cache struct {
 	cfg       Config
-	sets      [][]way
+	ways      []way
+	assoc     int
 	setMask   mem.Addr
 	lineShift uint
 	stamp     uint64
@@ -109,14 +114,10 @@ func New(cfg Config) *Cache {
 		panic(err)
 	}
 	nSets := cfg.SizeBytes / cfg.LineBytes / cfg.Assoc
-	sets := make([][]way, nSets)
-	backing := make([]way, nSets*cfg.Assoc)
-	for i := range sets {
-		sets[i], backing = backing[:cfg.Assoc:cfg.Assoc], backing[cfg.Assoc:]
-	}
 	return &Cache{
 		cfg:       cfg,
-		sets:      sets,
+		ways:      make([]way, nSets*cfg.Assoc),
+		assoc:     cfg.Assoc,
 		setMask:   mem.Addr(nSets - 1),
 		lineShift: mem.Log2(cfg.LineBytes),
 	}
@@ -132,12 +133,18 @@ func (c *Cache) Stats() Stats { return c.stats }
 // warm-up phase can be excluded from measurement.
 func (c *Cache) ResetStats() { c.stats = Stats{} }
 
-func (c *Cache) index(addr mem.Addr) (set []way, tag mem.Addr) {
-	tag = addr >> c.lineShift
-	return c.sets[tag&c.setMask], tag
-}
-
-func (c *Cache) find(set []way, tag mem.Addr) *way {
+// find returns the resident way holding tag, or nil.  The assoc==1 branch
+// lets the compiler drop the loop entirely for direct-mapped caches.
+func (c *Cache) find(tag mem.Addr) *way {
+	if c.assoc == 1 {
+		w := &c.ways[int(tag&c.setMask)]
+		if w.valid && w.tag == tag {
+			return w
+		}
+		return nil
+	}
+	base := int(tag&c.setMask) * c.assoc
+	set := c.ways[base : base+c.assoc]
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
 			return &set[i]
@@ -149,8 +156,7 @@ func (c *Cache) find(set []way, tag mem.Addr) *way {
 // Probe reports whether addr's block is resident without touching LRU state
 // or statistics.
 func (c *Cache) Probe(addr mem.Addr) bool {
-	set, tag := c.index(addr)
-	return c.find(set, tag) != nil
+	return c.find(addr>>c.lineShift) != nil
 }
 
 // Read performs a demand read access: on a hit the block's LRU position is
@@ -158,11 +164,12 @@ func (c *Cache) Probe(addr mem.Addr) bool {
 // caller decides whether to Fill.
 func (c *Cache) Read(addr mem.Addr) bool {
 	c.stats.ReadAccesses++
-	set, tag := c.index(addr)
-	if w := c.find(set, tag); w != nil {
+	if w := c.find(addr >> c.lineShift); w != nil {
 		c.stats.ReadHits++
-		c.stamp++
-		w.used = c.stamp
+		if c.assoc > 1 { // LRU bookkeeping is meaningless direct-mapped
+			c.stamp++
+			w.used = c.stamp
+		}
 		return true
 	}
 	return false
@@ -175,11 +182,12 @@ func (c *Cache) Read(addr mem.Addr) bool {
 // write buffer, so the L1 copy is never the only one.
 func (c *Cache) WriteHit(addr mem.Addr) bool {
 	c.stats.WriteAccesses++
-	set, tag := c.index(addr)
-	if w := c.find(set, tag); w != nil {
+	if w := c.find(addr >> c.lineShift); w != nil {
 		c.stats.WriteHits++
-		c.stamp++
-		w.used = c.stamp
+		if c.assoc > 1 {
+			c.stamp++
+			w.used = c.stamp
+		}
 		return true
 	}
 	return false
@@ -190,31 +198,35 @@ func (c *Cache) WriteHit(addr mem.Addr) bool {
 // hit flag and, on a miss that displaced a valid block, the evicted line.
 func (c *Cache) WriteAllocate(addr mem.Addr) (hit bool, evicted Line, hasEvict bool) {
 	c.stats.WriteAccesses++
-	set, tag := c.index(addr)
-	if w := c.find(set, tag); w != nil {
+	tag := addr >> c.lineShift
+	if w := c.find(tag); w != nil {
 		c.stats.WriteHits++
-		c.stamp++
-		w.used = c.stamp
+		if c.assoc > 1 {
+			c.stamp++
+			w.used = c.stamp
+		}
 		w.dirty = true
 		return true, Line{}, false
 	}
-	evicted, hasEvict = c.fill(set, tag, true)
+	evicted, hasEvict = c.fill(tag, true)
 	return false, evicted, hasEvict
 }
 
 // Fill inserts addr's block (after a demand-read miss) and returns the
 // displaced line, if any.
 func (c *Cache) Fill(addr mem.Addr) (evicted Line, hasEvict bool) {
-	set, tag := c.index(addr)
-	if c.find(set, tag) != nil {
+	tag := addr >> c.lineShift
+	if c.find(tag) != nil {
 		// Already resident — fills are idempotent so callers need not
 		// track races between probe and fill.
 		return Line{}, false
 	}
-	return c.fill(set, tag, false)
+	return c.fill(tag, false)
 }
 
-func (c *Cache) fill(set []way, tag mem.Addr, dirty bool) (evicted Line, hasEvict bool) {
+func (c *Cache) fill(tag mem.Addr, dirty bool) (evicted Line, hasEvict bool) {
+	base := int(tag&c.setMask) * c.assoc
+	set := c.ways[base : base+c.assoc]
 	victim := &set[0]
 	for i := range set {
 		w := &set[i]
@@ -243,8 +255,7 @@ func (c *Cache) fill(set []way, tag mem.Addr, dirty bool) (evicted Line, hasEvic
 // when an enclosing L2 evicts).  It reports whether a block was removed and
 // whether that block was dirty.
 func (c *Cache) Invalidate(addr mem.Addr) (removed, wasDirty bool) {
-	set, tag := c.index(addr)
-	if w := c.find(set, tag); w != nil {
+	if w := c.find(addr >> c.lineShift); w != nil {
 		c.stats.Invalidations++
 		wasDirty = w.dirty
 		*w = way{}
@@ -257,11 +268,9 @@ func (c *Cache) Invalidate(addr mem.Addr) (removed, wasDirty bool) {
 // for tests and invariant checks.
 func (c *Cache) Occupancy() int {
 	n := 0
-	for _, set := range c.sets {
-		for _, w := range set {
-			if w.valid {
-				n++
-			}
+	for i := range c.ways {
+		if c.ways[i].valid {
+			n++
 		}
 	}
 	return n

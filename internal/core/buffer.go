@@ -8,6 +8,15 @@
 // stalled instruction waits) lives in internal/sim, which drives the buffer
 // through the methods defined here.  Keeping time out of this package makes
 // every policy decision unit-testable in isolation.
+//
+// Storage is a fixed ring sized at construction: the FIFO head is a
+// rotating index and a retirement frees the head by advancing it, so no
+// entry ever moves.  Every per-instruction operation — tag scan, merge,
+// allocate, probe — walks the n occupied slots through a wraparound index
+// with zero heap allocation.  (The original slice-append implementation
+// re-allocated its backing array every few retirements, and the interim
+// shift-down-on-retire layout spent more time in memmove than in the tag
+// scans themselves; both showed up in PR 6's profile.)
 package core
 
 import (
@@ -83,16 +92,33 @@ type Stats struct {
 	LoadHits    uint64 // probes that found their block active
 }
 
-// Buffer is the write buffer.  entries[0] is the FIFO head — the next entry
-// to retire.  At most the head can be in the middle of retirement
-// (retirement order is FIFO, Table 2), tracked by the retiring flag.
+// Buffer is the write buffer.  The backing array is a ring: buf[head] is
+// the FIFO head — the next entry to retire — and the n occupied slots
+// follow it with wraparound.  At most the head can be in the middle of
+// retirement (retirement order is FIFO, Table 2), tracked by the retiring
+// flag.
 type Buffer struct {
 	cfg      Config
-	entries  []Entry
+	buf      []Entry // fixed backing, len == cfg.Depth
+	head     int     // index of the FIFO head in buf
+	n        int     // occupied slots: buf[head], buf[head+1 mod Depth], …
 	retiring bool
 	stats    Stats
 
 	wordsShift uint // log2(WordsPerEntry); tag = addr >> (wordShift + wordsShift)
+	tagShift   uint // log2(word bytes) + wordsShift, precomputed for EntryTag/AddrOf
+	wordShift  uint // log2(word bytes), precomputed for wordMask
+}
+
+// slot maps FIFO position i (0 = head) to its index in buf.  Depth need
+// not be a power of two (the paper sweeps 12-deep buffers), so wraparound
+// is a compare-and-subtract rather than a mask; i is always < Depth.
+func (b *Buffer) slot(i int) int {
+	j := b.head + i
+	if j >= len(b.buf) {
+		j -= len(b.buf)
+	}
+	return j
 }
 
 // NewBuffer constructs a write buffer; it panics on an invalid Config.
@@ -100,10 +126,14 @@ func NewBuffer(cfg Config) *Buffer {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
+	wordsShift := mem.Log2(cfg.WordsPerEntry)
+	wordShift := mem.Log2(cfg.Geometry.WordBytes())
 	return &Buffer{
 		cfg:        cfg,
-		entries:    make([]Entry, 0, cfg.Depth),
-		wordsShift: mem.Log2(cfg.WordsPerEntry),
+		buf:        make([]Entry, cfg.Depth),
+		wordsShift: wordsShift,
+		tagShift:   wordShift + wordsShift,
+		wordShift:  wordShift,
 	}
 }
 
@@ -120,23 +150,23 @@ func (b *Buffer) ResetStats() { b.stats = Stats{} }
 // this is the line tag; with width-1 entries it is the word tag, so two
 // stores coalesce only when they hit the same word.
 func (b *Buffer) EntryTag(addr mem.Addr) mem.Addr {
-	return addr >> (mem.Log2(b.cfg.Geometry.WordBytes()) + b.wordsShift)
+	return addr >> b.tagShift
 }
 
 // wordMask returns the in-entry valid bit for addr.
 func (b *Buffer) wordMask(addr mem.Addr) uint64 {
-	idx := b.cfg.Geometry.WordIndex(addr) & (b.cfg.WordsPerEntry - 1)
+	idx := int(addr>>b.wordShift) & (b.cfg.WordsPerEntry - 1)
 	return 1 << uint(idx)
 }
 
 // Occupancy returns the number of valid entries, including one mid-retirement.
-func (b *Buffer) Occupancy() int { return len(b.entries) }
+func (b *Buffer) Occupancy() int { return b.n }
 
 // IsFull reports whether no entry can be allocated.
-func (b *Buffer) IsFull() bool { return len(b.entries) == b.cfg.Depth }
+func (b *Buffer) IsFull() bool { return b.n == b.cfg.Depth }
 
 // IsEmpty reports whether the buffer holds no entries.
-func (b *Buffer) IsEmpty() bool { return len(b.entries) == 0 }
+func (b *Buffer) IsEmpty() bool { return b.n == 0 }
 
 // Retiring reports whether the FIFO head is currently being written to L2.
 func (b *Buffer) Retiring() bool { return b.retiring }
@@ -144,18 +174,20 @@ func (b *Buffer) Retiring() bool { return b.retiring }
 // Entries returns a copy of the current entries in FIFO order (head first);
 // intended for tests and diagnostics.
 func (b *Buffer) Entries() []Entry {
-	out := make([]Entry, len(b.entries))
-	copy(out, b.entries)
+	out := make([]Entry, b.n)
+	for i := 0; i < b.n; i++ {
+		out[i] = b.buf[b.slot(i)]
+	}
 	return out
 }
 
 // Head returns the FIFO head entry.  It panics when empty, because callers
 // must consult Occupancy first (the simulator always does).
 func (b *Buffer) Head() Entry {
-	if len(b.entries) == 0 {
+	if b.n == 0 {
 		panic("core: Head of empty buffer")
 	}
-	return b.entries[0]
+	return b.buf[b.head]
 }
 
 // FindMerge returns the index of an entry the store to addr may coalesce
@@ -167,8 +199,8 @@ func (b *Buffer) FindMerge(addr mem.Addr) int {
 	if b.retiring {
 		start = 1
 	}
-	for i := start; i < len(b.entries); i++ {
-		if b.entries[i].Tag == tag {
+	for i := start; i < b.n; i++ {
+		if b.buf[b.slot(i)].Tag == tag {
 			return i
 		}
 	}
@@ -193,18 +225,19 @@ const (
 // Store attempts to insert the store at addr at the given cycle.
 func (b *Buffer) Store(addr mem.Addr, cycle uint64) StoreResult {
 	if i := b.FindMerge(addr); i >= 0 {
-		b.entries[i].Valid |= b.wordMask(addr)
+		b.buf[b.slot(i)].Valid |= b.wordMask(addr)
 		b.stats.Merges++
 		return StoreMerged
 	}
-	if b.IsFull() {
+	if b.n == b.cfg.Depth {
 		return StoreBlocked
 	}
-	b.entries = append(b.entries, Entry{
+	b.buf[b.slot(b.n)] = Entry{
 		Tag:        b.EntryTag(addr),
 		Valid:      b.wordMask(addr),
 		AllocCycle: cycle,
-	})
+	}
+	b.n++
 	b.stats.Allocations++
 	return StoreAllocated
 }
@@ -213,10 +246,11 @@ func (b *Buffer) Store(addr mem.Addr, cycle uint64) StoreResult {
 // victim path, where a whole evicted block enters the (victim) buffer at
 // once.  It panics when full; callers must check IsFull first.
 func (b *Buffer) Insert(e Entry) {
-	if b.IsFull() {
+	if b.n == b.cfg.Depth {
 		panic("core: Insert into a full buffer")
 	}
-	b.entries = append(b.entries, e)
+	b.buf[b.slot(b.n)] = e
+	b.n++
 	b.stats.Allocations++
 }
 
@@ -229,10 +263,11 @@ func (b *Buffer) Insert(e Entry) {
 func (b *Buffer) Probe(addr mem.Addr) (idx int, wordValid, hit bool) {
 	b.stats.LoadProbes++
 	tag := b.EntryTag(addr)
-	for i := range b.entries {
-		if b.entries[i].Tag == tag {
+	for i := 0; i < b.n; i++ {
+		j := b.slot(i)
+		if b.buf[j].Tag == tag {
 			b.stats.LoadHits++
-			return i, b.entries[i].Valid&b.wordMask(addr) != 0, true
+			return i, b.buf[j].Valid&b.wordMask(addr) != 0, true
 		}
 	}
 	return -1, false, false
@@ -243,8 +278,8 @@ func (b *Buffer) Probe(addr mem.Addr) (idx int, wordValid, hit bool) {
 // a hazard's entry after an in-flight retirement completes.
 func (b *Buffer) Find(addr mem.Addr) int {
 	tag := b.EntryTag(addr)
-	for i := range b.entries {
-		if b.entries[i].Tag == tag {
+	for i := 0; i < b.n; i++ {
+		if b.buf[b.slot(i)].Tag == tag {
 			return i
 		}
 	}
@@ -255,14 +290,14 @@ func (b *Buffer) Find(addr mem.Addr) int {
 // the buffer is empty or a retirement is already in flight; the simulator's
 // port arbitration makes those states unreachable.
 func (b *Buffer) BeginRetire() Entry {
-	if len(b.entries) == 0 {
+	if b.n == 0 {
 		panic("core: BeginRetire on empty buffer")
 	}
 	if b.retiring {
 		panic("core: BeginRetire while a retirement is in flight")
 	}
 	b.retiring = true
-	return b.entries[0]
+	return b.buf[b.head]
 }
 
 // CompleteRetire frees the head entry whose write to L2 has finished.
@@ -271,7 +306,8 @@ func (b *Buffer) CompleteRetire() {
 		panic("core: CompleteRetire without BeginRetire")
 	}
 	b.retiring = false
-	b.entries = b.entries[1:]
+	b.head = b.slot(1)
+	b.n--
 	b.stats.Retirements++
 }
 
@@ -279,25 +315,43 @@ func (b *Buffer) CompleteRetire() {
 // paper policy needs it, but tests exercising illegal sequences do.
 func (b *Buffer) AbandonRetire() { b.retiring = false }
 
-// FlushPrefix removes entries [0, n) in FIFO order, counting them as
-// flushes.  Callers must have waited for any in-flight retirement to
-// complete first (the paper lets an under-way transaction finish).
-func (b *Buffer) FlushPrefix(n int) []Entry {
+// FlushPrefixInto removes entries [0, n) in FIFO order, appending them to
+// dst and counting them as flushes.  It is the allocation-free form of
+// FlushPrefix: the simulator passes a scratch slice it owns, so a load
+// hazard on the hot path flushes without touching the heap.  Callers must
+// have waited for any in-flight retirement to complete first (the paper
+// lets an under-way transaction finish).
+func (b *Buffer) FlushPrefixInto(dst []Entry, n int) []Entry {
 	if b.retiring {
 		panic("core: FlushPrefix during an in-flight retirement")
 	}
-	if n < 0 || n > len(b.entries) {
-		panic(fmt.Sprintf("core: FlushPrefix(%d) with occupancy %d", n, len(b.entries)))
+	if n < 0 || n > b.n {
+		panic(fmt.Sprintf("core: FlushPrefix(%d) with occupancy %d", n, b.n))
 	}
-	flushed := make([]Entry, n)
-	copy(flushed, b.entries[:n])
-	b.entries = b.entries[n:]
+	if first := len(b.buf) - b.head; n <= first {
+		dst = append(dst, b.buf[b.head:b.head+n]...)
+	} else {
+		dst = append(dst, b.buf[b.head:]...)
+		dst = append(dst, b.buf[:n-first]...)
+	}
+	b.head = b.slot(n)
+	b.n -= n
 	b.stats.Flushes += uint64(n)
-	return flushed
+	return dst
 }
 
+// FlushPrefix removes entries [0, n) in FIFO order, counting them as
+// flushes, and returns them in a fresh slice.
+func (b *Buffer) FlushPrefix(n int) []Entry {
+	return b.FlushPrefixInto(make([]Entry, 0, n), n)
+}
+
+// FlushAllInto removes every entry (the flush-full policy), appending to
+// dst without allocating.
+func (b *Buffer) FlushAllInto(dst []Entry) []Entry { return b.FlushPrefixInto(dst, b.n) }
+
 // FlushAll removes every entry (the flush-full policy).
-func (b *Buffer) FlushAll() []Entry { return b.FlushPrefix(len(b.entries)) }
+func (b *Buffer) FlushAll() []Entry { return b.FlushPrefix(b.n) }
 
 // FlushOne removes only the entry at FIFO index i (the flush-item-only
 // policy), preserving the order of the rest.
@@ -305,11 +359,14 @@ func (b *Buffer) FlushOne(i int) Entry {
 	if b.retiring {
 		panic("core: FlushOne during an in-flight retirement")
 	}
-	if i < 0 || i >= len(b.entries) {
-		panic(fmt.Sprintf("core: FlushOne(%d) with occupancy %d", i, len(b.entries)))
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("core: FlushOne(%d) with occupancy %d", i, b.n))
 	}
-	e := b.entries[i]
-	b.entries = append(b.entries[:i], b.entries[i+1:]...)
+	e := b.buf[b.slot(i)]
+	for j := i; j < b.n-1; j++ {
+		b.buf[b.slot(j)] = b.buf[b.slot(j+1)]
+	}
+	b.n--
 	b.stats.Flushes++
 	return e
 }
@@ -317,5 +374,5 @@ func (b *Buffer) FlushOne(i int) Entry {
 // AddrOf reconstructs the base byte address of an entry's block, for
 // presenting to the L2 model.
 func (b *Buffer) AddrOf(e Entry) mem.Addr {
-	return e.Tag << (mem.Log2(b.cfg.Geometry.WordBytes()) + b.wordsShift)
+	return e.Tag << b.tagShift
 }

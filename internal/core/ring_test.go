@@ -1,0 +1,153 @@
+package core
+
+// Model test for the ring backing introduced in PR 6: a naive slice FIFO
+// (the seed representation, which memmoved on every retirement) runs the
+// same randomized operation sequence as the ring Buffer; every observable
+// — entry order, stats, flush results — must match at every step.  The
+// churn drives head around the ring many times, so every wraparound case
+// in slot-addressed code (Store, Probe, FlushPrefixInto's two-segment
+// copy, FlushOne's shift) is exercised at every head offset, including
+// the non-power-of-two depths the paper sweeps.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/rng"
+)
+
+// sliceFIFO is the reference implementation: entries[0] is the head.
+type sliceFIFO struct {
+	cfg      Config
+	entries  []Entry
+	retiring bool
+}
+
+func (s *sliceFIFO) tag(addr mem.Addr) mem.Addr {
+	wordsPerEntry := mem.Addr(s.cfg.WordsPerEntry)
+	return addr / mem.Addr(s.cfg.Geometry.WordBytes()) / wordsPerEntry
+}
+
+func (s *sliceFIFO) wordMask(addr mem.Addr) uint64 {
+	w := addr / mem.Addr(s.cfg.Geometry.WordBytes()) % mem.Addr(s.cfg.WordsPerEntry)
+	return 1 << uint(w)
+}
+
+func (s *sliceFIFO) store(addr mem.Addr, cycle uint64) bool {
+	tag := s.tag(addr)
+	for i := range s.entries {
+		if i == 0 && s.retiring {
+			continue
+		}
+		if s.entries[i].Tag == tag {
+			s.entries[i].Valid |= s.wordMask(addr)
+			return true
+		}
+	}
+	if len(s.entries) == s.cfg.Depth {
+		return false
+	}
+	s.entries = append(s.entries, Entry{Tag: tag, Valid: s.wordMask(addr), AllocCycle: cycle})
+	return true
+}
+
+func (s *sliceFIFO) flushPrefix(n int) []Entry {
+	out := append([]Entry{}, s.entries[:n]...)
+	s.entries = append(s.entries[:0], s.entries[n:]...)
+	return out
+}
+
+func (s *sliceFIFO) flushOne(i int) Entry {
+	e := s.entries[i]
+	s.entries = append(s.entries[:i], s.entries[i+1:]...)
+	return e
+}
+
+func TestRingMatchesSliceModel(t *testing.T) {
+	for _, depth := range []int{1, 2, 4, 5, 12} { // 5 and 12: no power-of-two masking shortcut
+		cfg := DefaultConfig()
+		cfg.Depth = depth
+		b := NewBuffer(cfg)
+		model := &sliceFIFO{cfg: cfg}
+		r := rng.New(uint64(1000 + depth))
+
+		check := func(step int, op string) {
+			t.Helper()
+			got := b.Entries()
+			want := append([]Entry{}, model.entries...)
+			if len(got) == 0 && len(want) == 0 {
+				return
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("depth %d step %d after %s: ring %+v, model %+v",
+					depth, step, op, got, want)
+			}
+		}
+
+		for step := 0; step < 20_000; step++ {
+			addr := mem.Addr(r.Uint64() % (1 << 12))
+			switch op := r.Uint64() % 10; {
+			case op < 4: // store
+				res := b.Store(addr, uint64(step))
+				ok := model.store(addr, uint64(step))
+				if (res == StoreBlocked) == ok {
+					t.Fatalf("depth %d step %d: store blocked mismatch", depth, step)
+				}
+				check(step, "store")
+			case op < 7: // retire cycle
+				if b.Retiring() {
+					b.CompleteRetire()
+					model.entries = model.entries[1:]
+					model.retiring = false
+					check(step, "complete-retire")
+				} else if b.Occupancy() > 0 {
+					be := b.BeginRetire()
+					model.retiring = true
+					if be != model.entries[0] {
+						t.Fatalf("depth %d step %d: BeginRetire %+v, model head %+v",
+							depth, step, be, model.entries[0])
+					}
+				}
+			case op < 8: // probe + find agree on position
+				idx, _, hit := b.Probe(addr)
+				tag := model.tag(addr)
+				wantIdx := -1
+				for i, e := range model.entries {
+					if e.Tag == tag {
+						wantIdx = i
+						break
+					}
+				}
+				if hit != (wantIdx >= 0) || (hit && idx != wantIdx) {
+					t.Fatalf("depth %d step %d: probe (%d,%v), model idx %d",
+						depth, step, idx, hit, wantIdx)
+				}
+			case op < 9: // flush a prefix (hazard flush-partial / flush-full shape)
+				if b.Retiring() || b.Occupancy() == 0 {
+					continue
+				}
+				n := int(r.Uint64()%uint64(b.Occupancy())) + 1
+				got := b.FlushPrefixInto(nil, n)
+				want := model.flushPrefix(n)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("depth %d step %d: FlushPrefixInto(%d) = %+v, want %+v",
+						depth, step, n, got, want)
+				}
+				check(step, "flush-prefix")
+			default: // flush one interior entry (flush-item-only shape)
+				if b.Retiring() || b.Occupancy() == 0 {
+					continue
+				}
+				i := int(r.Uint64() % uint64(b.Occupancy()))
+				got := b.FlushOne(i)
+				want := model.flushOne(i)
+				if got != want {
+					t.Fatalf("depth %d step %d: FlushOne(%d) = %+v, want %+v",
+						depth, step, i, got, want)
+				}
+				check(step, "flush-one")
+			}
+		}
+	}
+}

@@ -24,6 +24,8 @@ type WriteCache struct {
 	stats   Stats
 
 	wordsShift uint
+	tagShift   uint // log2(word bytes) + wordsShift
+	wordShift  uint // log2(word bytes)
 }
 
 type wcEntry struct {
@@ -37,10 +39,14 @@ func NewWriteCache(cfg Config) *WriteCache {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
+	wordsShift := mem.Log2(cfg.WordsPerEntry)
+	wordShift := mem.Log2(cfg.Geometry.WordBytes())
 	return &WriteCache{
 		cfg:        cfg,
 		entries:    make([]wcEntry, cfg.Depth),
-		wordsShift: mem.Log2(cfg.WordsPerEntry),
+		wordsShift: wordsShift,
+		tagShift:   wordShift + wordsShift,
+		wordShift:  wordShift,
 	}
 }
 
@@ -55,11 +61,11 @@ func (w *WriteCache) ResetStats() { w.stats = Stats{} }
 
 // EntryTag maps a byte address to its entry tag.
 func (w *WriteCache) EntryTag(addr mem.Addr) mem.Addr {
-	return addr >> (mem.Log2(w.cfg.Geometry.WordBytes()) + w.wordsShift)
+	return addr >> w.tagShift
 }
 
 func (w *WriteCache) wordMask(addr mem.Addr) uint64 {
-	idx := w.cfg.Geometry.WordIndex(addr) & (w.cfg.WordsPerEntry - 1)
+	idx := int(addr>>w.wordShift) & (w.cfg.WordsPerEntry - 1)
 	return 1 << uint(idx)
 }
 
@@ -159,7 +165,7 @@ func (w *WriteCache) DrainAll() []Entry {
 
 // AddrOf reconstructs the base byte address of an entry's block.
 func (w *WriteCache) AddrOf(e Entry) mem.Addr {
-	return e.Tag << (mem.Log2(w.cfg.Geometry.WordBytes()) + w.wordsShift)
+	return e.Tag << w.tagShift
 }
 
 // String summarises occupancy for diagnostics.

@@ -126,17 +126,19 @@ func ExecuteBench(b workload.Benchmark, label string, cfg sim.Config, n uint64, 
 
 // WarmRun executes the first quarter of the stream unmeasured, then runs
 // the remainder with statistics on — the repository's standard warm-up
-// split (experiment.Run documents why).
+// split (experiment.Run documents why).  The stream is consumed through its
+// batched generator view (trace.GeneratorOf), so every backend — local,
+// worker, and the experiment harness — gets the simulator's fused hot path;
+// docs/PERFORMANCE.md quantifies the difference.
 func WarmRun(m *sim.Machine, s trace.Stream, n uint64) {
-	for i := uint64(0); i < n/4; i++ {
-		r, ok := s.Next()
-		if !ok {
-			break
-		}
-		m.Step(r)
-	}
+	WarmRunGenerator(m, trace.GeneratorOf(s), n)
+}
+
+// WarmRunGenerator is WarmRun for a generator already in hand.
+func WarmRunGenerator(m *sim.Machine, g trace.Generator, n uint64) {
+	m.RunGeneratorN(g, n/4)
 	m.ResetStats()
-	m.Run(s)
+	m.RunGenerator(g)
 }
 
 // Local is the in-process backend: Run executes the job on the calling

@@ -102,6 +102,67 @@ func (h *Histogram) Merge(other *Histogram) {
 	h.count.Add(other.count.Load())
 }
 
+// LocalHistogram is the single-goroutine counterpart of Histogram: the same
+// power-of-two buckets with plain (non-atomic) arithmetic.  The simulator
+// keeps one per machine on its hot path — an observation is a bit-length
+// computation and three ordinary adds, roughly 3× cheaper than the atomic
+// form — and folds the totals into a shared registry Histogram once per run
+// via Histogram.MergeLocal.  A LocalHistogram must only ever be touched by
+// its owning goroutine.
+type LocalHistogram struct {
+	buckets [HistogramBuckets]uint64
+	sum     uint64
+	count   uint64
+}
+
+// Observe records one observation.
+func (h *LocalHistogram) Observe(v uint64) {
+	h.buckets[bucketOf(v)]++
+	h.sum += v
+	h.count++
+}
+
+// Reset zeroes the histogram.
+func (h *LocalHistogram) Reset() { *h = LocalHistogram{} }
+
+// Count returns the number of observations.
+func (h *LocalHistogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of all observations.
+func (h *LocalHistogram) Sum() uint64 { return h.sum }
+
+// Mean returns the mean observation, or 0 with no observations.
+func (h *LocalHistogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Buckets returns a copy of the non-empty bucket counts, keyed by the
+// bucket's exclusive upper bound, mirroring Histogram.Buckets.
+func (h *LocalHistogram) Buckets() map[uint64]uint64 {
+	out := map[uint64]uint64{}
+	for k, n := range h.buckets {
+		if n > 0 {
+			out[bucketBound(k)] = n
+		}
+	}
+	return out
+}
+
+// MergeLocal adds every bucket, the sum, and the count of a goroutine-local
+// histogram into h.
+func (h *Histogram) MergeLocal(other *LocalHistogram) {
+	for k, n := range other.buckets {
+		if n > 0 {
+			h.buckets[k].Add(n)
+		}
+	}
+	h.sum.Add(other.sum)
+	h.count.Add(other.count)
+}
+
 // Reset zeroes the histogram.  Reset is not atomic with respect to
 // concurrent Observe calls; owners reset only histograms they alone write
 // (the simulator's per-machine histograms around a warm-up phase).

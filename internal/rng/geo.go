@@ -1,0 +1,96 @@
+package rng
+
+import "math"
+
+// Geo samples a geometric distribution with a fixed mean using one Uint64
+// draw per sample (amortised), replacing the draw-per-trial loop that made
+// run-length sampling the workload generators' single largest cost: a
+// sample of mean m consumed m draws on average, which at one run per
+// emitted block was roughly one RNG step per simulated instruction.
+//
+// The sampler inverts the geometric CDF against a fixed-point table:
+// cum[k] holds P(N ≤ k+1) scaled to 2^64, so the sample for a draw x is
+// the first k with x < cum[k].  A 256-entry prefix table keyed on the
+// draw's top byte resolves the common case with a single lookup; draws
+// whose top byte straddles a CDF boundary (rare — the boundaries cut at
+// most 64 of the 256 buckets) fall back to the linear scan.  Draws beyond
+// the 64-entry table exploit memorylessness: no success in 64 trials
+// leaves a fresh geometric, so the sampler adds 64 and draws again
+// (probability (1-1/m)^64 — about 2·10⁻⁴ at the workloads' largest mean).
+//
+// The sampled distribution matches the trial loop's to within one part in
+// 2^53 per bucket (the table is built from the same float64 success
+// probability); the draw *sequence* differs, which is why switching the
+// workloads to Geo was a declared trace-realization change in PR 6
+// (docs/PERFORMANCE.md) rather than a transparent optimisation.
+type Geo struct {
+	prefix [256]uint8 // sample for draws with this top byte; 0 = scan
+	cum    [geoTable]uint64
+}
+
+// geoTable is the CDF table length.  Samples beyond it restart via
+// memorylessness, so it bounds table size, not the distribution.
+const geoTable = 64
+
+// NewGeo builds a sampler for mean m ≥ 1 (success probability 1/m),
+// matching Geometric's parameterisation.
+func NewGeo(m float64) *Geo {
+	g := &Geo{}
+	p := 1.0
+	if m > 1 {
+		p = 1 / m
+	}
+	q := 1 - p
+	// cum[k] = (1 - q^(k+1)) * 2^64, built by repeated multiplication so
+	// the sequence is monotone by construction.
+	tail := 1.0 // q^(k+1)
+	for k := 0; k < geoTable; k++ {
+		tail *= q
+		f := (1 - tail) * (1 << 63) * 2
+		if f >= math.MaxUint64 {
+			g.cum[k] = math.MaxUint64
+		} else {
+			g.cum[k] = uint64(f)
+		}
+	}
+	// A top byte b resolves directly when every draw in its bucket
+	// [b·2^56, b·2^56 + 2^56) scans to the same sample.
+	scan := func(x uint64) int {
+		for k := 0; k < geoTable; k++ {
+			if x < g.cum[k] {
+				return k + 1
+			}
+		}
+		return 0 // tail: restart via memorylessness
+	}
+	for b := 0; b < 256; b++ {
+		lo := uint64(b) << 56
+		hi := lo | (1<<56 - 1)
+		if s := scan(lo); s != 0 && s == scan(hi) {
+			g.prefix[b] = uint8(s)
+		}
+	}
+	return g
+}
+
+// Sample draws one geometric variate using r.
+func (g *Geo) Sample(r *RNG) int {
+	n := 0
+	for {
+		x := r.Uint64()
+		if s := g.prefix[x>>56]; s != 0 {
+			return n + int(s)
+		}
+		for k := 0; k < geoTable; k++ {
+			if x < g.cum[k] {
+				return n + k + 1
+			}
+		}
+		// No success in geoTable trials: memorylessness restarts the
+		// search with the count carried forward.
+		n += geoTable
+		if n > 1<<20 { // statistically unreachable; guards a broken mean
+			return n
+		}
+	}
+}

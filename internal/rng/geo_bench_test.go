@@ -1,0 +1,32 @@
+package rng
+
+import "testing"
+
+func BenchmarkGeometric(b *testing.B) {
+	r := New(42)
+	sum := 0
+	for i := 0; i < b.N; i++ {
+		sum += r.Geometric(8)
+	}
+	_ = sum
+	b.ReportMetric(float64(sum)/float64(b.N), "draws/op")
+}
+
+func BenchmarkGeo(b *testing.B) {
+	g := NewGeo(8)
+	r := New(42)
+	sum := 0
+	for i := 0; i < b.N; i++ {
+		sum += g.Sample(r)
+	}
+	_ = sum
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(42)
+	var x uint64
+	for i := 0; i < b.N; i++ {
+		x += r.Uint64()
+	}
+	_ = x
+}

@@ -1,0 +1,106 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+// TestGeoMatchesAnalyticDistribution checks the one-draw sampler against
+// the analytic geometric pmf P(N=k) = (1-p)^(k-1)·p with p = 1/m: head
+// buckets within tight relative tolerance, empirical mean within 1%.
+func TestGeoMatchesAnalyticDistribution(t *testing.T) {
+	const samples = 500_000
+	for _, m := range []float64{1.0, 1.5, 2.0, 4.0, 9.0, 33.0} {
+		g := NewGeo(m)
+		r := New(12345)
+		counts := make(map[int]int)
+		var sum float64
+		for i := 0; i < samples; i++ {
+			k := g.Sample(r)
+			if k < 1 {
+				t.Fatalf("m=%v: sample %d < 1", m, k)
+			}
+			counts[k]++
+			sum += float64(k)
+		}
+		mean := sum / samples
+		if math.Abs(mean-m) > 0.01*m+0.005 {
+			t.Errorf("m=%v: empirical mean %v", m, mean)
+		}
+		p := 1 / m
+		for k := 1; k <= 12; k++ {
+			want := math.Pow(1-p, float64(k-1)) * p
+			if want*samples < 500 {
+				break // too few expected hits for a tight check
+			}
+			got := float64(counts[k]) / samples
+			if math.Abs(got-want) > 0.02*want+0.001 {
+				t.Errorf("m=%v: P(N=%d) = %v, want %v", m, k, got, want)
+			}
+		}
+	}
+}
+
+// TestGeoMeanOneIsDegenerate: mean 1 means success on every trial.
+func TestGeoMeanOneIsDegenerate(t *testing.T) {
+	g := NewGeo(1)
+	r := New(7)
+	for i := 0; i < 1000; i++ {
+		if k := g.Sample(r); k != 1 {
+			t.Fatalf("m=1 sampled %d", k)
+		}
+	}
+}
+
+// TestGeoPrefixTableConsistent verifies the fast path is exact: whenever
+// the top-byte table claims a sample, a full CDF scan of both bucket
+// endpoints must agree, and a zero entry must mean the bucket genuinely
+// straddles a CDF boundary (or lies in the restart tail).
+func TestGeoPrefixTableConsistent(t *testing.T) {
+	for _, m := range []float64{1.0, 1.01, 2.0, 5.5, 9.0, 64.0} {
+		g := NewGeo(m)
+		scan := func(x uint64) int {
+			for k := 0; k < geoTable; k++ {
+				if x < g.cum[k] {
+					return k + 1
+				}
+			}
+			return 0
+		}
+		for b := 0; b < 256; b++ {
+			lo := uint64(b) << 56
+			hi := lo | (1<<56 - 1)
+			s := int(g.prefix[b])
+			if s != 0 {
+				if scan(lo) != s || scan(hi) != s {
+					t.Fatalf("m=%v: prefix[%d]=%d but scan gives %d..%d",
+						m, b, s, scan(lo), scan(hi))
+				}
+			} else if scan(lo) == scan(hi) && scan(lo) != 0 {
+				t.Errorf("m=%v: bucket %d could resolve to %d but is marked slow",
+					m, b, scan(lo))
+			}
+		}
+	}
+}
+
+// TestGeoTailRestart forces the memoryless restart by sampling a large
+// mean until a value beyond the table appears; the tail must still follow
+// the distribution (sanity: it occurs with roughly the analytic mass).
+func TestGeoTailRestart(t *testing.T) {
+	const m = 33.0
+	g := NewGeo(m)
+	r := New(99)
+	const samples = 300_000
+	tail := 0
+	for i := 0; i < samples; i++ {
+		if g.Sample(r) > geoTable {
+			tail++
+		}
+	}
+	want := math.Pow(1-1/m, geoTable) // P(N > 64)
+	got := float64(tail) / samples
+	if math.Abs(got-want) > 0.05*want+0.0005 {
+		t.Errorf("P(N>%d) = %v, want %v", geoTable, got, want)
+	}
+}

@@ -9,12 +9,21 @@
 // our feet with a Go release, and keeps allocation at zero.
 package rng
 
-import "math/bits"
+import (
+	"math"
+	"math/bits"
+)
 
 // RNG is a xoshiro256** generator.  The zero value is not usable; construct
 // with New.
+//
+// The four state words are named fields rather than an array: field stores
+// cost the Go inliner less than indexed stores, which puts Uint64 under the
+// inlining budget.  That matters because the synthetic workloads draw once
+// or more per emitted reference, so a call frame per draw was measurable in
+// whole-suite simulation throughput (docs/PERFORMANCE.md).
 type RNG struct {
-	s [4]uint64
+	s0, s1, s2, s3 uint64
 }
 
 // New returns a generator seeded from seed via SplitMix64, following the
@@ -23,29 +32,42 @@ type RNG struct {
 func New(seed uint64) *RNG {
 	var r RNG
 	sm := seed
-	for i := range r.s {
+	for i := 0; i < 4; i++ {
 		sm += 0x9E3779B97F4A7C15
 		z := sm
 		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
 		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
-		r.s[i] = z ^ (z >> 31)
+		z ^= z >> 31
+		switch i {
+		case 0:
+			r.s0 = z
+		case 1:
+			r.s1 = z
+		case 2:
+			r.s2 = z
+		case 3:
+			r.s3 = z
+		}
 	}
 	return &r
 }
 
-func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
-
-// Uint64 returns the next 64 pseudo-random bits.
+// Uint64 returns the next 64 pseudo-random bits.  The body is written to
+// stay within the inlining budget: one rotate spelled out per use, state
+// updated through the named fields.
 func (r *RNG) Uint64() uint64 {
-	result := rotl(r.s[1]*5, 7) * 9
-	t := r.s[1] << 17
-	r.s[2] ^= r.s[0]
-	r.s[3] ^= r.s[1]
-	r.s[1] ^= r.s[2]
-	r.s[0] ^= r.s[3]
-	r.s[2] ^= t
-	r.s[3] = rotl(r.s[3], 45)
-	return result
+	s1 := r.s1
+	x := s1 * 5
+	x = ((x << 7) | (x >> 57)) * 9
+	t := s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	s3 := r.s3
+	r.s3 = (s3 << 45) | (s3 >> 19)
+	return x
 }
 
 // Intn returns a pseudo-random int in [0, n).  It panics if n <= 0.
@@ -73,17 +95,41 @@ func (r *RNG) Bool(p float64) bool { return r.Float64() < p }
 // trial succeeds with probability 1/m.  Workloads use it for run lengths
 // (store bursts, compute gaps) because inter-event gaps in real programs
 // are heavy on short runs with an exponential tail.
+// The xoshiro step is manually unrolled into the loop with the state held
+// in registers: a sample of mean m consumes m draws on average, so for the
+// workloads' compute runs this loop IS the generator's hot path, and a
+// stack frame per trial was the single largest line in the pre-PR-6
+// profile.  The draws are bit-identical to repeated Bool(p) calls.
 func (r *RNG) Geometric(m float64) int {
 	if m <= 1 {
 		return 1
 	}
-	p := 1 / m
+	// Success iff Float64() < p, i.e. float64(x>>11)/2^53 < p.  Division
+	// by 2^53 and multiplication of p by 2^53 are both exact (pure
+	// exponent shifts), and x>>11 is a 53-bit integer, so the comparison
+	// is equivalent to the integer test x>>11 < ceil(p*2^53) — no
+	// per-trial int→float conversion.
+	thr := uint64(math.Ceil((1 / m) * (1 << 53)))
+	s0, s1, s2, s3 := r.s0, r.s1, r.s2, r.s3
 	n := 1
-	for !r.Bool(p) {
+	for {
+		x := s1 * 5
+		x = ((x << 7) | (x >> 57)) * 9
+		t := s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = (s3 << 45) | (s3 >> 19)
+		if x>>11 < thr {
+			break
+		}
 		n++
 		if n > 1<<20 { // statistically unreachable; guards a broken p
-			return n
+			break
 		}
 	}
+	r.s0, r.s1, r.s2, r.s3 = s0, s1, s2, s3
 	return n
 }

@@ -17,6 +17,22 @@
 // depend only on buffer state, the retirement policy, and L2-port
 // availability — all of which change only at instruction boundaries — the
 // lazy replay is cycle-exact while keeping simulation O(1) per instruction.
+//
+// # Execution paths
+//
+// The machine executes references two ways.  Run consumes a trace.Stream
+// one Next call at a time — the reference path, kept as the differential
+// oracle.  RunGenerator consumes a trace.Generator in 4096-reference
+// batches with execute runs run-length encoded and retired in closed
+// form; it is the production path every experiment and sweep runs, and it
+// reproduces Run's counters, stall attribution, occupancy histograms, and
+// CPI bit for bit (TestRunGeneratorMatchesRun).  The paper's retirement
+// policies are flattened to an integer switch at construction; custom
+// policy types keep the interface dispatch.  Steady-state execution
+// allocates nothing on either path.  docs/PERFORMANCE.md is the written
+// performance model: the measurement protocol behind BENCH_sim.json, the
+// per-instruction cost breakdown, and the checklist for keeping the hot
+// path fast.
 package sim
 
 import (

@@ -24,6 +24,11 @@ type Machine struct {
 	// Jouppi's write cache — behind the storePath interface; everything
 	// design-specific about stores and load servicing lives there.
 	path storePath
+	// bp is path when it is the plain buffer path, else nil.  Stores and
+	// loads check it so the overwhelmingly common design calls concrete
+	// methods the compiler can inline instead of dispatching through the
+	// interface on every memory reference.
+	bp *bufferPath
 
 	c stats.Counters
 
@@ -43,6 +48,32 @@ type Machine struct {
 
 	irand *rng.RNG // I-miss draw for the Section 4.3 extension
 
+	// Flattened retirement policy.  New resolves the concrete paper
+	// policies (RetireAt, FixedRate, Eager) into an enum plus parameters so
+	// the hot path's nextRetire is an integer switch; a policy type the
+	// switch does not know keeps the full interface call (retCustom).
+	retKind     retKind
+	retN        int
+	retTimeout  uint64
+	retInterval uint64
+
+	// flushBuf is the scratch slice hazard flushes and membar drains
+	// collect entries into; its capacity is the buffer depth, so steady
+	// state never allocates.
+	flushBuf []core.Entry
+
+	// batch is RunGenerator's reference buffer, allocated on first use and
+	// reused across warm-up and measurement.  batchPos/batchLen mark refs
+	// Filled but not yet executed: RunGeneratorN stops on an instruction
+	// budget, which with run-length-encoded Exec refs rarely falls on a
+	// batch boundary, so the tail carries over to the next Run call.
+	batch    []trace.Ref
+	batchPos int
+	batchLen int
+	// pendingRun is the unexecuted remainder of a run-length-encoded Exec
+	// ref split by RunGeneratorN's instruction budget.
+	pendingRun uint64
+
 	// Superscalar issue accounting: at width W, only every W-th
 	// instruction closes an issue cycle; base is that instruction's
 	// clock contribution (0 or 1) for the current Step.
@@ -58,9 +89,21 @@ type Machine struct {
 	// retirement (log2 cycles): how long stores sit in the buffer before
 	// reaching L2, the lifetime behind the paper's aging/drain discussion.
 	// Updated once per retirement, never per instruction, so the issue hot
-	// path is untouched; exported through PublishMetrics.
-	retLat metrics.Histogram
+	// path is untouched; exported through PublishMetrics.  Machines are
+	// single-goroutine, so the non-atomic histogram suffices.
+	retLat metrics.LocalHistogram
 }
+
+// retKind discriminates the flattened retirement policies.
+type retKind uint8
+
+const (
+	retCustom retKind = iota // unrecognised policy: dispatch the interface
+	retAtN                   // RetireAt without aging
+	retAtNAge                // RetireAt with an aging timeout
+	retFixed                 // FixedRate
+	retEager                 // Eager (retire-at-1)
+)
 
 // New builds a machine, validating the configuration.
 func New(cfg Config) (*Machine, error) {
@@ -83,6 +126,26 @@ func New(cfg Config) (*Machine, error) {
 		m.irand = rng.New(cfg.ISeed)
 	}
 	m.occHist = make([]uint64, m.path.histSize())
+	m.flushBuf = make([]core.Entry, 0, m.wb.Config().Depth)
+	m.bp, _ = m.path.(*bufferPath)
+	// Resolve the retirement policy AFTER path construction: the write-cache
+	// path overrides cfg.Retire with eager retirement for its victim buffer.
+	switch p := m.cfg.Retire.(type) {
+	case core.Eager:
+		m.retKind = retEager
+	case core.RetireAt:
+		m.retN, m.retTimeout = p.N, p.Timeout
+		if p.Timeout > 0 {
+			m.retKind = retAtNAge
+		} else {
+			m.retKind = retAtN
+		}
+	case core.FixedRate:
+		m.retKind = retFixed
+		m.retInterval = p.Interval
+	default:
+		m.retKind = retCustom
+	}
 	return m, nil
 }
 
@@ -181,7 +244,9 @@ func (m *Machine) WBStoreHitRate() float64 {
 	return float64(m.WBStats().Merges) / float64(m.c.Stores)
 }
 
-// Run consumes the stream to exhaustion.
+// Run consumes the stream to exhaustion, one reference at a time.  It is
+// the simple reference path; throughput-sensitive callers use RunGenerator,
+// which produces bit-identical results (TestRunGeneratorMatchesRun).
 func (m *Machine) Run(s trace.Stream) {
 	for {
 		r, ok := s.Next()
@@ -190,6 +255,212 @@ func (m *Machine) Run(s trace.Stream) {
 		}
 		m.Step(r)
 	}
+}
+
+// batchSize is the fused hot path's granularity: references per Fill call.
+// 4096 × 16-byte refs is 64 KiB — large enough to amortise the generator
+// dispatch to nothing, small enough to stay cache-resident.
+const batchSize = 4096
+
+// RunGenerator consumes the generator to exhaustion through the batched
+// hot path.  Timing, counters, and histograms are bit-identical to Run on
+// the decoded sequence; only the execution strategy differs.
+func (m *Machine) RunGenerator(g trace.Generator) {
+	if m.pendingRun > 0 {
+		m.drainPending(m.pendingRun)
+		m.pendingRun = 0
+	}
+	buf := m.batchBuf()
+	if m.batchPos < m.batchLen {
+		m.StepBatch(buf[m.batchPos:m.batchLen])
+		m.batchPos, m.batchLen = 0, 0
+	}
+	for {
+		n := g.Fill(buf)
+		if n == 0 {
+			return
+		}
+		m.StepBatch(buf[:n])
+	}
+}
+
+// RunGeneratorN executes at most n dynamic instructions from g (or fewer
+// if the generator is exhausted first) — the warm-up primitive.  A batch
+// tail past the budget, including the remainder of a run-length-encoded
+// Exec ref the budget split, is retained and executed by the machine's
+// next RunGenerator[N] call, so a warm-up/measure split consumes exactly
+// the same decoded sequence the per-reference path does.
+func (m *Machine) RunGeneratorN(g trace.Generator, n uint64) {
+	if m.pendingRun > 0 {
+		k := m.pendingRun
+		if k > n {
+			k = n
+		}
+		m.drainPending(k)
+		m.pendingRun -= k
+		n -= k
+		if n == 0 {
+			return
+		}
+	}
+	buf := m.batchBuf()
+	if m.batchPos < m.batchLen {
+		done := m.stepBatchN(buf[m.batchPos:m.batchLen], n)
+		n -= done.instrs
+		m.batchPos += done.refs
+		if m.batchPos < m.batchLen || n == 0 {
+			return
+		}
+		m.batchPos, m.batchLen = 0, 0
+	}
+	for n > 0 {
+		want := uint64(len(buf))
+		if want > n {
+			want = n
+		}
+		got := g.Fill(buf[:want])
+		if got == 0 {
+			return
+		}
+		done := m.stepBatchN(buf[:got], n)
+		n -= done.instrs
+		if done.refs < got {
+			m.batchPos, m.batchLen = done.refs, got
+			return
+		}
+	}
+}
+
+// drainPending executes k plain-execution instructions left over from a
+// budget-split Exec run.  With a statistical I-cache every instruction
+// must take its I-miss draw, so the closed form only applies without one
+// (the same rule StepBatch follows).
+func (m *Machine) drainPending(k uint64) {
+	if m.irand == nil {
+		m.execRun(k)
+		return
+	}
+	for ; k > 0; k-- {
+		m.Step(trace.Ref{Kind: trace.Exec})
+	}
+}
+
+func (m *Machine) batchBuf() []trace.Ref {
+	if m.batch == nil {
+		m.batch = make([]trace.Ref, batchSize)
+	}
+	return m.batch
+}
+
+// StepBatch executes a batch of references with run-length-batched
+// execution: consecutive Exec references — including run-length-encoded
+// ones (Ref.InstrCount) — advance the clock in closed form (one addition
+// instead of one Step each), and memory references take the same code
+// paths Step takes.  With a statistical I-cache configured every
+// instruction draws an I-miss sample, so the closed form does not apply
+// and the batch falls back to per-instruction stepping.
+func (m *Machine) StepBatch(refs []trace.Ref) {
+	if m.irand != nil {
+		for _, r := range refs {
+			if r.Kind == trace.Exec {
+				for k := r.InstrCount(); k > 0; k-- {
+					m.Step(trace.Ref{Kind: trace.Exec})
+				}
+				continue
+			}
+			m.Step(r)
+		}
+		return
+	}
+	for i := 0; i < len(refs); {
+		r := refs[i]
+		if r.Kind == trace.Exec {
+			k := r.InstrCount()
+			j := i + 1
+			for j < len(refs) && refs[j].Kind == trace.Exec {
+				k += refs[j].InstrCount()
+				j++
+			}
+			m.execRun(k)
+			i = j
+			continue
+		}
+		m.c.Instructions++
+		m.base = m.issueCycle()
+		switch r.Kind {
+		case trace.Load:
+			m.load(r.Addr)
+		case trace.Store:
+			m.store(r.Addr)
+		case trace.Membar:
+			m.membar()
+		}
+		i++
+	}
+}
+
+// batchDone reports how much of a bounded batch stepBatchN executed.
+type batchDone struct {
+	refs   int    // refs fully consumed from the slice
+	instrs uint64 // dynamic instructions executed (≤ the budget)
+}
+
+// stepBatchN executes refs until limit dynamic instructions have run or
+// the slice is exhausted.  The longest in-budget prefix goes through
+// StepBatch at full speed — warm-up is a quarter of every job, so it must
+// not fall back to per-reference stepping — and a run-length-encoded Exec
+// ref crossing the budget is consumed whole, the remainder stashed in
+// m.pendingRun for the next Run call.
+func (m *Machine) stepBatchN(refs []trace.Ref, limit uint64) batchDone {
+	var done batchDone
+	i := 0
+	var instrs uint64
+	for i < len(refs) {
+		k := refs[i].InstrCount()
+		if instrs+k > limit {
+			break
+		}
+		instrs += k
+		i++
+	}
+	m.StepBatch(refs[:i])
+	done.refs, done.instrs = i, instrs
+	if i < len(refs) && instrs < limit {
+		// refs[i] straddles the budget.  Only a run-length-encoded Exec
+		// ref can: every other kind counts one instruction and would have
+		// fit inside the prefix.
+		left := limit - instrs
+		if m.irand != nil {
+			for kk := left; kk > 0; kk-- {
+				m.Step(trace.Ref{Kind: trace.Exec})
+			}
+		} else {
+			m.execRun(left)
+		}
+		m.pendingRun = refs[i].InstrCount() - left
+		done.refs++
+		done.instrs = limit
+	}
+	return done
+}
+
+// execRun retires k consecutive plain-execution instructions in closed
+// form.  It must leave exactly the state k Exec Steps would: Instructions
+// and the clock advance, and at issue width W the slot position wraps with
+// one BaseCycle per completed issue group.  The lazy drain needs no
+// catch-up here for the same reason Step's default case needs none.
+func (m *Machine) execRun(k uint64) {
+	m.c.Instructions += k
+	if m.cfg.IssueWidth <= 1 {
+		m.c.BaseCycles += k
+		m.clock += k
+		return
+	}
+	w := uint64(m.cfg.IssueWidth)
+	closes := (uint64(m.issueSlot) + k) / w
+	m.issueSlot = int((uint64(m.issueSlot) + k) % w)
+	m.c.BaseCycles += closes
+	m.clock += closes
 }
 
 // Step executes one dynamic instruction.
@@ -234,6 +505,48 @@ func (m *Machine) issueCycle() uint64 {
 
 // ─── background retirement ──────────────────────────────────────────────
 
+// nextRetire is the flattened form of RetirementPolicy.NextStart for the
+// policies New recognised, falling back to the interface for custom ones.
+// It must return exactly what m.cfg.Retire.NextStart(occ, headAlloc,
+// m.lastRetireStart, now) would; TestFlattenedPoliciesMatchInterface checks
+// the equivalence exhaustively.
+func (m *Machine) nextRetire(occ int, headAlloc, now uint64) (uint64, bool) {
+	switch m.retKind {
+	case retEager:
+		if occ >= 1 {
+			return now, true
+		}
+		return 0, false
+	case retAtN:
+		if occ >= m.retN {
+			return now, true
+		}
+		return 0, false
+	case retAtNAge:
+		if occ >= m.retN {
+			return now, true
+		}
+		if occ >= 1 {
+			due := headAlloc + m.retTimeout
+			if due < now {
+				due = now
+			}
+			return due, true
+		}
+		return 0, false
+	case retFixed:
+		if occ == 0 {
+			return 0, false
+		}
+		due := m.lastRetireStart + m.retInterval
+		if due < now {
+			due = now
+		}
+		return due, true
+	}
+	return m.cfg.Retire.NextStart(occ, headAlloc, m.lastRetireStart, now)
+}
+
 // drainTo replays every autonomous retirement that would have started
 // before the target cycle, and completes any in-flight retirement that
 // finishes by then.  It leaves buffer and port state exactly as a
@@ -251,8 +564,7 @@ func (m *Machine) drainTo(target uint64) {
 		if occ == 0 {
 			return
 		}
-		start0, ok := m.cfg.Retire.NextStart(occ, m.wb.Head().AllocCycle,
-			m.lastRetireStart, m.stateChangedAt)
+		start0, ok := m.nextRetire(occ, m.wb.Head().AllocCycle, m.stateChangedAt)
 		if !ok {
 			return
 		}
@@ -321,6 +633,11 @@ func (m *Machine) store(addr mem.Addr) {
 	// Write-through, write-around: update L1 only if the line is present;
 	// the data always enters the write stage.
 	m.l1.WriteHit(addr)
+	if bp := m.bp; bp != nil {
+		m.occHist[m.wb.Occupancy()]++
+		bp.store(addr, t)
+		return
+	}
 	m.occHist[m.path.storeOccupancy()]++
 	m.path.store(addr, t)
 }
@@ -335,8 +652,7 @@ func (m *Machine) waitForFree(t uint64) uint64 {
 			return done
 		}
 		occ := m.wb.Occupancy()
-		start0, ok := m.cfg.Retire.NextStart(occ, m.wb.Head().AllocCycle,
-			m.lastRetireStart, maxU(m.stateChangedAt, t))
+		start0, ok := m.nextRetire(occ, m.wb.Head().AllocCycle, maxU(m.stateChangedAt, t))
 		if !ok {
 			// Config.Validate guarantees progress from a full buffer.
 			panic("sim: buffer full but retirement policy refuses to retire")
@@ -349,15 +665,22 @@ func (m *Machine) waitForFree(t uint64) uint64 {
 
 func (m *Machine) load(addr mem.Addr) {
 	t := m.clock
-	m.drainTo(t)
 	m.c.Loads++
 	if m.l1.Read(addr) {
+		// An L1 hit never consults the write buffer, so the lazy
+		// retirement replay can stay deferred: the next event that
+		// observes buffer state (a store, a miss, a membar) replays the
+		// identical retirement sequence from the same recorded state.
+		// Retirements also never touch L1 contents, so the hit test
+		// itself cannot depend on the deferred replay.
 		m.c.L1LoadHits++
 		m.clock = t + m.base
 		return
 	}
+	m.drainTo(t)
 
-	if m.path.frontProbe(addr, t) {
+	// The plain buffer path has no front-side store to probe.
+	if m.bp == nil && m.path.frontProbe(addr, t) {
 		return
 	}
 
@@ -399,9 +722,8 @@ func (m *Machine) readMissService(t uint64, addr mem.Addr) {
 	// threshold; the read's wait is still charged as L2-read-access.
 	if k := m.cfg.WriteThreshold; k > 0 {
 		for m.wb.Occupancy() >= k {
-			start0, ok := m.cfg.Retire.NextStart(m.wb.Occupancy(),
-				m.wb.Head().AllocCycle, m.lastRetireStart,
-				maxU(m.stateChangedAt, now))
+			start0, ok := m.nextRetire(m.wb.Occupancy(),
+				m.wb.Head().AllocCycle, maxU(m.stateChangedAt, now))
 			if !ok {
 				break
 			}
@@ -461,17 +783,17 @@ func (m *Machine) hazardFlushService(t uint64, addr mem.Addr, idx int) {
 		idx = m.wb.Find(addr)
 	}
 
-	var flushed []core.Entry
+	flushed := m.flushBuf[:0]
 	switch m.cfg.Hazard {
 	case core.FlushFull:
-		flushed = m.wb.FlushAll()
+		flushed = m.wb.FlushAllInto(flushed)
 	case core.FlushPartial:
 		if idx >= 0 {
-			flushed = m.wb.FlushPrefix(idx + 1)
+			flushed = m.wb.FlushPrefixInto(flushed, idx+1)
 		}
 	case core.FlushItemOnly:
 		if idx >= 0 {
-			flushed = []core.Entry{m.wb.FlushOne(idx)}
+			flushed = append(flushed, m.wb.FlushOne(idx))
 		}
 	default:
 		panic("sim: hazardFlushService with non-flushing policy")
@@ -509,7 +831,7 @@ func (m *Machine) membar() {
 		m.completeRetire()
 	}
 	portStart := maxU(now, m.portBusyUntil)
-	for _, e := range m.wb.FlushAll() {
+	for _, e := range m.wb.FlushAllInto(m.flushBuf[:0]) {
 		portStart += m.cfg.writeLat() + m.l2WritePenalty(m.wb.AddrOf(e), e.Valid)
 	}
 	portStart = m.path.drainAll(portStart)

@@ -47,5 +47,5 @@ func (m *Machine) PublishMetrics(reg *metrics.Registry) {
 				"occupancy", strconv.Itoa(occ))).Add(n)
 		}
 	}
-	reg.Histogram("sim_retirement_latency_cycles").Merge(&m.retLat)
+	reg.Histogram("sim_retirement_latency_cycles").MergeLocal(&m.retLat)
 }

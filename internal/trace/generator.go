@@ -1,0 +1,139 @@
+package trace
+
+import "repro/internal/mem"
+
+// Generator is the batched producer interface behind the simulator's fused
+// hot path.  Fill writes up to len(buf) references into buf and returns how
+// many were written; 0 means the sequence is exhausted (a generator must
+// never return 0 while references remain).  Like Stream, generators are
+// single-use and must yield a deterministic sequence.
+//
+// Generator exists for throughput, not expressiveness: consuming a stream
+// one Next call at a time costs an interface dispatch per dynamic
+// instruction, which PR 6's profile showed was nearly half the cost of a
+// simulation.  A generator amortises that dispatch over a whole batch, and
+// may run-length encode Exec runs (Ref.InstrCount documents the encoding),
+// so a kernel's thousand-instruction compute block is one ref instead of a
+// thousand.  The decoded sequence a Generator yields must be bit-identical
+// to the one its Stream form yields — the simulator treats the two as
+// interchangeable views of the same trace, and TestGeneratorMatchesStream
+// enforces it for every registered benchmark.
+type Generator interface {
+	Fill(buf []Ref) int
+}
+
+// GeneratorOf returns the most efficient Generator view of s: streams that
+// natively implement Generator (the workload generators, SliceStream) are
+// returned as themselves, and anything else is wrapped in a per-reference
+// adapter that is no slower than consuming the stream directly.
+func GeneratorOf(s Stream) Generator {
+	if g, ok := s.(Generator); ok {
+		return g
+	}
+	return &streamGenerator{s: s}
+}
+
+// streamGenerator adapts an arbitrary Stream to Generator by calling Next
+// per reference.  Combinator streams (Concat, Interleave, Inject…) land
+// here; they pay the same per-reference dispatch they always did, but
+// their consumers still get the simulator's batched execution.
+type streamGenerator struct {
+	s Stream
+}
+
+// Fill implements Generator.
+func (g *streamGenerator) Fill(buf []Ref) int {
+	n := 0
+	for n < len(buf) {
+		r, ok := g.s.Next()
+		if !ok {
+			break
+		}
+		buf[n] = r
+		n++
+	}
+	return n
+}
+
+// Fill implements Generator for SliceStream: one copy per batch instead of
+// one interface call per reference.
+func (s *SliceStream) Fill(buf []Ref) int {
+	n := copy(buf, s.refs[s.pos:])
+	s.pos += n
+	return n
+}
+
+// Fill implements Generator for Limit, batching through to the inner
+// stream's generator view.  The budget is counted in dynamic instructions,
+// so a run-length-encoded Exec ref that would cross the limit is shrunk in
+// place to end the sequence exactly on it.
+func (l *Limit) Fill(buf []Ref) int {
+	if l.left == 0 {
+		return 0
+	}
+	want := uint64(len(buf))
+	if want > l.left {
+		want = l.left
+	}
+	if l.gen == nil {
+		l.gen = GeneratorOf(l.inner)
+	}
+	n := l.gen.Fill(buf[:want])
+	if n == 0 {
+		l.left = 0
+		return 0
+	}
+	var c uint64
+	for i := 0; i < n; i++ {
+		k := buf[i].InstrCount()
+		if c+k >= l.left {
+			if c+k > l.left {
+				buf[i].Addr = mem.Addr(l.left - c)
+			}
+			l.left = 0
+			return i + 1
+		}
+		c += k
+	}
+	l.left -= c
+	return n
+}
+
+// GeneratorStream adapts a Generator back to a Stream, buffering one batch
+// at a time.  It lets generator-native producers feed Stream-only
+// consumers (trace recording, the wbtrace CLI) without a second code path.
+type GeneratorStream struct {
+	g        Generator
+	buf      [256]Ref
+	cur      []Ref
+	pos      int
+	execLeft uint64 // undelivered tail of a run-length-encoded Exec ref
+}
+
+// NewGeneratorStream wraps g as a Stream.
+func NewGeneratorStream(g Generator) *GeneratorStream {
+	return &GeneratorStream{g: g}
+}
+
+// Next implements Stream, decoding run-length-encoded Exec refs back to
+// one Ref per dynamic instruction (the Stream contract).
+func (s *GeneratorStream) Next() (Ref, bool) {
+	if s.execLeft > 0 {
+		s.execLeft--
+		return Ref{Kind: Exec}, true
+	}
+	if s.pos >= len(s.cur) {
+		n := s.g.Fill(s.buf[:])
+		if n == 0 {
+			return Ref{}, false
+		}
+		s.cur, s.pos = s.buf[:n], 0
+	}
+	r := s.cur[s.pos]
+	s.pos++
+	if r.Kind == Exec {
+		s.execLeft = r.InstrCount() - 1
+		return Ref{Kind: Exec}, true
+	}
+	return r, true
+}

@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// decode expands a generator's batches back to one Ref per dynamic
+// instruction — the sequence the Stream contract yields.
+func decode(g Generator, max int) []Ref {
+	var out []Ref
+	buf := make([]Ref, 64)
+	for len(out) < max {
+		n := g.Fill(buf)
+		if n == 0 {
+			break
+		}
+		for _, r := range buf[:n] {
+			if r.Kind == Exec {
+				for k := r.InstrCount(); k > 0; k-- {
+					out = append(out, Ref{Kind: Exec})
+				}
+			} else {
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}
+
+func TestExecRunInstrCount(t *testing.T) {
+	if got := ExecRun(7).InstrCount(); got != 7 {
+		t.Fatalf("ExecRun(7).InstrCount() = %d", got)
+	}
+	if got := ExecRun(1).InstrCount(); got != 1 {
+		t.Fatalf("ExecRun(1).InstrCount() = %d", got)
+	}
+	for _, r := range []Ref{
+		{Kind: Exec},
+		{Kind: Load, Addr: 0x1234},
+		{Kind: Store, Addr: 0x99},
+		{Kind: Membar},
+	} {
+		if got := r.InstrCount(); got != 1 {
+			t.Fatalf("%v.InstrCount() = %d, want 1", r, got)
+		}
+	}
+	// A memory ref's Addr is an address, never a run length, no matter
+	// its magnitude.
+	if got := (Ref{Kind: Load, Addr: 4096}).InstrCount(); got != 1 {
+		t.Fatalf("load at high address counts %d instructions", got)
+	}
+}
+
+// TestLimitFillCountsInstructions pins Limit's budget to dynamic
+// instructions, not refs: a run-length-encoded Exec ref that crosses the
+// budget must be shrunk in place so the sequence ends exactly on it.
+func TestLimitFillCountsInstructions(t *testing.T) {
+	refs := []Ref{
+		ExecRun(10),
+		{Kind: Load, Addr: 0x40},
+		ExecRun(10),
+		{Kind: Store, Addr: 0x80},
+	}
+	l := NewLimit(NewSliceStream(refs), 15)
+	got := decode(l, 100)
+	if len(got) != 15 {
+		t.Fatalf("limit 15 yielded %d instructions", len(got))
+	}
+	// Decoded prefix: 10 exec, the load, then 4 of the second run.
+	if got[10].Kind != Load || got[10].Addr != 0x40 {
+		t.Fatalf("instruction 10 = %+v, want the load", got[10])
+	}
+	for _, i := range []int{11, 12, 13, 14} {
+		if got[i].Kind != Exec {
+			t.Fatalf("instruction %d = %+v, want Exec", i, got[i])
+		}
+	}
+	if n := l.Fill(make([]Ref, 8)); n != 0 {
+		t.Fatalf("exhausted limit still produced %d refs", n)
+	}
+}
+
+// TestLimitFillExactBoundary: a budget landing exactly on a ref boundary
+// must not truncate the straddling ref to zero.
+func TestLimitFillExactBoundary(t *testing.T) {
+	refs := []Ref{ExecRun(5), {Kind: Load, Addr: 8}, ExecRun(5)}
+	for budget := uint64(1); budget <= 11; budget++ {
+		l := NewLimit(NewSliceStream(refs), budget)
+		if got := decode(l, 100); uint64(len(got)) != budget {
+			t.Fatalf("budget %d yielded %d instructions", budget, len(got))
+		}
+	}
+}
+
+// TestGeneratorStreamDecodesRuns: wrapping a run-length-encoding
+// generator back into a Stream must restore the one-Ref-per-instruction
+// contract.
+func TestGeneratorStreamDecodesRuns(t *testing.T) {
+	refs := []Ref{
+		ExecRun(3),
+		{Kind: Store, Addr: 0x100},
+		ExecRun(1),
+		{Kind: Load, Addr: 0x100},
+	}
+	s := NewGeneratorStream(NewSliceStream(refs))
+	want := []Ref{
+		{Kind: Exec}, {Kind: Exec}, {Kind: Exec},
+		{Kind: Store, Addr: 0x100},
+		{Kind: Exec},
+		{Kind: Load, Addr: 0x100},
+	}
+	for i, w := range want {
+		r, ok := s.Next()
+		if !ok {
+			t.Fatalf("stream ended at instruction %d", i)
+		}
+		if r != w {
+			t.Fatalf("instruction %d = %+v, want %+v", i, r, w)
+		}
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("stream should be exhausted")
+	}
+}
+
+// TestGeneratorOfFallback: a Stream with no native Generator gets the
+// per-reference adapter, and its Fill yields the stream's sequence.
+func TestGeneratorOfFallback(t *testing.T) {
+	inner := []Ref{{Kind: Load, Addr: 1}, {Kind: Exec}, {Kind: Store, Addr: 2}}
+	// Concat has no Fill method, so GeneratorOf must wrap it.
+	g := GeneratorOf(NewConcat(NewSliceStream(inner)))
+	if _, native := g.(*SliceStream); native {
+		t.Fatal("expected the adapter, got the slice stream itself")
+	}
+	got := decode(g, 10)
+	if len(got) != len(inner) {
+		t.Fatalf("decoded %d refs, want %d", len(got), len(inner))
+	}
+	for i := range inner {
+		if got[i] != inner[i] {
+			t.Fatalf("ref %d = %+v, want %+v", i, got[i], inner[i])
+		}
+	}
+}
+
+// TestSliceStreamFillMatchesNext: the two consumption modes of the same
+// slice must yield identical sequences.
+func TestSliceStreamFillMatchesNext(t *testing.T) {
+	refs := make([]Ref, 300)
+	for i := range refs {
+		switch i % 3 {
+		case 0:
+			refs[i] = Ref{Kind: Load, Addr: mem.Addr(i * 8)}
+		case 1:
+			refs[i] = Ref{Kind: Store, Addr: mem.Addr(i * 8)}
+		default:
+			refs[i] = Ref{Kind: Exec} // Addr carries run length for Exec, so stays 0
+		}
+	}
+	byNext := NewSliceStream(refs)
+	byFill := decode(NewSliceStream(refs), len(refs)+10)
+	for i := 0; ; i++ {
+		r, ok := byNext.Next()
+		if !ok {
+			if i != len(byFill) {
+				t.Fatalf("Next yielded %d refs, Fill %d", i, len(byFill))
+			}
+			return
+		}
+		if byFill[i] != r {
+			t.Fatalf("ref %d: Fill %+v, Next %+v", i, byFill[i], r)
+		}
+	}
+}

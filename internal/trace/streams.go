@@ -52,6 +52,7 @@ func (c *Concat) Next() (Ref, bool) {
 type Limit struct {
 	inner Stream
 	left  uint64
+	gen   Generator // lazily built batch view of inner (see generator.go)
 }
 
 // NewLimit returns a stream yielding at most n references from inner.

@@ -6,6 +6,15 @@
 // Stream interface: anything able to produce a sequence of Ref values —
 // a synthetic kernel, a recorded trace, a file — can drive the machine
 // model.  The simulator never needs to know where references come from.
+//
+// Streams have a batched sibling, Generator, which fills whole reference
+// buffers per call and may run-length encode runs of plain-execution
+// instructions (ExecRun, Ref.InstrCount).  The two views of one source
+// are interchangeable by contract: a generator's batches decode to
+// exactly the sequence its stream form yields.  GeneratorOf upgrades any
+// stream to the batched view; GeneratorStream adapts a generator back.
+// The batched view exists purely for throughput — see
+// docs/PERFORMANCE.md.
 package trace
 
 import "repro/internal/mem"
@@ -45,12 +54,32 @@ func (k Kind) String() string {
 	}
 }
 
-// Ref is one dynamic instruction.  Addr is meaningful only for Load and
-// Store kinds and is a byte address; the simulator derives line and word
-// indices from it.
+// Ref is one dynamic instruction.  For Load and Store kinds Addr is the
+// byte address; the simulator derives line and word indices from it.
+//
+// In a Generator batch an Exec ref may be run-length encoded: Addr carries
+// the number of consecutive plain-execution instructions the ref stands
+// for (0 and 1 both mean a single one).  Only generators compress —
+// Stream.Next always yields one Ref per dynamic instruction, with Addr
+// zero on Exec refs — and only Exec refs carry a count, because they are
+// the only kind with no address to carry and no per-instruction machine
+// interaction beyond the clock.  InstrCount is the decoding accessor.
 type Ref struct {
 	Kind Kind
 	Addr mem.Addr
+}
+
+// ExecRun returns the run-length-encoded Ref for k consecutive Exec
+// instructions, valid inside Generator batches.
+func ExecRun(k uint64) Ref { return Ref{Kind: Exec, Addr: mem.Addr(k)} }
+
+// InstrCount returns how many dynamic instructions r stands for: the run
+// length of a compressed Exec ref, 1 for everything else.
+func (r Ref) InstrCount() uint64 {
+	if r.Kind == Exec && r.Addr > 1 {
+		return uint64(r.Addr)
+	}
+	return 1
 }
 
 // Stream produces a finite sequence of references.  Next returns the next

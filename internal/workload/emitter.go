@@ -8,10 +8,11 @@ import (
 // Emitter is the callback interface a kernel uses to produce references.
 // Kernels are ordinary Go loops (a Cholesky factorisation, an FFT…) that
 // call Load/Store/Exec as they touch their simulated arrays; the emitter
-// turns those calls into a trace.Stream via a producer goroutine, cutting
-// the stream off at the requested length.
+// turns those calls into a reference sequence via a producer goroutine,
+// cutting the sequence off at the requested length.
 type Emitter struct {
 	out   chan []trace.Ref
+	free  chan []trace.Ref // spent chunks returned by the consumer for reuse
 	chunk []trace.Ref
 	left  uint64
 }
@@ -28,10 +29,31 @@ func (e *Emitter) Load(addr mem.Addr) { e.push(trace.Ref{Kind: trace.Load, Addr:
 // Store emits a store to addr.
 func (e *Emitter) Store(addr mem.Addr) { e.push(trace.Ref{Kind: trace.Store, Addr: addr}) }
 
-// Exec emits n non-memory instructions.
+// Exec emits n non-memory instructions as a single run-length-encoded
+// reference (trace.ExecRun).  Kernels pad every inner-loop iteration with
+// a run of these, so a thousand-instruction compute block costs one slot
+// in the chunk and one closed-form clock advance in the simulator.
 func (e *Emitter) Exec(n int) {
-	for i := 0; i < n; i++ {
-		e.push(trace.Ref{Kind: trace.Exec})
+	if n <= 0 {
+		return
+	}
+	if e.left == 0 {
+		e.flush()
+		panic(stopEmit{})
+	}
+	k := uint64(n)
+	if k > e.left {
+		k = e.left
+	}
+	e.left -= k
+	e.chunk = append(e.chunk, trace.ExecRun(k))
+	if len(e.chunk) == cap(e.chunk) {
+		e.flush()
+	}
+	if k < uint64(n) {
+		// Quota exhausted mid-run: flush what we have and stop the kernel.
+		e.flush()
+		panic(stopEmit{})
 	}
 }
 
@@ -42,7 +64,7 @@ func (e *Emitter) push(r trace.Ref) {
 	}
 	e.left--
 	e.chunk = append(e.chunk, r)
-	if len(e.chunk) == emitChunk {
+	if len(e.chunk) == cap(e.chunk) {
 		e.flush()
 	}
 }
@@ -52,28 +74,43 @@ func (e *Emitter) flush() {
 		return
 	}
 	e.out <- e.chunk
-	e.chunk = make([]trace.Ref, 0, emitChunk)
+	// Reuse a chunk the consumer has finished with when one is waiting;
+	// otherwise allocate.  In steady state the producer cycles through the
+	// same few buffers, so a multi-million-reference kernel run allocates a
+	// handful of chunks total instead of one per 4096 references.
+	select {
+	case c := <-e.free:
+		e.chunk = c[:0]
+	default:
+		e.chunk = make([]trace.Ref, 0, emitChunk)
+	}
 }
 
-// kernelStream adapts the producer goroutine to trace.Stream.
+// kernelStream adapts the producer goroutine to trace.Stream and
+// trace.Generator.
 //
 // The stream must be consumed to exhaustion (every harness in this
 // repository does); abandoning it mid-way would park the producer
 // goroutine on its channel send for the life of the process.
 type kernelStream struct {
-	ch  chan []trace.Ref
-	cur []trace.Ref
-	pos int
+	ch       chan []trace.Ref
+	free     chan []trace.Ref
+	cur      []trace.Ref
+	pos      int
+	execLeft uint64 // undelivered tail of a run-length-encoded Exec ref
 }
 
 // newKernelStream runs body in a goroutine, restarting it as needed, until
 // exactly n references have been produced.  body must emit at least one
 // reference per invocation (every kernel here emits millions).
 func newKernelStream(n uint64, body func(*Emitter)) trace.Stream {
-	ks := &kernelStream{ch: make(chan []trace.Ref, 4)}
+	ks := &kernelStream{
+		ch:   make(chan []trace.Ref, 4),
+		free: make(chan []trace.Ref, 8),
+	}
 	go func() {
 		defer close(ks.ch)
-		e := &Emitter{out: ks.ch, left: n, chunk: make([]trace.Ref, 0, emitChunk)}
+		e := &Emitter{out: ks.ch, free: ks.free, left: n, chunk: make([]trace.Ref, 0, emitChunk)}
 		defer func() {
 			if r := recover(); r != nil {
 				if _, ok := r.(stopEmit); !ok {
@@ -93,9 +130,27 @@ func newKernelStream(n uint64, body func(*Emitter)) trace.Stream {
 	return ks
 }
 
-// Next implements trace.Stream.
+// recycle hands the fully consumed current chunk back to the producer.
+func (k *kernelStream) recycle() {
+	if k.cur == nil {
+		return
+	}
+	select {
+	case k.free <- k.cur:
+	default:
+	}
+	k.cur = nil
+}
+
+// Next implements trace.Stream, decoding the chunks' run-length-encoded
+// Exec refs back to one Ref per dynamic instruction.
 func (k *kernelStream) Next() (trace.Ref, bool) {
+	if k.execLeft > 0 {
+		k.execLeft--
+		return trace.Ref{Kind: trace.Exec}, true
+	}
 	for k.pos >= len(k.cur) {
+		k.recycle()
 		chunk, ok := <-k.ch
 		if !ok {
 			return trace.Ref{}, false
@@ -104,5 +159,30 @@ func (k *kernelStream) Next() (trace.Ref, bool) {
 	}
 	r := k.cur[k.pos]
 	k.pos++
+	if r.Kind == trace.Exec {
+		k.execLeft = r.InstrCount() - 1
+		return trace.Ref{Kind: trace.Exec}, true
+	}
 	return r, true
+}
+
+// Fill implements trace.Generator: whole chunks are copied into the
+// caller's batch, one channel operation per 4096 references instead of one
+// interface call per reference.
+func (k *kernelStream) Fill(buf []trace.Ref) int {
+	n := 0
+	for n < len(buf) {
+		if k.pos >= len(k.cur) {
+			k.recycle()
+			chunk, ok := <-k.ch
+			if !ok {
+				return n
+			}
+			k.cur, k.pos = chunk, 0
+		}
+		c := copy(buf[n:], k.cur[k.pos:])
+		n += c
+		k.pos += c
+	}
+	return n
 }

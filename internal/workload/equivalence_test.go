@@ -1,0 +1,66 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestGeneratorMatchesStream is the contract named in the trace.Generator
+// doc: for every registered benchmark, the batched generator view decoded
+// back to one reference per dynamic instruction must be bit-identical to
+// the per-reference Stream view.  The two views of one benchmark are two
+// fresh streams from the same seed, consumed through the two code paths.
+func TestGeneratorMatchesStream(t *testing.T) {
+	const n = 20_000
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			byNext := b.Stream(n)
+			// Decode the generator view through GeneratorStream, which
+			// expands run-length-encoded Exec refs back to the Stream
+			// contract.
+			byFill := trace.NewGeneratorStream(trace.GeneratorOf(b.Stream(n)))
+			for i := 0; ; i++ {
+				want, okW := byNext.Next()
+				got, okG := byFill.Next()
+				if okW != okG {
+					t.Fatalf("instruction %d: stream ended=%v, generator ended=%v", i, !okW, !okG)
+				}
+				if !okW {
+					if i != n {
+						t.Fatalf("benchmark ended at %d instructions, want %d", i, n)
+					}
+					return
+				}
+				if want != got {
+					t.Fatalf("instruction %d: stream %+v, generator %+v", i, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestGeneratorBatchInstrCounts: the generator view must account for
+// exactly n dynamic instructions under run-length encoding — the count
+// the simulator's instruction budget and MIPS numbers rely on.
+func TestGeneratorBatchInstrCounts(t *testing.T) {
+	const n = 12_345
+	for _, b := range All() {
+		g := trace.GeneratorOf(b.Stream(n))
+		buf := make([]trace.Ref, 257) // off power-of-two to exercise batch edges
+		var total uint64
+		for {
+			k := g.Fill(buf)
+			if k == 0 {
+				break
+			}
+			for _, r := range buf[:k] {
+				total += r.InstrCount()
+			}
+		}
+		if total != n {
+			t.Errorf("%s: generator accounts for %d instructions, want %d", b.Name, total, n)
+		}
+	}
+}

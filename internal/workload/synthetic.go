@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/mem"
 	"repro/internal/rng"
@@ -115,6 +116,12 @@ type synthStream struct {
 	runLeft int
 	qLoad   float64 // block-type probabilities
 	qStore  float64
+	farCut  float64 // qHot + FarFrac·(1-qHot): cold loads with u below it go far
+	qHot    float64 // LoadRecent + LoadHot, the cold-load boundary
+
+	// One-draw-per-sample run-length samplers (rng.Geo), built once per
+	// stream for the profile's three fixed means.
+	geoLoad, geoStore, geoExec *rng.Geo
 
 	hot, warm, far, seq mem.Addr // skewed region bases
 
@@ -152,6 +159,11 @@ func newSynth(p Profile, n uint64) trace.Stream {
 	total := wl + ws + we
 	s.qLoad = wl / total
 	s.qStore = ws / total
+	s.qHot = p.LoadRecent + p.LoadHot
+	s.farCut = s.qHot + p.FarFrac*(1-s.qHot)
+	s.geoLoad = rng.NewGeo(p.LoadRun)
+	s.geoStore = rng.NewGeo(p.StoreBurst)
+	s.geoExec = rng.NewGeo(p.ExecRun)
 	return s
 }
 
@@ -176,6 +188,63 @@ func (s *synthStream) Next() (trace.Ref, bool) {
 	default:
 		return trace.Ref{Kind: trace.Exec}, true
 	}
+}
+
+// Fill implements trace.Generator: the batched form of Next, emitting whole
+// runs with straight-line code and every Exec run as a single run-length-
+// encoded ref (trace.ExecRun).  The decoded reference sequence is
+// bit-identical to repeated Next calls — the RNG is consulted at exactly
+// the same points (once per block for the kind and length, once per
+// load/store for the address) — so the two views are interchangeable; the
+// simulator's fused hot path consumes this one.
+func (s *synthStream) Fill(buf []trace.Ref) int {
+	n := 0
+	// The initialisation sweep (and the instruction that retires it) goes
+	// through the scalar path; once initPhase reaches its terminal state it
+	// is never re-entered, so steady-state batches skip this loop entirely.
+	for s.initPhase < 4 {
+		if n == len(buf) {
+			return n
+		}
+		r, ok := s.Next()
+		if !ok {
+			return n
+		}
+		buf[n] = r
+		n++
+	}
+	for n < len(buf) && s.left > 0 {
+		if s.runLeft == 0 {
+			s.pickBlock()
+		}
+		k := s.runLeft
+		if s.left < uint64(k) {
+			k = int(s.left)
+		}
+		if s.mode == trace.Exec {
+			buf[n] = trace.ExecRun(uint64(k))
+			n++
+			s.runLeft -= k
+			s.left -= uint64(k)
+			continue
+		}
+		if rem := len(buf) - n; k > rem {
+			k = rem
+		}
+		if s.mode == trace.Load {
+			for i := 0; i < k; i++ {
+				buf[n+i] = trace.Ref{Kind: trace.Load, Addr: s.loadAddr()}
+			}
+		} else {
+			for i := 0; i < k; i++ {
+				buf[n+i] = trace.Ref{Kind: trace.Store, Addr: s.storeAddr()}
+			}
+		}
+		n += k
+		s.runLeft -= k
+		s.left -= uint64(k)
+	}
+	return n
 }
 
 // initNext emits the next reference of the initialisation sweep, if any:
@@ -231,35 +300,57 @@ func (s *synthStream) pickBlock() {
 	switch {
 	case u < s.qLoad:
 		s.mode = trace.Load
-		s.runLeft = s.r.Geometric(s.p.LoadRun)
+		s.runLeft = s.geoLoad.Sample(s.r)
 	case u < s.qLoad+s.qStore:
 		s.mode = trace.Store
-		s.runLeft = s.r.Geometric(s.p.StoreBurst)
+		s.runLeft = s.geoStore.Sample(s.r)
 	default:
 		s.mode = trace.Exec
-		s.runLeft = s.r.Geometric(s.p.ExecRun)
+		s.runLeft = s.geoExec.Sample(s.r)
 	}
+}
+
+// loadAddr and storeAddr are written for draw economy: every address costs
+// at most two RNG draws.  One Float64 classifies the reference — with the
+// far-versus-warm split folded into the same draw via the precomputed
+// farCut threshold, exploiting that u is still uniform conditioned on
+// landing in the cold branch — and one Uint64 picks the line and the word
+// jointly (a single Lemire reduction over lines×words, split back by
+// div/mod; WordsPerLine is a power of two, so both compile to shifts).
+// The Lemire idiom (bits.Mul64 high word) is spelled out rather than
+// calling rng.Intn so it inlines completely.  The per-reference *sequence*
+// of draws differs from the original one-draw-per-decision scheme; the
+// sampled distribution is identical, which is all the calibration suite
+// pins (see docs/PERFORMANCE.md on the PR-6 realization change).
+
+// jointLW splits one uniform draw over lines·WordsPerLine into a line
+// index and a word offset.
+func jointLW(x uint64, lines int) (line, word mem.Addr) {
+	hi, _ := bits.Mul64(x, uint64(lines)*mem.WordsPerLine)
+	return mem.Addr(hi / mem.WordsPerLine), mem.Addr(hi % mem.WordsPerLine)
 }
 
 func (s *synthStream) loadAddr() mem.Addr {
 	u := s.r.Float64()
-	word := mem.Addr(s.r.Intn(mem.WordsPerLine)) * mem.WordBytes
 	switch {
 	case u < s.p.LoadRecent && s.recentLen > 0:
-		return s.recent[s.r.Intn(s.recentLen)] + word
-	case u < s.p.LoadRecent+s.p.LoadHot:
-		return s.hot + mem.Addr(s.r.Intn(s.p.HotLines))*lineBytes + word
+		line, word := jointLW(s.r.Uint64(), s.recentLen)
+		return s.recent[line] + word*mem.WordBytes
+	case u < s.qHot:
+		line, word := jointLW(s.r.Uint64(), s.p.HotLines)
+		return s.hot + line*lineBytes + word*mem.WordBytes
+	case u < s.farCut:
+		line, word := jointLW(s.r.Uint64(), s.p.FarLines)
+		return s.far + line*lineBytes + word*mem.WordBytes
 	default:
-		if s.r.Bool(s.p.FarFrac) {
-			return s.far + mem.Addr(s.r.Intn(s.p.FarLines))*lineBytes + word
-		}
-		return s.warm + mem.Addr(s.r.Intn(s.p.WarmLines))*lineBytes + word
+		line, word := jointLW(s.r.Uint64(), s.p.WarmLines)
+		return s.warm + line*lineBytes + word*mem.WordBytes
 	}
 }
 
 func (s *synthStream) storeAddr() mem.Addr {
 	var addr mem.Addr
-	if s.r.Bool(s.p.StoreSeq) {
+	if s.r.Float64() < s.p.StoreSeq {
 		s.seqCursor += mem.WordBytes
 		if s.seqCursor >= s.seq+mem.Addr(s.p.SeqRegionLines)*lineBytes {
 			s.seqCursor = s.seq
@@ -270,8 +361,8 @@ func (s *synthStream) storeAddr() mem.Addr {
 		if span > s.p.WarmLines {
 			span = s.p.WarmLines
 		}
-		addr = s.warm + mem.Addr(s.r.Intn(span))*lineBytes +
-			mem.Addr(s.r.Intn(mem.WordsPerLine))*mem.WordBytes
+		line, word := jointLW(s.r.Uint64(), span)
+		addr = s.warm + line*lineBytes + word*mem.WordBytes
 	}
 	s.pushRecent(addr &^ (lineBytes - 1))
 	return addr

@@ -24,6 +24,17 @@
 // same reference stream, so different write-buffer configurations are
 // compared on identical workloads — exactly as the paper's trace-driven
 // methodology requires.
+//
+// Both families implement trace.Generator natively: they fill whole
+// reference batches, run-length encode execute runs, and draw randomness
+// through economy samplers (rng.Geo, joint line/word draws) that consume
+// one RNG step where the original code consumed several.  The exact
+// stream realization for a given seed therefore differs from the pre-PR-6
+// one — a declared change; every governed distribution (mix, run-length
+// law, locality classes, footprints) is unchanged, and the calibration
+// tests pin them.  The stream and generator views of one benchmark remain
+// bit-identical to each other (TestGeneratorMatchesStream).  See
+// docs/PERFORMANCE.md.
 package workload
 
 import (
