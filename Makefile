@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-sim bench-sim-smoke bench-explore smoke-explore chaos
+.PHONY: all build test race vet bench bench-sim bench-sim-smoke bench-explore smoke-explore chaos serve-smoke
 
 all: vet build test
 
@@ -64,3 +64,10 @@ smoke-explore:
 		-out /tmp/wbopt-smoke.json
 	grep -q 'read-from-WB' /tmp/wbopt-smoke.json
 	grep -q '"frontier": \[' /tmp/wbopt-smoke.json
+
+# serve-smoke is the platform durability gate: a real wbserve process with
+# a durable store+queue is SIGKILLed mid-sweep and restarted; the sweep
+# must complete from the journal, byte-identical to an unkilled run.  See
+# docs/SERVING.md for the recovery semantics this exercises.
+serve-smoke:
+	bash scripts/serve_smoke.sh

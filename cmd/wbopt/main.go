@@ -56,6 +56,7 @@ func main() {
 		statsOut   = flag.String("stats-out", "", "write wall-clock search statistics (jobs/sec, sims skipped) to this JSON file")
 		workersCSV = flag.String("workers", "", "comma-separated wbserve -worker addresses to dispatch simulations to")
 		checkpoint = flag.String("checkpoint", "", "JSONL journal path; completed simulations are skipped when the search reruns")
+		storeDir   = flag.String("store", "", "shared content-addressed result-store directory (same as wbserve/wbexp -store); simulations any process already paid for are never re-run")
 		verify     = flag.Float64("verify", 0, "fraction (0..1] of remote simulations to re-execute locally; any divergence aborts the search")
 		quiet      = flag.Bool("quiet", false, "suppress the live progress line on stderr")
 	)
@@ -78,6 +79,7 @@ func main() {
 	backend, closeBackend, err := dispatch.BuildBackendOpts(dispatch.BuildOptions{
 		Workers:        *workersCSV,
 		Checkpoint:     *checkpoint,
+		Store:          *storeDir,
 		VerifyFraction: *verify,
 		Metrics:        reg,
 		Logf:           func(format string, args ...any) { fmt.Fprintf(os.Stderr, "wbopt: "+format+"\n", args...) },

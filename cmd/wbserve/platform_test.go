@@ -1,0 +1,396 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dispatch"
+	"repro/internal/jobqueue"
+	"repro/internal/machconf"
+	"repro/internal/resultstore"
+	"repro/internal/sim"
+	"repro/internal/tenant"
+)
+
+// postRunTenant is postRun with an X-WB-Tenant header.
+func postRunTenant(t *testing.T, ts *httptest.Server, tenantName, body string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest("POST", ts.URL+"/run", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenantName != "" {
+		req.Header.Set("X-WB-Tenant", tenantName)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func decodeRunView(t *testing.T, r io.Reader) runView {
+	t.Helper()
+	var v runView
+	if err := json.NewDecoder(r).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// waitComplete polls GET /run/{id} until the run document reports complete.
+func waitComplete(t *testing.T, ts *httptest.Server, id string) runView {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/run/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := decodeRunView(t, resp.Body)
+		resp.Body.Close()
+		if v.Complete {
+			return v
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("run %s never completed: %d/%d done", id, v.Done, v.Total)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestAsyncSweepSSE drives the tentpole end to end: a multi-benchmark async
+// sweep is accepted with 202 and a run id, its ETA/MIPS progress streams
+// over SSE through to a final done event, and the completed run document
+// carries a result per job matching direct execution.
+func TestAsyncSweepSSE(t *testing.T) {
+	_, ts := testServer(t)
+	resp := postRunTenant(t, ts, "sse-client", `{"benches":["li","compress","espresso"],"n":100000,"async":true}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async submit: status %d, want 202", resp.StatusCode)
+	}
+	v := decodeRunView(t, resp.Body)
+	if v.ID == "" || v.Total != 3 || v.Tenant != "sse-client" {
+		t.Fatalf("run document %+v", v)
+	}
+	if v.EventsURL != "/run/"+v.ID+"/events" {
+		t.Errorf("events_url = %q", v.EventsURL)
+	}
+
+	// Attach to the SSE stream and read through to the done event.  The
+	// stream may open at any point of the run, so the only invariants are
+	// monotone done counts and a final done event with done == total.
+	sse, err := http.Get(ts.URL + v.EventsURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sse.Body.Close()
+	if ct := sse.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("SSE content type %q", ct)
+	}
+	var (
+		events  []string
+		updates []runUpdate
+	)
+	sc := bufio.NewScanner(sse.Body)
+	event := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			var u runUpdate
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &u); err != nil {
+				t.Fatalf("unparsable SSE data %q: %v", line, err)
+			}
+			events = append(events, event)
+			updates = append(updates, u)
+		}
+		if event == "done" && len(updates) > 0 && updates[len(updates)-1].Complete {
+			break
+		}
+	}
+	if len(updates) == 0 {
+		t.Fatal("SSE stream delivered no events")
+	}
+	last := updates[len(updates)-1]
+	if events[len(events)-1] != "done" || !last.Complete || last.Done != 3 || last.Total != 3 {
+		t.Fatalf("final SSE event %q %+v, want done with 3/3", events[len(events)-1], last)
+	}
+	for i := 1; i < len(updates); i++ {
+		if updates[i].Done < updates[i-1].Done {
+			t.Errorf("SSE done counts went backwards: %d after %d", updates[i].Done, updates[i-1].Done)
+		}
+	}
+	for _, u := range updates[1:] { // catch-up snapshot may predate any finished job
+		if u.RunID != v.ID {
+			t.Errorf("SSE update for run %q, want %q", u.RunID, v.ID)
+		}
+	}
+
+	// The completed document holds one result per job, byte-for-byte what a
+	// direct execution produces.
+	final := waitComplete(t, ts, v.ID)
+	if len(final.Results) != 3 {
+		t.Fatalf("results length %d, want 3", len(final.Results))
+	}
+	for i, job := range final.Jobs {
+		if !job.Done {
+			t.Errorf("job %d (%s) not done in a complete run", i, job.Bench)
+		}
+		r := final.Results[i]
+		if r == nil {
+			t.Fatalf("job %d (%s) has no result", i, job.Bench)
+		}
+		want, err := dispatch.Execute(dispatch.Job{Bench: job.Bench, Cfg: sim.Baseline(), N: 100_000}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Instructions != want.C.Instructions || r.Cycles != want.C.Cycles {
+			t.Errorf("%s: served (%d instr, %d cyc) differs from direct execution (%d, %d)",
+				job.Bench, r.Instructions, r.Cycles, want.C.Instructions, want.C.Cycles)
+		}
+	}
+}
+
+// TestSweepIdempotentResubmission pins the content-addressed run identity:
+// an identical sweep resubmitted (client retry, replay after a crash)
+// converges on the same run id instead of duplicating work.
+func TestSweepIdempotentResubmission(t *testing.T) {
+	s, ts := testServer(t)
+	body := `{"benches":["li","compress"],"n":100000,"async":true}`
+	first := decodeRunView(t, postRunTenant(t, ts, "retrier", body).Body)
+	second := decodeRunView(t, postRunTenant(t, ts, "retrier", body).Body)
+	if first.ID != second.ID {
+		t.Fatalf("identical sweeps got distinct run ids %q and %q", first.ID, second.ID)
+	}
+	waitComplete(t, ts, first.ID)
+	// Two submissions, two jobs: dedup means at most 2 executions (the
+	// second submission's jobs were pending or already stored).
+	if n := s.reg.Counter("dispatch_store_misses_total").Value(); n > 2 {
+		t.Errorf("resubmitted sweep simulated %d jobs, want <= 2", n)
+	}
+	// A different tenant asking for the same jobs gets its own run id (runs
+	// are tenant-scoped) but free results via the shared store.
+	third := decodeRunView(t, postRunTenant(t, ts, "freerider", body).Body)
+	if third.ID == first.ID {
+		t.Error("distinct tenants share a run id")
+	}
+	final := waitComplete(t, ts, third.ID)
+	if !final.Complete || final.Results[0] == nil {
+		t.Errorf("cross-tenant run incomplete: %+v", final)
+	}
+}
+
+// TestPlatformRestart is the in-process kill -9 acceptance check: a durable
+// sweep completes, the process "dies" (server closed), a fresh process over
+// the same store+queue serves the identical run document byte-for-byte and
+// answers a repeat sweep with zero new simulations, metrics-asserted.
+func TestPlatformRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := serverConfig{
+		CacheSize: 8,
+		MaxN:      5_000_000,
+		StoreDir:  dir + "/store",
+		QueuePath: dir + "/queue.jsonl",
+	}
+	body := `{"benches":["li","compress"],"n":100000,"async":true}`
+
+	s1, ts1 := testServerCfg(t, cfg)
+	v := decodeRunView(t, postRunTenant(t, ts1, "", body).Body)
+	waitComplete(t, ts1, v.ID)
+	doc1, err := http.Get(ts1.URL + "/run/" + v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bytes1, _ := io.ReadAll(doc1.Body)
+	doc1.Body.Close()
+	ts1.Close()
+	s1.Close()
+
+	// "Restart": a second server over the same directories.
+	s2, ts2 := testServerCfg(t, cfg)
+	doc2, err := http.Get(ts2.URL + "/run/" + v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc2.StatusCode != http.StatusOK {
+		t.Fatalf("run document lost across restart: status %d", doc2.StatusCode)
+	}
+	bytes2, _ := io.ReadAll(doc2.Body)
+	doc2.Body.Close()
+	if string(bytes1) != string(bytes2) {
+		t.Errorf("run document changed across restart:\n before: %s\n after:  %s", bytes1, bytes2)
+	}
+
+	// The identical sweep resubmitted to the new process: every job is in
+	// the store, so zero simulations dispatch.
+	v2 := decodeRunView(t, postRunTenant(t, ts2, "", body).Body)
+	if v2.ID != v.ID {
+		t.Errorf("run id changed across restart: %q vs %q", v2.ID, v.ID)
+	}
+	final := waitComplete(t, ts2, v2.ID)
+	if !final.Complete {
+		t.Fatal("resubmitted run incomplete")
+	}
+	if n := s2.reg.Counter("dispatch_store_misses_total").Value(); n != 0 {
+		t.Errorf("restarted process dispatched %d simulations, want 0", n)
+	}
+	// Synchronous single-job requests also answer from the durable tier.
+	resp, out := postRun(t, ts2, `{"bench":"li","n":100000}`)
+	if resp.StatusCode != http.StatusOK || !out.Cached {
+		t.Errorf("restart: single-job request status %d cached %v, want 200 cached", resp.StatusCode, out.Cached)
+	}
+}
+
+// TestQueueResumeMidFlight simulates dying with work in the queue: a
+// journal holding a submitted run with no done markers (what a kill -9
+// mid-sweep leaves behind) must drain to completion on the next start.
+func TestQueueResumeMidFlight(t *testing.T) {
+	dir := t.TempDir()
+	storeDir, queuePath := dir+"/store", dir+"/queue.jsonl"
+
+	cfg := sim.Baseline()
+	hash, err := machconf.Hash(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := machconf.Encode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobs []jobqueue.Job
+	for _, bench := range []string{"li", "compress"} {
+		jobs = append(jobs, jobqueue.Job{
+			Bench: bench, Label: "resumed", N: 100_000, Config: blob,
+			Key: resultstore.Key(bench, 100_000, hash), Tenant: "crashed",
+		})
+	}
+	run := jobqueue.Run{ID: runID("crashed", jobs), Tenant: "crashed", Jobs: jobs}
+	q, err := jobqueue.Open(queuePath, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Submit(run, nil); err != nil {
+		t.Fatal(err)
+	}
+	q.Close() // the "crash": submitted, nothing done
+
+	s, ts := testServerCfg(t, serverConfig{
+		CacheSize: 8, MaxN: 5_000_000, StoreDir: storeDir, QueuePath: queuePath,
+	})
+	final := waitComplete(t, ts, run.ID)
+	if len(final.Results) != 2 || final.Results[0] == nil || final.Results[1] == nil {
+		t.Fatalf("resumed run missing results: %+v", final)
+	}
+	want, err := dispatch.Execute(dispatch.Job{Bench: "li", Cfg: cfg, N: 100_000}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Results[0].Cycles != want.C.Cycles {
+		t.Errorf("resumed result differs from direct execution: %d vs %d cycles",
+			final.Results[0].Cycles, want.C.Cycles)
+	}
+	if n := s.reg.Counter("wbserve_dispatched_jobs_total").Value(); n != 2 {
+		t.Errorf("resume dispatched %d jobs, want 2", n)
+	}
+}
+
+// TestTenantRateLimit pins the token-bucket 429 path and its metrics.
+func TestTenantRateLimit(t *testing.T) {
+	s, ts := testServerCfg(t, serverConfig{
+		CacheSize: 4, MaxN: 5_000_000,
+		TenantOverrides: map[string]tenant.Limits{
+			"slow": {Rate: 0.0001, Burst: 1},
+		},
+	})
+	if resp := postRunTenant(t, ts, "slow", `{"bench":"li","n":100000}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first request within burst: status %d", resp.StatusCode)
+	}
+	resp := postRunTenant(t, ts, "slow", `{"bench":"li","n":100000}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-rate request: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	// Unlimited default tenants are unaffected by one tenant's dry bucket.
+	if resp := postRunTenant(t, ts, "", `{"bench":"li","n":100000}`); resp.StatusCode != http.StatusOK {
+		t.Errorf("default tenant throttled by another tenant's limit: status %d", resp.StatusCode)
+	}
+	if n := s.reg.Counter(`tenant_throttled_total{tenant="slow"}`).Value(); n != 1 {
+		t.Errorf("tenant_throttled_total{slow} = %d, want 1", n)
+	}
+}
+
+// TestTenantPendingQuota pins the pending-work quota 429 path.
+func TestTenantPendingQuota(t *testing.T) {
+	s, ts := testServerCfg(t, serverConfig{
+		CacheSize: 4, MaxN: 5_000_000,
+		TenantOverrides: map[string]tenant.Limits{
+			"small": {MaxPending: 2},
+		},
+	})
+	resp := postRunTenant(t, ts, "small", `{"benches":["li","compress","espresso"],"n":100000,"async":true}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("3 jobs against quota 2: status %d, want 429", resp.StatusCode)
+	}
+	if n := s.reg.Counter(`tenant_quota_rejections_total{tenant="small"}`).Value(); n != 1 {
+		t.Errorf("tenant_quota_rejections_total{small} = %d, want 1", n)
+	}
+	// Within quota proceeds.
+	resp = postRunTenant(t, ts, "small", `{"benches":["li","compress"],"n":100000,"async":true}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Errorf("2 jobs against quota 2: status %d, want 202", resp.StatusCode)
+	}
+}
+
+// TestRunStatusNotFound covers the 404 surface of the run registry.
+func TestRunStatusNotFound(t *testing.T) {
+	_, ts := testServer(t)
+	for _, path := range []string{"/run/doesnotexist", "/run/doesnotexist/events"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestSweepRequestValidation covers the new multi-bench request shapes.
+func TestSweepRequestValidation(t *testing.T) {
+	_, ts := testServer(t)
+	for name, body := range map[string]string{
+		"bench and benches":   `{"bench":"li","benches":["compress"]}`,
+		"duplicate benches":   `{"benches":["li","li"]}`,
+		"empty bench in list": `{"benches":["li",""]}`,
+		"unknown in list":     `{"benches":["li","nosuch"]}`,
+	} {
+		resp := postRunTenant(t, ts, "", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+	// A synchronous multi-bench sweep answers with the run document.
+	resp := postRunTenant(t, ts, "", `{"benches":["li","compress"],"n":100000}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sync sweep: status %d", resp.StatusCode)
+	}
+	v := decodeRunView(t, resp.Body)
+	if !v.Complete || len(v.Results) != 2 || v.Results[0] == nil {
+		t.Errorf("sync sweep document incomplete: %+v", v)
+	}
+}

@@ -1,0 +1,202 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+
+	"repro/internal/experiment"
+	"repro/internal/jobqueue"
+)
+
+// runID content-addresses a sweep: the SHA-256 of the tenant and the
+// ordered result-store keys, truncated for URLs.  Resubmitting an identical
+// sweep — after a client retry, a kill -9, a load-balancer replay —
+// converges on the same run id, so the journal holds one run and GET
+// /run/{id} answers for all of them.
+func runID(tenant string, jobs []jobqueue.Job) string {
+	h := sha256.New()
+	h.Write([]byte(tenant))
+	for _, j := range jobs {
+		h.Write([]byte{'\n'})
+		h.Write([]byte(j.Key))
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// runUpdate is one SSE progress datum: the Tracker's ETA/MIPS series for
+// one run, advanced by one finished job.  It is the same series the
+// terminal ProgressReporter renders, serialised.
+type runUpdate struct {
+	RunID string `json:"run_id"`
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+	// Bench/Label/Key identify the job that advanced the run (empty on the
+	// initial catch-up snapshot).
+	Bench string `json:"bench,omitempty"`
+	Label string `json:"label,omitempty"`
+	Key   string `json:"key,omitempty"`
+	// Instructions/Cycles are the finished job's measured counts.
+	Instructions uint64 `json:"instructions,omitempty"`
+	Cycles       uint64 `json:"cycles,omitempty"`
+	ElapsedMS    int64  `json:"elapsed_ms"`
+	EtaMS        int64  `json:"eta_ms"`
+	MIPS         float64 `json:"mips"`
+	Complete     bool    `json:"complete"`
+}
+
+// runState is one registered sweep's live view: which keys are done, the
+// ETA/MIPS tracker, the SSE subscribers, and a latch for synchronous
+// waiters.
+type runState struct {
+	run jobqueue.Run
+
+	mu       sync.Mutex
+	done     map[string]bool
+	tracker  experiment.Tracker
+	subs     map[chan runUpdate]bool
+	finished chan struct{} // closed when every job is done
+	closed   bool
+}
+
+func (st *runState) snapshotLocked(ev *experiment.ProgressEvent) runUpdate {
+	u := runUpdate{
+		RunID:    st.run.ID,
+		Done:     len(st.done),
+		Total:    len(st.run.Jobs),
+		Complete: len(st.done) == len(st.run.Jobs),
+	}
+	if ev != nil {
+		s := st.tracker.Observe(*ev)
+		u.Bench, u.Label, u.Instructions, u.Cycles = s.Bench, s.Label, s.Instructions, s.Cycles
+		u.ElapsedMS = s.Elapsed.Milliseconds()
+		u.EtaMS = s.ETA.Milliseconds()
+		u.MIPS = s.MIPS
+	}
+	return u
+}
+
+// progress reports the run's current counts without advancing the tracker —
+// the catch-up snapshot a freshly attached SSE client receives first.
+func (st *runState) progress() runUpdate {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.snapshotLocked(nil)
+}
+
+// subscribe attaches an SSE client; the returned cancel detaches it.
+func (st *runState) subscribe() (<-chan runUpdate, func()) {
+	ch := make(chan runUpdate, 16)
+	st.mu.Lock()
+	st.subs[ch] = true
+	st.mu.Unlock()
+	return ch, func() {
+		st.mu.Lock()
+		delete(st.subs, ch)
+		st.mu.Unlock()
+	}
+}
+
+// doneKeys reports which of the run's keys are complete, in job order.
+func (st *runState) doneKeys() map[string]bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make(map[string]bool, len(st.done))
+	for k := range st.done {
+		out[k] = true
+	}
+	return out
+}
+
+// runRegistry indexes live runs by id and pending result-store key, fanning
+// each completed job out to every run that contains it — the serving-layer
+// face of queue deduplication: one execution retires the same key in every
+// tenant's sweep at once.
+type runRegistry struct {
+	mu      sync.Mutex
+	runs    map[string]*runState
+	waiting map[string]map[*runState]bool // pending key → runs containing it
+}
+
+func newRunRegistry() *runRegistry {
+	return &runRegistry{
+		runs:    map[string]*runState{},
+		waiting: map[string]map[*runState]bool{},
+	}
+}
+
+// register installs a run (idempotently: an already-registered id returns
+// the existing state).  isDone, when non-nil, seeds the done set — the
+// result store's membership test, so store-answered jobs never wait.
+func (rr *runRegistry) register(run jobqueue.Run, isDone func(key string) bool) *runState {
+	rr.mu.Lock()
+	defer rr.mu.Unlock()
+	if st, ok := rr.runs[run.ID]; ok {
+		return st
+	}
+	st := &runState{
+		run:      run,
+		done:     map[string]bool{},
+		subs:     map[chan runUpdate]bool{},
+		finished: make(chan struct{}),
+	}
+	for _, j := range run.Jobs {
+		if isDone != nil && isDone(j.Key) {
+			st.done[j.Key] = true
+			continue
+		}
+		w := rr.waiting[j.Key]
+		if w == nil {
+			w = map[*runState]bool{}
+			rr.waiting[j.Key] = w
+		}
+		w[st] = true
+	}
+	rr.runs[run.ID] = st
+	if len(st.done) == len(run.Jobs) {
+		st.closed = true
+		close(st.finished)
+	}
+	return st
+}
+
+// get returns a registered run's state.
+func (rr *runRegistry) get(id string) (*runState, bool) {
+	rr.mu.Lock()
+	defer rr.mu.Unlock()
+	st, ok := rr.runs[id]
+	return st, ok
+}
+
+// complete marks key done in every run waiting on it, advancing each run's
+// tracker with the per-run Done/Total view and broadcasting to its SSE
+// subscribers.  A subscriber that cannot keep up drops updates rather than
+// stalling the dispatcher (SSE is a progress feed, not a ledger; GET
+// /run/{id} is the ledger).
+func (rr *runRegistry) complete(key string, ev experiment.ProgressEvent) {
+	rr.mu.Lock()
+	holders := rr.waiting[key]
+	delete(rr.waiting, key)
+	rr.mu.Unlock()
+	for st := range holders {
+		st.mu.Lock()
+		if st.done[key] {
+			st.mu.Unlock()
+			continue
+		}
+		st.done[key] = true
+		ev.Done, ev.Total = len(st.done), len(st.run.Jobs)
+		u := st.snapshotLocked(&ev)
+		for ch := range st.subs {
+			select {
+			case ch <- u:
+			default:
+			}
+		}
+		if u.Complete && !st.closed {
+			st.closed = true
+			close(st.finished)
+		}
+		st.mu.Unlock()
+	}
+}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"expvar"
@@ -8,25 +9,46 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dispatch"
 	"repro/internal/experiment"
+	"repro/internal/jobqueue"
 	"repro/internal/machconf"
 	"repro/internal/metrics"
+	"repro/internal/resultstore"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/tenant"
 	"repro/internal/workload"
 )
+
+// tenantHeader attributes a request to a tenant for rate limiting, quotas,
+// and per-tenant metrics.  Absent means tenant.DefaultName.
+const tenantHeader = "X-WB-Tenant"
+
+// autoscaleJobsPerWorker is the queue depth one additional worker process
+// is assumed to absorb; /metrics divides the backlog by it to produce
+// wbserve_autoscale_workers_hint.
+const autoscaleJobsPerWorker = 8
 
 // RunRequest is the JSON body of POST /run.  Zero-valued fields take the
 // paper's baseline (Tables 1 and 2), mirroring the wbsim flag defaults, so
 // {"bench":"li"} is a complete request.
 type RunRequest struct {
-	// Bench names a benchmark from the suite (wbsim -list); required.
+	// Bench names a benchmark from the suite (wbsim -list).  Exactly one of
+	// Bench and Benches is required.
 	Bench string `json:"bench"`
+	// Benches sweeps several benchmarks under one machine as a single run —
+	// the sweep is queued as one durable unit with one run id.
+	Benches []string `json:"benches,omitempty"`
+	// Async, when true, answers 202 immediately with the run document;
+	// progress streams on GET /run/{id}/events and results land on GET
+	// /run/{id}.  False (the default) blocks until the sweep completes.
+	Async bool `json:"async,omitempty"`
 	// N is the dynamic instruction count (default one million).  The
 	// first quarter is warm-up and excluded from the measurement.
 	N uint64 `json:"n,omitempty"`
@@ -64,11 +86,33 @@ func (r RunRequest) hasScalarConfig() bool {
 		r.MemLat != 0 || r.WriteCache != 0 || r.IssueWidth != 0
 }
 
-// normalize fills baseline defaults so equivalent requests share one cache
+// benchList returns the requested benchmark names (Bench or Benches),
+// post-normalize.
+func (r RunRequest) benchList() []string {
+	if len(r.Benches) > 0 {
+		return r.Benches
+	}
+	return []string{r.Bench}
+}
+
+// normalize fills baseline defaults so equivalent requests share one store
 // key, and validates ranges the simulator cannot (the instruction cap).
 func (r RunRequest) normalize(maxN uint64) (RunRequest, error) {
-	if r.Bench == "" {
+	if r.Bench != "" && len(r.Benches) > 0 {
+		return r, fmt.Errorf("bench and benches are mutually exclusive")
+	}
+	if r.Bench == "" && len(r.Benches) == 0 {
 		return r, fmt.Errorf("missing required field %q", "bench")
+	}
+	seen := map[string]bool{}
+	for _, b := range r.Benches {
+		if b == "" {
+			return r, fmt.Errorf("benches contains an empty name")
+		}
+		if seen[b] {
+			return r, fmt.Errorf("benches lists %q twice", b)
+		}
+		seen[b] = true
 	}
 	if r.N == 0 {
 		r.N = 1_000_000
@@ -161,13 +205,6 @@ func (r RunRequest) label(hash string) string {
 	return fmt.Sprintf("depth=%d,width=%d,retire=%d,hazard=%s", r.Depth, r.Width, r.RetireAt, r.Hazard)
 }
 
-// cacheKey is the LRU key: benchmark, instruction count, and the machine's
-// canonical machconf hash.  A scalar request and a canonical blob that
-// describe the same machine share one entry.
-func cacheKey(bench string, n uint64, hash string) string {
-	return fmt.Sprintf("%s|%d|%s", bench, n, hash)
-}
-
 // RunResponse is the JSON reply of POST /run: the paper's measurement for
 // one (benchmark, configuration) pair.
 type RunResponse struct {
@@ -191,7 +228,8 @@ type RunResponse struct {
 	FlushedEntries uint64 `json:"flushed_entries"`
 	WBReadHits     uint64 `json:"wb_read_hits"`
 	HazardEvents   uint64 `json:"hazard_events"`
-	// Cached reports whether the measurement came from the LRU cache.
+	// Cached reports whether the measurement was answered from the result
+	// store without waiting for a simulation.
 	Cached bool `json:"cached"`
 }
 
@@ -223,33 +261,210 @@ func responseFrom(m experiment.Measurement) *RunResponse {
 	}
 }
 
-// server ties the HTTP surface to the experiment harness: a bounded LRU
-// over measurements, a shared metrics registry, and a readiness state
-// that sequences graceful shutdown (drain begins → /healthz flips to 503
-// so dispatchers stop routing here → new work is refused → in-flight
-// requests finish under http.Server.Shutdown).
+// serverConfig assembles a server; zero values select the in-memory
+// single-process behaviour wbserve has always had.
+type serverConfig struct {
+	// CacheSize bounds the result store's in-memory tier; must be >= 1 (a
+	// zero-entry cache would turn every repeated request into a disk read or
+	// a re-simulation, which is never what an operator means — use -maxn to
+	// bound work, or simply accept the 1-entry minimum).
+	CacheSize int
+	// MaxN caps per-request instruction counts.
+	MaxN uint64
+	// Worker additionally serves POST /job for dispatch coordinators.
+	Worker bool
+	// StoreDir is the durable result-store root; empty keeps results in
+	// memory only.
+	StoreDir string
+	// QueuePath is the durable job-queue journal; empty keeps the queue in
+	// memory.  A durable queue requires a durable store: done markers mean
+	// "the result is in the store", which a memory-only store cannot honour
+	// across a restart.
+	QueuePath string
+	// Dispatchers is the number of simulation goroutines draining the
+	// queue; values below 1 select runtime.NumCPU().
+	Dispatchers int
+	// TenantDefaults and TenantOverrides configure admission control
+	// (tenant.NewRegistry).
+	TenantDefaults  tenant.Limits
+	TenantOverrides map[string]tenant.Limits
+	// Logf receives operational events; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// server ties the HTTP surface to the sweep platform: the shared result
+// store (memory tier + optional durable tier), the durable job queue and
+// its dispatcher pool, per-tenant admission control, the live run registry
+// behind GET /run/{id} and its SSE feed, and a readiness state that
+// sequences graceful shutdown (drain begins → /healthz flips to 503 so
+// dispatchers stop routing here → new work is refused → in-flight requests
+// finish under http.Server.Shutdown).
 type server struct {
-	cache    *lruCache
 	reg      *metrics.Registry
 	maxN     uint64
 	worker   bool
 	ready    *dispatch.Readiness
 	inflight atomic.Int64
+
+	store   *resultstore.Store
+	queue   *jobqueue.Queue
+	tenants *tenant.Registry
+	runs    *runRegistry
+	backend dispatch.Backend
+
+	logf   func(format string, args ...any)
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
 }
 
-func newServer(cacheSize int, maxN uint64, worker bool) *server {
+func newServer(cfg serverConfig) (*server, error) {
+	if cfg.CacheSize < 1 {
+		return nil, fmt.Errorf("cachesize must be at least 1, got %d (the in-memory result tier needs room for one entry; use -store for durability, -maxn to bound work)", cfg.CacheSize)
+	}
+	if cfg.QueuePath != "" && cfg.StoreDir == "" {
+		return nil, fmt.Errorf("-queue requires -store: queue done markers promise the result is durably stored, which a memory-only store cannot honour across a restart")
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	reg := metrics.NewRegistry()
+	store, err := resultstore.Open(cfg.StoreDir, resultstore.Options{
+		MemoryEntries: cfg.CacheSize,
+		Metrics:       reg,
+		Logf:          logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	queue, err := jobqueue.Open(cfg.QueuePath, reg, logf)
+	if err != nil {
+		return nil, err
+	}
 	s := &server{
-		cache:  newLRU(cacheSize),
-		reg:    metrics.NewRegistry(),
-		maxN:   maxN,
-		worker: worker,
-		ready:  dispatch.NewReadiness(),
+		reg:     reg,
+		maxN:    cfg.MaxN,
+		worker:  cfg.Worker,
+		ready:   dispatch.NewReadiness(),
+		store:   store,
+		queue:   queue,
+		tenants: tenant.NewRegistry(cfg.TenantDefaults, cfg.TenantOverrides, reg),
+		runs:    newRunRegistry(),
+		backend: dispatch.NewCached(&dispatch.Local{Metrics: reg}, store, reg),
+		logf:    logf,
+	}
+	// Recovery: re-register every journaled run (so GET /run/{id} answers
+	// across restarts), then rebuild the pending FIFO from jobs whose
+	// results are in neither the journal's done set nor the store.
+	for _, run := range queue.Runs() {
+		s.runs.register(run, s.storeHas)
+	}
+	if resumed := queue.Resume(s.storeHas); resumed > 0 {
+		logf("wbserve: resuming %d journaled jobs", resumed)
+	}
+	n := cfg.Dispatchers
+	if n < 1 {
+		n = runtime.NumCPU()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s.cancel = cancel
+	for i := 0; i < n; i++ {
+		s.wg.Add(1)
+		go s.dispatchLoop(ctx)
 	}
 	// Construction is cheap and the process serves nothing until the
 	// listener is up, so the server is born ready; main flips it to
 	// draining on SIGINT/SIGTERM.
 	s.ready.SetReady()
-	return s
+	return s, nil
+}
+
+// Close stops the dispatcher pool and closes the queue journal.  In-flight
+// jobs are abandoned without done markers, so the journal re-delivers them
+// on the next start — at-least-once, made harmless by determinism and the
+// store.
+func (s *server) Close() {
+	s.cancel()
+	s.wg.Wait()
+	_ = s.queue.Close()
+}
+
+// storeHas is the result store's membership test, threaded into queue
+// submission, resume, and run registration as the "already paid for"
+// predicate.
+func (s *server) storeHas(key string) bool {
+	_, ok := s.store.Get(key)
+	return ok
+}
+
+// resolveBench looks a benchmark name up in the registered suite, falling
+// back to the deterministic transformed variants (same lookup POST /run has
+// always done).
+func resolveBench(name string) (workload.Benchmark, bool) {
+	if b, ok := workload.ByName(name); ok {
+		return b, true
+	}
+	for _, t := range workload.Transformed() {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return workload.Benchmark{}, false
+}
+
+// dispatchLoop is one simulation worker: dequeue, execute through the
+// store-backed backend, journal the done marker, fan completion out to
+// every waiting run.  The store write happens inside backend.Run (the
+// Cached wrapper), strictly before the done marker — the ordering the
+// queue's recovery protocol trusts.
+func (s *server) dispatchLoop(ctx context.Context) {
+	defer s.wg.Done()
+	dispatched := s.reg.Counter("wbserve_dispatched_jobs_total")
+	failures := s.reg.Counter("wbserve_job_failures_total")
+	for {
+		job, err := s.queue.Dequeue(ctx)
+		if err != nil {
+			return
+		}
+		dispatched.Inc()
+		start := time.Now()
+		var m dispatch.Measurement
+		cfg, err := machconf.Decode(job.Config)
+		if err == nil {
+			m, err = s.backend.Run(ctx, dispatch.Job{Bench: job.Bench, Label: job.Label, Cfg: cfg, N: job.N})
+		}
+		if err != nil {
+			if ctx.Err() != nil {
+				// Shutdown took the job down with it; no done marker, so the
+				// journal re-delivers it on the next start.
+				return
+			}
+			// Jobs are validated at admission and deterministic, so this is
+			// exceptional (disk full, config skew).  Leave the journal honest
+			// — no done marker — but wake waiters so requests fail fast
+			// instead of hanging.
+			failures.Inc()
+			s.logf("wbserve: job %s failed: %v", job.Key, err)
+		} else {
+			_ = s.queue.Done(job.Key)
+			jt := time.Since(start)
+			s.reg.Counter("experiment_jobs_total").Inc()
+			s.reg.Counter("experiment_instructions_total").Add(m.C.Instructions)
+			s.reg.Histogram("experiment_job_microseconds").Observe(uint64(jt.Microseconds()))
+			tn := job.Tenant
+			if tn == "" {
+				tn = tenant.DefaultName
+			}
+			s.reg.Counter(metrics.Label("wbserve_tenant_jobs_total", "tenant", tn)).Inc()
+		}
+		s.runs.complete(job.Key, experiment.ProgressEvent{
+			Bench:        job.Bench,
+			Label:        job.Label,
+			Instructions: m.C.Instructions,
+			Cycles:       m.C.Cycles,
+			JobTime:      time.Since(start),
+		})
+	}
 }
 
 // handler builds the route table.
@@ -257,6 +472,8 @@ func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /experiments", s.instrument("/experiments", s.handleExperiments))
 	mux.HandleFunc("POST /run", s.instrument("/run", s.refuseWhenDraining(s.handleRun)))
+	mux.HandleFunc("GET /run/{id}", s.instrument("/run/{id}", s.handleRunStatus))
+	mux.HandleFunc("GET /run/{id}/events", s.instrument("/run/{id}/events", s.handleRunEvents))
 	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		// Readiness, not liveness: a draining (or starting) process
@@ -330,6 +547,15 @@ func (s *server) handleExperiments(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
+	tn := r.Header.Get(tenantHeader)
+	if tn == "" {
+		tn = tenant.DefaultName
+	}
+	if !s.tenants.Allow(tn) {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "tenant %q is over its request rate", tn)
+		return
+	}
 	var req RunRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
 	dec.DisallowUnknownFields()
@@ -342,18 +568,12 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	b, ok := workload.ByName(req.Bench)
-	if !ok {
-		for _, t := range workload.Transformed() {
-			if t.Name == req.Bench {
-				b, ok = t, true
-				break
-			}
+	benches := req.benchList()
+	for _, name := range benches {
+		if _, ok := resolveBench(name); !ok {
+			httpError(w, http.StatusBadRequest, "unknown benchmark %q", name)
+			return
 		}
-	}
-	if !ok {
-		httpError(w, http.StatusBadRequest, "unknown benchmark %q", req.Bench)
-		return
 	}
 	cfg, err := req.config()
 	if err != nil {
@@ -364,39 +584,260 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		httpError(w, status, "%v", err)
 		return
 	}
-
 	hash, err := machconf.Hash(cfg)
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
-
-	key := cacheKey(req.Bench, req.N, hash)
-	if cached, ok := s.cache.get(key); ok {
-		s.reg.Counter("wbserve_cache_hits_total").Inc()
-		resp := *cached
-		resp.Cached = true
-		writeJSON(w, http.StatusOK, &resp)
+	blob, err := machconf.Encode(cfg)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
-	s.reg.Counter("wbserve_cache_misses_total").Inc()
-	matrix := experiment.RunMatrixOpts(
-		[]workload.Benchmark{b},
-		[]experiment.ConfigSpec{{Label: req.label(hash), Cfg: cfg}},
-		experiment.Options{Instructions: req.N, Metrics: s.reg},
-	)
-	resp := responseFrom(matrix[0][0])
-	s.cache.put(key, resp)
-	s.reg.Gauge("wbserve_cache_entries").Set(float64(s.cache.len()))
-	writeJSON(w, http.StatusOK, resp)
+
+	label := req.label(hash)
+	jobs := make([]jobqueue.Job, 0, len(benches))
+	for _, name := range benches {
+		jobs = append(jobs, jobqueue.Job{
+			Bench:  name,
+			Label:  label,
+			N:      req.N,
+			Config: blob,
+			Key:    resultstore.Key(name, req.N, hash),
+			Tenant: tn,
+		})
+	}
+
+	// Fast path for the classic synchronous single-job request: a store hit
+	// answers without touching the queue (and keeps the historical
+	// wbserve_cache_* series meaningful — hits never simulate, misses do).
+	if !req.Async && len(jobs) == 1 {
+		if payload, ok := s.store.Get(jobs[0].Key); ok {
+			s.reg.Counter("wbserve_cache_hits_total").Inc()
+			resp, err := s.responseFromPayload(payload, jobs[0])
+			if err != nil {
+				httpError(w, http.StatusInternalServerError, "%v", err)
+				return
+			}
+			resp.Cached = true
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+	}
+
+	// Admission: the pending-work quota counts jobs not yet known done to
+	// the journal (store-answered duplicates are forgiven at Submit).
+	want := 0
+	for _, j := range jobs {
+		if !s.queue.IsDone(j.Key) {
+			want++
+		}
+	}
+	if !s.tenants.AdmitPending(tn, s.queue.DepthByTenant()[tn], want) {
+		w.Header().Set("Retry-After", "5")
+		httpError(w, http.StatusTooManyRequests, "tenant %q is over its pending-work quota", tn)
+		return
+	}
+
+	run := jobqueue.Run{ID: runID(tn, jobs), Tenant: tn, Jobs: jobs}
+	st := s.runs.register(run, s.storeHas)
+	if _, err := s.queue.Submit(run, s.storeHas); err != nil {
+		httpError(w, http.StatusInternalServerError, "enqueueing run: %v", err)
+		return
+	}
+	if !req.Async && len(jobs) == 1 {
+		s.reg.Counter("wbserve_cache_misses_total").Inc()
+	}
+
+	if req.Async {
+		writeJSON(w, http.StatusAccepted, s.runDoc(st, false))
+		return
+	}
+	select {
+	case <-st.finished:
+	case <-r.Context().Done():
+		return // client gave up; the sweep keeps draining and the store keeps the results
+	}
+	if len(jobs) == 1 {
+		payload, ok := s.store.Get(jobs[0].Key)
+		if !ok {
+			httpError(w, http.StatusInternalServerError, "job %s completed without a stored result (see wbserve_job_failures_total)", jobs[0].Key)
+			return
+		}
+		resp, err := s.responseFromPayload(payload, jobs[0])
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.runDoc(st, true))
+}
+
+// responseFromPayload decodes a stored (label-stripped) measurement and
+// re-applies the requesting sweep's presentation label.
+func (s *server) responseFromPayload(payload []byte, job jobqueue.Job) (*RunResponse, error) {
+	var m experiment.Measurement
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return nil, fmt.Errorf("decoding stored result %s: %w", job.Key, err)
+	}
+	m.Label = job.Label
+	if m.Bench == "" {
+		m.Bench = job.Bench
+	}
+	return responseFrom(m), nil
+}
+
+// runJobView is one job's row in the run document.
+type runJobView struct {
+	Bench string `json:"bench"`
+	Label string `json:"label,omitempty"`
+	N     uint64 `json:"n"`
+	Key   string `json:"key"`
+	Done  bool   `json:"done"`
+}
+
+// runView is the run document: POST /run's 202 body and GET /run/{id}'s
+// response.  Results, when requested, are rebuilt from the store in job
+// order (null for jobs still pending), so the document is byte-identical
+// no matter which process — or which side of a kill -9 — serves it.
+type runView struct {
+	ID        string         `json:"id"`
+	Tenant    string         `json:"tenant,omitempty"`
+	Total     int            `json:"total"`
+	Done      int            `json:"done"`
+	Complete  bool           `json:"complete"`
+	EventsURL string         `json:"events_url"`
+	Jobs      []runJobView   `json:"jobs"`
+	Results   []*RunResponse `json:"results,omitempty"`
+}
+
+func (s *server) runDoc(st *runState, withResults bool) runView {
+	done := st.doneKeys()
+	v := runView{
+		ID:        st.run.ID,
+		Tenant:    st.run.Tenant,
+		Total:     len(st.run.Jobs),
+		Done:      len(done),
+		Complete:  len(done) == len(st.run.Jobs),
+		EventsURL: "/run/" + st.run.ID + "/events",
+	}
+	for _, j := range st.run.Jobs {
+		v.Jobs = append(v.Jobs, runJobView{
+			Bench: j.Bench, Label: j.Label, N: j.N, Key: j.Key, Done: done[j.Key],
+		})
+	}
+	if withResults {
+		v.Results = make([]*RunResponse, len(st.run.Jobs))
+		for i, j := range st.run.Jobs {
+			if !done[j.Key] {
+				continue
+			}
+			if payload, ok := s.store.Get(j.Key); ok {
+				if resp, err := s.responseFromPayload(payload, j); err == nil {
+					v.Results[i] = resp
+				}
+			}
+		}
+	}
+	return v
+}
+
+func (s *server) handleRunStatus(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.runs.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown run %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.runDoc(st, true))
+}
+
+// handleRunEvents streams a run's ETA/MIPS progress series as Server-Sent
+// Events: one catch-up `progress` event on attach, one per completed job,
+// and a final `done` event when the run finishes.  The numbers come from
+// the same experiment.Tracker the terminal reporter renders.
+func (s *server) handleRunEvents(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.runs.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown run %q", r.PathValue("id"))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	// Subscribe before the catch-up snapshot so no completion can fall
+	// between them.
+	updates, unsubscribe := st.subscribe()
+	defer unsubscribe()
+	snap := st.progress()
+	if snap.Complete {
+		writeSSE(w, flusher, "done", snap)
+		return
+	}
+	writeSSE(w, flusher, "progress", snap)
+	for {
+		select {
+		case u := <-updates:
+			if u.Complete {
+				writeSSE(w, flusher, "done", u)
+				return
+			}
+			writeSSE(w, flusher, "progress", u)
+		case <-st.finished:
+			// Drain any update that raced the latch, then close out.
+			for {
+				select {
+				case u := <-updates:
+					if u.Complete {
+						writeSSE(w, flusher, "done", u)
+						return
+					}
+					writeSSE(w, flusher, "progress", u)
+				default:
+					writeSSE(w, flusher, "done", st.progress())
+					return
+				}
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func writeSSE(w http.ResponseWriter, flusher http.Flusher, event string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+	flusher.Flush()
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	// Refresh process-level gauges at scrape time.
+	// Refresh process-level and platform gauges at scrape time.
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	s.reg.Gauge("wbserve_goroutines").Set(float64(runtime.NumGoroutine()))
 	s.reg.Gauge("wbserve_heap_alloc_bytes").Set(float64(ms.HeapAlloc))
+	depth := s.queue.Depth()
+	for tn, n := range s.queue.DepthByTenant() {
+		s.reg.Gauge(metrics.Label("wbserve_tenant_pending", "tenant", tn)).Set(float64(n))
+	}
+	// The autoscaling hint: how many extra `wbserve -worker` processes the
+	// backlog justifies, assuming each absorbs autoscaleJobsPerWorker jobs.
+	s.reg.Gauge("wbserve_autoscale_workers_hint").
+		Set(float64((depth + autoscaleJobsPerWorker - 1) / autoscaleJobsPerWorker))
+	_, diskBytes, memEntries := s.store.Stats()
+	s.reg.Gauge("wbserve_cache_entries").Set(float64(memEntries))
+	s.reg.Gauge("wbserve_store_bytes").Set(float64(diskBytes))
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := s.reg.WritePrometheus(w); err != nil {
 		httpError(w, http.StatusInternalServerError, "%v", err)

@@ -19,7 +19,16 @@ import (
 
 func testServer(t *testing.T) (*server, *httptest.Server) {
 	t.Helper()
-	s := newServer(4, 5_000_000, true)
+	return testServerCfg(t, serverConfig{CacheSize: 4, MaxN: 5_000_000, Worker: true})
+}
+
+func testServerCfg(t *testing.T, cfg serverConfig) (*server, *httptest.Server) {
+	t.Helper()
+	s, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
 	ts := httptest.NewServer(s.handler())
 	t.Cleanup(ts.Close)
 	return s, ts
@@ -322,9 +331,7 @@ func postJob(t *testing.T, ts *httptest.Server, job dispatch.Job) (dispatch.Meas
 
 // Without -worker the job endpoint must not exist.
 func TestJobEndpointRequiresWorkerMode(t *testing.T) {
-	s := newServer(4, 5_000_000, false)
-	ts := httptest.NewServer(s.handler())
-	defer ts.Close()
+	_, ts := testServerCfg(t, serverConfig{CacheSize: 4, MaxN: 5_000_000})
 	resp, err := http.Post(ts.URL+"/job", "application/json", strings.NewReader(`{}`))
 	if err != nil {
 		t.Fatal(err)
@@ -335,22 +342,17 @@ func TestJobEndpointRequiresWorkerMode(t *testing.T) {
 	}
 }
 
-func TestLRUBound(t *testing.T) {
-	c := newLRU(2)
-	c.put("a", &RunResponse{Bench: "a"})
-	c.put("b", &RunResponse{Bench: "b"})
-	if _, ok := c.get("a"); !ok { // refresh a; b becomes LRU
-		t.Fatal("a evicted too early")
+// -cachesize semantics: the in-memory tier needs at least one entry; 0 and
+// negatives are configuration errors, not silent cache-disable switches.
+func TestCacheSizeValidation(t *testing.T) {
+	for _, size := range []int{0, -1} {
+		if _, err := newServer(serverConfig{CacheSize: size, MaxN: 1}); err == nil {
+			t.Errorf("cachesize %d accepted, want an error", size)
+		}
 	}
-	c.put("c", &RunResponse{Bench: "c"})
-	if _, ok := c.get("b"); ok {
-		t.Error("LRU entry b survived over-capacity insert")
-	}
-	if _, ok := c.get("a"); !ok {
-		t.Error("recently used entry a was evicted")
-	}
-	if c.len() != 2 {
-		t.Errorf("cache len %d, want 2", c.len())
+	// A durable queue without a durable store cannot honour done markers.
+	if _, err := newServer(serverConfig{CacheSize: 1, MaxN: 1, QueuePath: t.TempDir() + "/q.jsonl"}); err == nil {
+		t.Error("queue without store accepted, want an error")
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"strings"
 
 	"repro/internal/metrics"
+	"repro/internal/resultstore"
 )
 
 // BuildOptions describes the execution stack the standard CLI flags
@@ -15,6 +16,12 @@ type BuildOptions struct {
 	// Checkpoint is the resumable journal path (the -checkpoint flag).
 	// Empty disables journaling.
 	Checkpoint string
+	// Store is the shared content-addressed result-store directory (the
+	// -store flag).  Empty disables the store tier.  When set, the store
+	// wraps the whole stack: a sweep whose results any process already
+	// paid for — wbserve, wbexp, wbopt, any tenant — dispatches zero
+	// simulations.
+	Store string
 	// VerifyFraction, in (0, 1], re-executes that fraction of remote jobs
 	// locally and aborts on divergence (the -verify flag).
 	VerifyFraction float64
@@ -42,8 +49,11 @@ func BuildBackend(workersCSV, checkpointPath string, reg *metrics.Registry, logf
 // on: hedged requests against the pool's p95 latency, graceful
 // degradation to local execution when every worker is gone, and (when
 // opts.VerifyFraction is set) seeded local re-verification of remote
-// results.  The returned cleanup closes whatever was built and is safe to
-// call exactly once.
+// results.  With opts.Store, the whole stack sits behind the shared
+// content-addressed result store — Cached(Checkpointed(Remote)) — so a
+// repeated sweep dispatches zero simulations regardless of which process
+// ran it first.  The returned cleanup closes whatever was built and is
+// safe to call exactly once.
 func BuildBackendOpts(opts BuildOptions) (Backend, func(), error) {
 	cleanup := func() {}
 	var backend Backend
@@ -81,6 +91,21 @@ func BuildBackendOpts(opts BuildOptions) (Backend, func(), error) {
 			innerCleanup()
 		}
 		backend = ckpt
+	}
+	if opts.Store != "" {
+		store, err := resultstore.Open(opts.Store, resultstore.Options{
+			Metrics: opts.Metrics,
+			Logf:    opts.Logf,
+		})
+		if err != nil {
+			cleanup()
+			return nil, func() {}, err
+		}
+		inner := backend
+		if inner == nil {
+			inner = &Local{Metrics: opts.Metrics}
+		}
+		backend = NewCached(inner, store, opts.Metrics)
 	}
 	return backend, cleanup, nil
 }

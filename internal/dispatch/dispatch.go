@@ -86,11 +86,22 @@ type Backend interface {
 var ErrUnknownBenchmark = errors.New("dispatch: unknown benchmark")
 
 // Execute runs a job in this process.  When reg is non-nil the finished
-// machine's counters are folded into it (sim_* series).  The error is
+// machine's counters are folded into it (sim_* series).  Bench resolves
+// through the registered suite, falling back to the deterministic
+// transformed variants — both regenerate bit-identical streams on any
+// machine, so either kind of name is safe to ship.  The error is
 // ErrUnknownBenchmark-wrapped for an unresolvable benchmark name and a
 // sim validation error for an inconsistent configuration.
 func Execute(job Job, reg *metrics.Registry) (Measurement, error) {
 	b, ok := workload.ByName(job.Bench)
+	if !ok {
+		for _, t := range workload.Transformed() {
+			if t.Name == job.Bench {
+				b, ok = t, true
+				break
+			}
+		}
+	}
 	if !ok {
 		return Measurement{}, fmt.Errorf("%w: %q", ErrUnknownBenchmark, job.Bench)
 	}

@@ -22,6 +22,61 @@ type ProgressEvent struct {
 	JobTime time.Duration
 }
 
+// ProgressSnapshot is one point of the live ETA/MIPS series a Tracker
+// derives from ProgressEvents.  It is what the terminal reporter renders
+// and what wbserve streams over SSE, so every consumer of sweep progress
+// reports the same numbers.
+type ProgressSnapshot struct {
+	// Done/Total mirror the underlying event.
+	Done, Total int
+	// Bench and Label identify the job that advanced the sweep.
+	Bench, Label string
+	// Instructions and Cycles are the finished job's measured counts.
+	Instructions, Cycles uint64
+	// Elapsed is wall time since the sweep's (backdated) start; ETA
+	// extrapolates the remainder from the mean job rate so far.
+	Elapsed, ETA time.Duration
+	// MIPS is aggregate measured simulated instructions per wall-clock
+	// second across all workers, in millions.
+	MIPS float64
+}
+
+// Tracker accumulates ProgressEvents into the ETA/MIPS series.  The zero
+// value is ready to use; methods are safe for concurrent use.  A Tracker
+// may span consecutive matrices: wall time and instruction totals keep
+// accumulating while Done/Total restart with each matrix — exactly the
+// behaviour the terminal reporter has always had, now reusable.
+type Tracker struct {
+	mu    sync.Mutex
+	start time.Time
+	instr uint64
+}
+
+// Observe folds one event into the series and returns the updated
+// snapshot.
+func (t *Tracker) Observe(ev ProgressEvent) ProgressSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.start.IsZero() {
+		// The first event arrives one job-time after the matrix began;
+		// backdating keeps the MIPS figure honest for short sweeps.
+		t.start = time.Now().Add(-ev.JobTime)
+	}
+	t.instr += ev.Instructions
+	elapsed := time.Since(t.start)
+	return ProgressSnapshot{
+		Done:         ev.Done,
+		Total:        ev.Total,
+		Bench:        ev.Bench,
+		Label:        ev.Label,
+		Instructions: ev.Instructions,
+		Cycles:       ev.Cycles,
+		Elapsed:      elapsed,
+		ETA:          eta(elapsed, ev.Done, ev.Total),
+		MIPS:         float64(t.instr) / elapsed.Seconds() / 1e6,
+	}
+}
+
 // ProgressReporter returns a Progress callback that renders a live,
 // single-line status to w — typically a terminal's stderr:
 //
@@ -33,35 +88,29 @@ type ProgressEvent struct {
 // reporter is safe for use as Options.Progress (events already arrive
 // serialised) and may be shared across consecutive matrices: wall time and
 // instruction totals keep accumulating, while Done/Total restart with each
-// matrix.
+// matrix.  The numbers come from a Tracker, the same series wbserve
+// streams per run over SSE.
 func ProgressReporter(w io.Writer, name string) func(ProgressEvent) {
 	var (
-		mu     sync.Mutex
-		start  time.Time
-		instr  uint64
-		maxLen int
+		mu      sync.Mutex
+		tracker Tracker
+		maxLen  int
 	)
 	return func(ev ProgressEvent) {
+		s := tracker.Observe(ev)
 		mu.Lock()
 		defer mu.Unlock()
-		if start.IsZero() {
-			// The first event arrives one job-time after the matrix began;
-			// backdating keeps the MIPS figure honest for short sweeps.
-			start = time.Now().Add(-ev.JobTime)
-		}
-		instr += ev.Instructions
-		elapsed := time.Since(start)
 		line := fmt.Sprintf("%s  [%3d/%-3d] %3d%%  elapsed %s  eta %s  %.1f MIPS  (%s/%s)",
-			name, ev.Done, ev.Total, 100*ev.Done/ev.Total,
-			fmtDur(elapsed), fmtDur(eta(elapsed, ev.Done, ev.Total)),
-			float64(instr)/elapsed.Seconds()/1e6,
-			ev.Bench, ev.Label)
+			name, s.Done, s.Total, 100*s.Done/s.Total,
+			fmtDur(s.Elapsed), fmtDur(s.ETA),
+			s.MIPS,
+			s.Bench, s.Label)
 		// Pad with spaces so a shorter redraw fully covers its predecessor.
 		if len(line) > maxLen {
 			maxLen = len(line)
 		}
 		fmt.Fprintf(w, "\r%-*s", maxLen, line)
-		if ev.Done == ev.Total {
+		if s.Done == s.Total {
 			fmt.Fprintln(w)
 		}
 	}

@@ -112,6 +112,41 @@ func TestRunMatrixMetrics(t *testing.T) {
 	}
 }
 
+// TestTrackerSeries drives the ETA/MIPS tracker directly — the series
+// wbserve streams over SSE — and checks accumulation and extrapolation.
+func TestTrackerSeries(t *testing.T) {
+	var tr Tracker
+	ev := ProgressEvent{
+		Done: 1, Total: 4, Bench: "li", Label: "base",
+		Instructions: 2_000_000, Cycles: 3_000_000,
+		JobTime: 200 * time.Millisecond,
+	}
+	s := tr.Observe(ev)
+	if s.Done != 1 || s.Total != 4 || s.Bench != "li" || s.Label != "base" {
+		t.Errorf("snapshot identity %+v", s)
+	}
+	// Start is backdated by JobTime, so elapsed ≥ 200ms and MIPS ≈ 10.
+	if s.Elapsed < 200*time.Millisecond {
+		t.Errorf("elapsed %v < backdated job time", s.Elapsed)
+	}
+	if s.MIPS <= 0 || s.MIPS > 11 {
+		t.Errorf("MIPS = %v, want ~10 (2e6 instr over ≥0.2s)", s.MIPS)
+	}
+	// 1 of 4 done: ETA ≈ 3× elapsed.
+	if s.ETA < 2*s.Elapsed || s.ETA > 4*s.Elapsed {
+		t.Errorf("ETA %v implausible for elapsed %v at 1/4 done", s.ETA, s.Elapsed)
+	}
+	ev.Done = 4
+	ev.Instructions = 6_000_000
+	s = tr.Observe(ev)
+	if s.ETA != 0 {
+		t.Errorf("ETA %v at completion, want 0", s.ETA)
+	}
+	if s.Instructions != 6_000_000 || s.Cycles != 3_000_000 {
+		t.Errorf("snapshot counts %+v", s)
+	}
+}
+
 // TestProgressReporterOutput drives the terminal reporter with synthetic
 // events and checks the line discipline: carriage-return redraws, a final
 // newline, and the headline fields.

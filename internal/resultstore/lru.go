@@ -1,0 +1,79 @@
+package resultstore
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lru is the bounded in-memory tier: a least-recently-used map from store
+// keys to payload bytes.  It is the direct descendant of the original
+// wbserve result cache — a simulation costs tens of milliseconds and its
+// result is immutable, so repeated lookups must be O(1) without touching
+// disk; the bound keeps a long-lived server's memory flat.
+type lru struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used; values are *lruEntry
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key     string
+	payload []byte
+}
+
+func newLRU(capacity int) *lru {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lru{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached payload and marks it most recently used.
+func (c *lru) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).payload, true
+}
+
+// put inserts or refreshes a payload, evicting the least recently used
+// entry when over capacity.
+func (c *lru) put(key string, payload []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).payload = payload
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, payload: payload})
+	if c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// len reports the current entry count.
+func (c *lru) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// clear empties the tier (EvictHash cannot search it by hash).
+func (c *lru) clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	c.items = make(map[string]*list.Element, c.cap)
+}

@@ -1,0 +1,270 @@
+package resultstore_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dispatch"
+	"repro/internal/metrics"
+	"repro/internal/resultstore"
+)
+
+func open(t *testing.T, dir string, reg *metrics.Registry) *resultstore.Store {
+	t.Helper()
+	s, err := resultstore.Open(dir, resultstore.Options{Metrics: reg, MemoryEntries: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// The store's at-rest checksum must be byte-for-byte the PR 5 wire
+// integrity format, so one attestation construction covers both.
+func TestChecksumMatchesDispatchFormat(t *testing.T) {
+	hash, payload := "deadbeef", []byte(`{"cpi":1.25}`)
+	if got, want := resultstore.Checksum(hash, payload), dispatch.Checksum(hash, payload); got != want {
+		t.Errorf("resultstore.Checksum = %s, dispatch.Checksum = %s", got, want)
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := open(t, t.TempDir(), reg)
+	key := resultstore.Key("li", 100000, "abc123")
+	payload := []byte(`{"cpi":1.5}`)
+	if _, ok := s.Get(key); ok {
+		t.Fatal("empty store claimed a hit")
+	}
+	if err := s.Put(key, "abc123", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok || string(got) != string(payload) {
+		t.Fatalf("Get = %q, %v; want payload back", got, ok)
+	}
+	if n := reg.Counter(`resultstore_hits_total{tier="memory"}`).Value(); n != 1 {
+		t.Errorf("memory hits = %d, want 1", n)
+	}
+	if n := reg.Counter("resultstore_misses_total").Value(); n != 1 {
+		t.Errorf("misses = %d, want 1", n)
+	}
+}
+
+// A second Store over the same directory — a restart, or another process —
+// must serve the first store's entries from disk.
+func TestCrossProcessDurability(t *testing.T) {
+	dir := t.TempDir()
+	key := resultstore.Key("compress", 50000, "ffee")
+	s1 := open(t, dir, nil)
+	if err := s1.Put(key, "ffee", []byte(`{"x":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	s2 := open(t, dir, reg)
+	got, ok := s2.Get(key)
+	if !ok || string(got) != `{"x":1}` {
+		t.Fatalf("reopened store: Get = %q, %v", got, ok)
+	}
+	if n := reg.Counter(`resultstore_hits_total{tier="disk"}`).Value(); n != 1 {
+		t.Errorf("disk hits = %d, want 1", n)
+	}
+	// The disk hit promoted the entry: a second Get is a memory hit.
+	s2.Get(key)
+	if n := reg.Counter(`resultstore_hits_total{tier="memory"}`).Value(); n != 1 {
+		t.Errorf("memory hits after promotion = %d, want 1", n)
+	}
+}
+
+// A flipped byte anywhere in an entry must turn it into a miss (the job
+// re-simulates), never into served garbage.
+func TestCorruptEntryQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	reg := metrics.NewRegistry()
+	s := open(t, dir, nil)
+	key := resultstore.Key("li", 1000, "aa")
+	if err := s.Put(key, "aa", []byte(`{"cpi":2.0}`)); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the payload on disk behind the store's back.
+	var entryPath string
+	filepath.Walk(dir, func(p string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && strings.HasSuffix(p, ".json") {
+			entryPath = p
+		}
+		return nil
+	})
+	if entryPath == "" {
+		t.Fatal("no entry file written")
+	}
+	data, err := os.ReadFile(entryPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(entryPath, []byte(strings.Replace(string(data), "2.0", "9.9", 1)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := open(t, dir, reg) // bypass the memory tier
+	if _, ok := fresh.Get(key); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	if n := reg.Counter("resultstore_corrupt_entries_total").Value(); n != 1 {
+		t.Errorf("corrupt counter = %d, want 1", n)
+	}
+	if _, err := os.Stat(entryPath); !os.IsNotExist(err) {
+		t.Error("corrupt entry still in the lookup path")
+	}
+	if _, err := os.Stat(entryPath + ".corrupt"); err != nil {
+		t.Error("corrupt entry was not preserved for inspection")
+	}
+}
+
+func TestVerifySweepsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, nil)
+	for i, bench := range []string{"li", "compress", "go"} {
+		key := resultstore.Key(bench, 1000, "h")
+		if err := s.Put(key, "h", []byte(`{"i":`+string(rune('0'+i))+`}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Garble one file wholesale.
+	var victim string
+	filepath.Walk(dir, func(p string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && strings.HasSuffix(p, ".json") && victim == "" {
+			victim = p
+		}
+		return nil
+	})
+	if err := os.WriteFile(victim, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ok, corrupt, err := s.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok != 2 || corrupt != 1 {
+		t.Errorf("Verify = (%d ok, %d corrupt), want (2, 1)", ok, corrupt)
+	}
+	// A second pass finds a clean store.
+	ok, corrupt, err = s.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok != 2 || corrupt != 0 {
+		t.Errorf("second Verify = (%d ok, %d corrupt), want (2, 0)", ok, corrupt)
+	}
+}
+
+func TestEvictHash(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, nil)
+	for _, bench := range []string{"li", "compress"} {
+		s.Put(resultstore.Key(bench, 1000, "bad"), "bad", []byte(`{}`))
+		s.Put(resultstore.Key(bench, 1000, "good"), "good", []byte(`{}`))
+	}
+	n, err := s.EvictHash("bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("evicted %d entries, want 2", n)
+	}
+	if _, ok := s.Get(resultstore.Key("li", 1000, "bad")); ok {
+		t.Error("evicted entry still served")
+	}
+	if _, ok := s.Get(resultstore.Key("li", 1000, "good")); !ok {
+		t.Error("unrelated entry evicted")
+	}
+}
+
+func TestPruneByAge(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, nil)
+	keys := []string{
+		resultstore.Key("li", 1, "h"),
+		resultstore.Key("li", 2, "h"),
+		resultstore.Key("li", 3, "h"),
+	}
+	for i, k := range keys {
+		if err := s.Put(k, "h", []byte(`{}`)); err != nil {
+			t.Fatal(err)
+		}
+		// Stamp strictly increasing mtimes so the prune order is stable
+		// even on filesystems with coarse timestamps.
+		old := time.Now().Add(time.Duration(i-10) * time.Hour)
+		filepath.Walk(dir, func(p string, info os.FileInfo, err error) error {
+			if err == nil && !info.IsDir() && strings.HasSuffix(p, ".json") && info.ModTime().After(old) {
+				if d, _, derr := decodeKeyOf(p); derr == nil && d == k {
+					os.Chtimes(p, old, old)
+				}
+			}
+			return nil
+		})
+	}
+	removed, err := s.Prune(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 {
+		t.Errorf("pruned %d, want 2", removed)
+	}
+	fresh := open(t, dir, nil)
+	if _, ok := fresh.Get(keys[2]); !ok {
+		t.Error("newest entry was pruned")
+	}
+	if _, ok := fresh.Get(keys[0]); ok {
+		t.Error("oldest entry survived the prune")
+	}
+}
+
+// decodeKeyOf reads the key field of an entry file (test helper).
+func decodeKeyOf(path string) (string, string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", "", err
+	}
+	var e struct {
+		Key     string `json:"key"`
+		CfgHash string `json:"config_hash"`
+	}
+	if err := json.Unmarshal(data, &e); err != nil {
+		return "", "", err
+	}
+	return e.Key, e.CfgHash, nil
+}
+
+func TestMemoryOnlyStore(t *testing.T) {
+	s := open(t, "", nil)
+	key := resultstore.Key("li", 5, "h")
+	if err := s.Put(key, "h", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); !ok {
+		t.Fatal("memory-only store lost its entry")
+	}
+	disk, bytes, mem := s.Stats()
+	if disk != 0 || bytes != 0 || mem != 1 {
+		t.Errorf("Stats = (%d, %d, %d), want (0, 0, 1)", disk, bytes, mem)
+	}
+}
+
+func TestMemoryTierBound(t *testing.T) {
+	s := open(t, "", nil) // MemoryEntries = 4
+	for _, k := range []string{"a", "b", "c", "d", "e"} {
+		s.Put(k, "h", []byte(k))
+	}
+	if _, ok := s.Get("a"); ok {
+		t.Error("LRU entry survived over-capacity insert")
+	}
+	if _, ok := s.Get("e"); !ok {
+		t.Error("most recent entry evicted")
+	}
+	if _, _, mem := s.Stats(); mem != 4 {
+		t.Errorf("memory entries = %d, want 4", mem)
+	}
+}

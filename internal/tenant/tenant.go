@@ -1,0 +1,178 @@
+// Package tenant provides the serving platform's multi-tenant admission
+// control: token-bucket rate limits and pending-work quotas keyed by the
+// X-WB-Tenant request header, with per-tenant metrics for billing-grade
+// attribution and autoscaling.
+//
+// The model is deliberately simple.  Every request spends one token from
+// its tenant's bucket (refilled at Rate tokens/second up to Burst); a dry
+// bucket answers 429.  Enqueued-but-unfinished simulations count against
+// MaxPending — the quota that keeps one tenant from filling the durable
+// queue and starving everyone else's sweeps.  Because the result store is
+// shared, a tenant whose request hits a stored result pays a token but
+// queues nothing; deduplication means tenants effectively subsidise each
+// other's repeated sweeps, which is the platform's whole economic point.
+//
+// Limits come from a defaults set (wbserve -rate/-burst/-maxpending) plus
+// optional per-tenant overrides in a JSON file (wbserve -tenants):
+//
+//	{
+//	  "alice": {"rate": 20, "burst": 40, "max_pending": 500},
+//	  "ci":    {"rate": 2,  "burst": 4,  "max_pending": 64}
+//	}
+//
+// Unknown tenants get the defaults; the special name "*" overrides the
+// defaults themselves.  docs/SERVING.md is the operator guide.
+package tenant
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// DefaultName attributes requests that carry no X-WB-Tenant header.
+const DefaultName = "anonymous"
+
+// Limits is one tenant's admission policy.  Zero values mean unlimited
+// for that dimension.
+type Limits struct {
+	// Rate is the sustained request rate in tokens per second.
+	Rate float64 `json:"rate,omitempty"`
+	// Burst is the bucket capacity — the instantaneous burst a tenant may
+	// spend after an idle period.  Defaults to max(Rate, 1) when a Rate is
+	// set but Burst is not.
+	Burst float64 `json:"burst,omitempty"`
+	// MaxPending bounds the tenant's enqueued-but-unfinished simulations.
+	MaxPending int `json:"max_pending,omitempty"`
+}
+
+// normalized fills the Burst default.
+func (l Limits) normalized() Limits {
+	if l.Rate > 0 && l.Burst <= 0 {
+		l.Burst = l.Rate
+		if l.Burst < 1 {
+			l.Burst = 1
+		}
+	}
+	return l
+}
+
+// LoadConfig reads a per-tenant overrides file (see the package comment
+// for the format).  A missing path is an error; an empty path returns nil.
+func LoadConfig(path string) (map[string]Limits, error) {
+	if path == "" {
+		return nil, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("tenant: %w", err)
+	}
+	var out map[string]Limits
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&out); err != nil {
+		return nil, fmt.Errorf("tenant: parsing %s: %w", path, err)
+	}
+	for name, l := range out {
+		if l.Rate < 0 || l.Burst < 0 || l.MaxPending < 0 {
+			return nil, fmt.Errorf("tenant: %s: negative limit in %s", name, path)
+		}
+	}
+	return out, nil
+}
+
+// bucket is one tenant's token bucket.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// Registry keys buckets and limits by tenant name and owns the tenant_*
+// metric series.  Safe for concurrent use.
+type Registry struct {
+	mu        sync.Mutex
+	defaults  Limits
+	overrides map[string]Limits
+	buckets   map[string]*bucket
+	now       func() time.Time // test hook
+
+	reg *metrics.Registry
+}
+
+// NewRegistry builds the admission controller: defaults for every tenant,
+// per-tenant overrides on top ("*" replaces the defaults), and a metrics
+// registry for the tenant_* series (nil for none).
+func NewRegistry(defaults Limits, overrides map[string]Limits, reg *metrics.Registry) *Registry {
+	if star, ok := overrides["*"]; ok {
+		defaults = star
+	}
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return &Registry{
+		defaults:  defaults.normalized(),
+		overrides: overrides,
+		buckets:   map[string]*bucket{},
+		now:       time.Now,
+		reg:       reg,
+	}
+}
+
+// Limits reports the effective limits for a tenant.
+func (r *Registry) Limits(name string) Limits {
+	if l, ok := r.overrides[name]; ok {
+		return l.normalized()
+	}
+	return r.defaults
+}
+
+// Allow spends one token from the tenant's bucket, reporting whether the
+// request may proceed.  Tenants with no Rate limit always pass.  Every
+// call feeds tenant_requests_total{tenant=...}; refusals additionally feed
+// tenant_throttled_total{tenant=...}.
+func (r *Registry) Allow(name string) bool {
+	r.reg.Counter(metrics.Label("tenant_requests_total", "tenant", name)).Inc()
+	l := r.Limits(name)
+	if l.Rate <= 0 {
+		return true
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b, ok := r.buckets[name]
+	now := r.now()
+	if !ok {
+		b = &bucket{tokens: l.Burst, last: now}
+		r.buckets[name] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * l.Rate
+	b.last = now
+	if b.tokens > l.Burst {
+		b.tokens = l.Burst
+	}
+	if b.tokens < 1 {
+		r.reg.Counter(metrics.Label("tenant_throttled_total", "tenant", name)).Inc()
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// AdmitPending checks the pending-work quota: with the tenant currently
+// holding `pending` enqueued jobs, may it enqueue `want` more?  Refusals
+// feed tenant_quota_rejections_total{tenant=...}.
+func (r *Registry) AdmitPending(name string, pending, want int) bool {
+	l := r.Limits(name)
+	if l.MaxPending <= 0 || pending+want <= l.MaxPending {
+		return true
+	}
+	r.reg.Counter(metrics.Label("tenant_quota_rejections_total", "tenant", name)).Inc()
+	return false
+}
+
+// SetClock replaces the time source (tests).
+func (r *Registry) SetClock(now func() time.Time) { r.now = now }

@@ -1,0 +1,138 @@
+package tenant
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// fakeClock returns a controllable time source starting at a fixed instant.
+func fakeClock() (*time.Time, func() time.Time) {
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	return &t0, func() time.Time { return t0 }
+}
+
+func TestTokenBucketRefill(t *testing.T) {
+	reg := metrics.NewRegistry()
+	r := NewRegistry(Limits{Rate: 2, Burst: 2}, nil, reg)
+	clock, nowFn := fakeClock()
+	r.SetClock(nowFn)
+
+	// Burst of 2 passes, third refused.
+	if !r.Allow("a") || !r.Allow("a") {
+		t.Fatal("burst refused")
+	}
+	if r.Allow("a") {
+		t.Fatal("dry bucket allowed a request")
+	}
+	if n := reg.Counter(`tenant_throttled_total{tenant="a"}`).Value(); n != 1 {
+		t.Errorf("throttled counter = %d, want 1", n)
+	}
+	// Half a second refills one token at 2/s.
+	*clock = clock.Add(500 * time.Millisecond)
+	if !r.Allow("a") {
+		t.Error("refilled bucket refused")
+	}
+	if r.Allow("a") {
+		t.Error("over-refilled: second request passed")
+	}
+	// A long idle period caps at Burst, not unbounded.
+	*clock = clock.Add(time.Hour)
+	if !r.Allow("a") || !r.Allow("a") {
+		t.Error("burst after idle refused")
+	}
+	if r.Allow("a") {
+		t.Error("bucket exceeded its burst cap after idle")
+	}
+}
+
+func TestUnlimitedByDefault(t *testing.T) {
+	r := NewRegistry(Limits{}, nil, nil)
+	for i := 0; i < 1000; i++ {
+		if !r.Allow("x") {
+			t.Fatal("unlimited tenant throttled")
+		}
+	}
+}
+
+func TestTenantsAreIsolated(t *testing.T) {
+	r := NewRegistry(Limits{Rate: 1, Burst: 1}, nil, nil)
+	_, nowFn := fakeClock()
+	r.SetClock(nowFn)
+	if !r.Allow("a") {
+		t.Fatal("a's first request refused")
+	}
+	if r.Allow("a") {
+		t.Fatal("a's bucket did not drain")
+	}
+	if !r.Allow("b") {
+		t.Error("b throttled by a's spending")
+	}
+}
+
+func TestOverridesAndStar(t *testing.T) {
+	overrides := map[string]Limits{
+		"big": {Rate: 100, Burst: 200, MaxPending: 1000},
+		"*":   {Rate: 5, MaxPending: 10},
+	}
+	r := NewRegistry(Limits{Rate: 1}, overrides, nil)
+	if got := r.Limits("big").MaxPending; got != 1000 {
+		t.Errorf("override MaxPending = %d", got)
+	}
+	// "*" replaced the defaults; Burst defaults to Rate.
+	if got := r.Limits("unknown"); got.Rate != 5 || got.Burst != 5 || got.MaxPending != 10 {
+		t.Errorf("starred defaults = %+v", got)
+	}
+}
+
+func TestAdmitPending(t *testing.T) {
+	reg := metrics.NewRegistry()
+	r := NewRegistry(Limits{MaxPending: 3}, nil, reg)
+	if !r.AdmitPending("a", 0, 3) {
+		t.Error("exact-fit submission refused")
+	}
+	if r.AdmitPending("a", 2, 2) {
+		t.Error("over-quota submission admitted")
+	}
+	if n := reg.Counter(`tenant_quota_rejections_total{tenant="a"}`).Value(); n != 1 {
+		t.Errorf("quota rejections = %d, want 1", n)
+	}
+	unlimited := NewRegistry(Limits{}, nil, nil)
+	if !unlimited.AdmitPending("a", 1<<20, 1<<20) {
+		t.Error("zero MaxPending must mean unlimited")
+	}
+}
+
+func TestLoadConfig(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tenants.json")
+	blob := `{"alice": {"rate": 20, "burst": 40, "max_pending": 500}, "ci": {"rate": 2}}`
+	if err := os.WriteFile(path, []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg["alice"].Burst != 40 || cfg["ci"].Rate != 2 {
+		t.Errorf("parsed config %v", cfg)
+	}
+	if _, err := LoadConfig(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte(`{"x": {"rate": -1}}`), 0o644)
+	if _, err := LoadConfig(bad); err == nil {
+		t.Error("negative rate accepted")
+	}
+	unknown := filepath.Join(t.TempDir(), "unknown.json")
+	os.WriteFile(unknown, []byte(`{"x": {"rte": 1}}`), 0o644)
+	if _, err := LoadConfig(unknown); err == nil {
+		t.Error("misspelled field accepted silently")
+	}
+	if cfg, err := LoadConfig(""); cfg != nil || err != nil {
+		t.Error("empty path must be a nil config, nil error")
+	}
+}

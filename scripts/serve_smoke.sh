@@ -1,0 +1,116 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — kill -9 durability smoke for the wbserve sweep platform.
+#
+# The one failure mode a unit test cannot produce is a real SIGKILL: no
+# deferred handlers, no graceful Close, the process just stops.  This
+# script starts wbserve with a durable result store and job queue, posts
+# an async multi-benchmark sweep, kills the server with SIGKILL after the
+# first job lands but before the sweep finishes, restarts it over the
+# same directories, and asserts:
+#
+#   1. the restarted server completes the sweep from the queue journal,
+#   2. the completed run document is byte-identical to one produced by a
+#      server that was never killed, and
+#   3. the restarted server dispatched strictly fewer simulations than
+#      the sweep contains — it resumed, it did not start over.
+#
+# Run it from the repository root:  make serve-smoke
+set -euo pipefail
+
+PORT="${WB_SMOKE_PORT:-8179}"
+BASE="http://127.0.0.1:$PORT"
+TMP="$(mktemp -d)"
+BIN="$TMP/wbserve"
+SERVER_PID=""
+
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() { echo "serve-smoke: FAIL: $*" >&2; exit 1; }
+
+go build -o "$BIN" ./cmd/wbserve
+
+# Six benchmarks at 10M instructions with a single dispatcher: slow enough
+# that a kill between the first and last job always lands mid-sweep.
+SWEEP='{"benches":["li","fft","compress","doduc","espresso","sc"],"n":10000000,"depth":8,"retire_at":4,"async":true}'
+NJOBS=6
+
+wait_healthy() {
+  for _ in $(seq 1 100); do
+    curl -sf "$BASE/healthz" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  fail "server on $BASE never became healthy"
+}
+
+start_server() { # $1 = state dir
+  "$BIN" -addr "127.0.0.1:$PORT" -store "$1/store" -queue "$1/queue.jsonl" \
+    -dispatchers 1 -cachesize 64 >>"$TMP/server.log" 2>&1 &
+  SERVER_PID=$!
+  wait_healthy
+}
+
+stop_server() {
+  kill "$SERVER_PID" 2>/dev/null || true
+  wait "$SERVER_PID" 2>/dev/null || true
+  SERVER_PID=""
+}
+
+run_id() { sed -n 's/.*"id": *"\([0-9a-f]*\)".*/\1/p' | head -n 1; }
+
+done_count() { # $1 = run id
+  curl -sf "$BASE/run/$1" | grep -o '"done": *[0-9][0-9]*' | head -n 1 | grep -o '[0-9]*$'
+}
+
+wait_complete() { # $1 = run id, prints the final run document
+  for _ in $(seq 1 600); do
+    doc="$(curl -sf "$BASE/run/$1" || true)"
+    if printf '%s' "$doc" | grep -q '"complete": *true'; then
+      printf '%s' "$doc"
+      return 0
+    fi
+    sleep 0.1
+  done
+  fail "run $1 did not complete within 60s"
+}
+
+# --- Pass 1: baseline — the same sweep on a server that is never killed.
+mkdir -p "$TMP/baseline" "$TMP/killed"
+start_server "$TMP/baseline"
+ID="$(curl -sf -X POST "$BASE/run" -H 'Content-Type: application/json' -d "$SWEEP" | run_id)"
+[ -n "$ID" ] || fail "baseline POST /run returned no run id"
+wait_complete "$ID" > "$TMP/baseline.json"
+stop_server
+echo "serve-smoke: baseline run $ID complete"
+
+# --- Pass 2: the same sweep, SIGKILL mid-flight.
+start_server "$TMP/killed"
+ID2="$(curl -sf -X POST "$BASE/run" -H 'Content-Type: application/json' -d "$SWEEP" | run_id)"
+[ "$ID2" = "$ID" ] || fail "run ids differ ($ID vs $ID2) — content-addressed ids should match"
+for _ in $(seq 1 600); do
+  n="$(done_count "$ID2" || echo 0)"
+  [ "${n:-0}" -ge 1 ] && break
+  sleep 0.05
+done
+[ "${n:-0}" -ge 1 ] || fail "no job completed within 30s; nothing to kill mid-flight"
+[ "$n" -lt "$NJOBS" ] || fail "sweep already complete ($n/$NJOBS) — kill window missed; raise n in SWEEP"
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+echo "serve-smoke: killed server with $n/$NJOBS jobs done"
+
+# --- Pass 3: restart over the same store+queue; the journal finishes the job.
+start_server "$TMP/killed"
+wait_complete "$ID" > "$TMP/killed.json"
+resumed_dispatched="$(curl -sf "$BASE/metrics" | grep '^wbserve_dispatched_jobs_total' | grep -o '[0-9]*$')"
+stop_server
+
+cmp "$TMP/baseline.json" "$TMP/killed.json" \
+  || fail "run document after kill -9 + restart differs from the baseline"
+[ "${resumed_dispatched:-$NJOBS}" -lt "$NJOBS" ] \
+  || fail "restarted server dispatched $resumed_dispatched/$NJOBS jobs — it re-ran the sweep instead of resuming"
+
+echo "serve-smoke: PASS — byte-identical completion after kill -9 ($resumed_dispatched jobs resumed from the journal)"
