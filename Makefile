@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-sim bench-sim-smoke bench-explore smoke-explore chaos serve-smoke
+.PHONY: all build test race vet bench bench-sim bench-sim-smoke bench-explore smoke-explore smoke-ftl chaos serve-smoke
 
 all: vet build test
 
@@ -64,6 +64,20 @@ smoke-explore:
 		-out /tmp/wbopt-smoke.json
 	grep -q 'read-from-WB' /tmp/wbopt-smoke.json
 	grep -q '"frontier": \[' /tmp/wbopt-smoke.json
+
+# smoke-ftl is the organization-sweep acceptance smoke: an exhaustive
+# wbopt grid over the ftl smoke space must exit 0 and evaluate ftl
+# machines, and — the byte-reproducibility contract extended to
+# organizations — a second same-seed run must produce an identical
+# artifact.
+smoke-ftl:
+	$(GO) run ./cmd/wbopt -space spaces/ftl-smoke.json -strategy grid \
+		-n 100000 -seed 1 -quiet -out /tmp/wbopt-ftl-a.json
+	$(GO) run ./cmd/wbopt -space spaces/ftl-smoke.json -strategy grid \
+		-n 100000 -seed 1 -quiet -out /tmp/wbopt-ftl-b.json
+	cmp /tmp/wbopt-ftl-a.json /tmp/wbopt-ftl-b.json
+	grep -q 'org=ftl' /tmp/wbopt-ftl-a.json
+	grep -q '"frontier": \[' /tmp/wbopt-ftl-a.json
 
 # serve-smoke is the platform durability gate: a real wbserve process with
 # a durable store+queue is SIGKILLed mid-sweep and restarted; the sweep

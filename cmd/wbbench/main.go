@@ -18,7 +18,7 @@
 //
 // Usage:
 //
-//	wbbench [-n 1000000] [-mode both|fused|legacy] [-out BENCH_sim.json]
+//	wbbench [-n 1000000] [-mode both|fused|legacy] [-org fifo|ftl] [-out BENCH_sim.json]
 package main
 
 import (
@@ -29,6 +29,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/dispatch"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -53,9 +54,13 @@ type PathResult struct {
 // reference machine and carried forward so every later PR can see the
 // trajectory from the original per-reference loop.
 type Result struct {
-	SchemaVersion     int         `json:"schema_version"`
-	Instructions      uint64      `json:"instructions_per_bench"`
-	BenchCount        int         `json:"bench_count"`
+	SchemaVersion int    `json:"schema_version"`
+	Instructions  uint64 `json:"instructions_per_bench"`
+	BenchCount    int    `json:"bench_count"`
+	// Org names the buffer organization the machine ran with; empty means
+	// fifo (the committed BENCH_sim.json shape, unchanged from before the
+	// organization axis existed).
+	Org               string      `json:"org,omitempty"`
 	SeedAggregateMIPS float64     `json:"seed_aggregate_mips"`
 	Fused             *PathResult `json:"fused,omitempty"`
 	Legacy            *PathResult `json:"legacy,omitempty"`
@@ -75,6 +80,8 @@ var defaultSeedMIPS = flag.Float64("seed-mips", 28.33,
 func main() {
 	n := flag.Uint64("n", 1_000_000, "dynamic instructions per benchmark (first quarter is warm-up)")
 	mode := flag.String("mode", "both", "paths to measure: both, fused, or legacy")
+	org := flag.String("org", "fifo",
+		"buffer organization to measure: fifo, or ftl (reference shape numbuffers=2, sectorbits=1)")
 	out := flag.String("out", "", "write JSON result to this file (default stdout only)")
 	quiet := flag.Bool("quiet", false, "suppress the per-benchmark progress lines")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measurement to this file")
@@ -98,6 +105,21 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
+	// The measured machine: the paper baseline, optionally re-organized.
+	// The ftl reference shape (2 buffers, 1 sector bit) exercises striping,
+	// masked coalescing, and the fullest-buffer victim walk on both paths,
+	// so a throughput cliff in the organization layer shows up here even
+	// though the committed BENCH_sim.json gates the fifo.
+	cfg := sim.Baseline()
+	switch *org {
+	case "fifo":
+	case "ftl":
+		cfg = cfg.WithOrg(core.FTLOrg{NumBuffers: 2, SectorBits: 1})
+	default:
+		fmt.Fprintf(os.Stderr, "wbbench: unknown -org %q (want fifo or ftl)\n", *org)
+		os.Exit(1)
+	}
+
 	benches := workload.All()
 	res := Result{
 		SchemaVersion:     1,
@@ -105,12 +127,15 @@ func main() {
 		BenchCount:        len(benches),
 		SeedAggregateMIPS: *defaultSeedMIPS,
 	}
+	if *org != "fifo" {
+		res.Org = *org
+	}
 
 	if *mode == "both" || *mode == "fused" {
-		res.Fused = measureBest(benches, *n, true, *quiet, *repeat)
+		res.Fused = measureBest(benches, cfg, *n, true, *quiet, *repeat)
 	}
 	if *mode == "both" || *mode == "legacy" {
-		res.Legacy = measureBest(benches, *n, false, *quiet, *repeat)
+		res.Legacy = measureBest(benches, cfg, *n, false, *quiet, *repeat)
 	}
 	if res.Fused != nil {
 		if res.Legacy != nil && res.Legacy.AggregateMIPS > 0 {
@@ -162,6 +187,10 @@ func gate(path string, fresh Result, maxRegress float64) error {
 		return fmt.Errorf("baseline schema v%d, tool writes v%d — regenerate %s",
 			base.SchemaVersion, fresh.SchemaVersion, path)
 	}
+	if base.Org != fresh.Org {
+		return fmt.Errorf("baseline %s measured org %q, this run measured %q — gate like against like",
+			path, orgName(base.Org), orgName(fresh.Org))
+	}
 	if base.Fused == nil || base.Fused.AggregateMIPS <= 0 {
 		return fmt.Errorf("baseline %s has no fused aggregate", path)
 	}
@@ -178,14 +207,22 @@ func gate(path string, fresh Result, maxRegress float64) error {
 	return nil
 }
 
+// orgName renders a Result.Org for error messages (empty means fifo).
+func orgName(org string) string {
+	if org == "" {
+		return "fifo"
+	}
+	return org
+}
+
 // measureBest is measure repeated, keeping the run with the best
 // aggregate.  Interference from a shared host only ever slows a run down,
 // so the best of a few repetitions is the least-biased estimate of the
 // code's actual speed; one repetition is fine on a quiet machine.
-func measureBest(benches []workload.Benchmark, n uint64, fused, quiet bool, repeat int) *PathResult {
-	best := measure(benches, n, fused, quiet)
+func measureBest(benches []workload.Benchmark, cfg sim.Config, n uint64, fused, quiet bool, repeat int) *PathResult {
+	best := measure(benches, cfg, n, fused, quiet)
 	for i := 1; i < repeat; i++ {
-		if pr := measure(benches, n, fused, quiet); pr.AggregateMIPS > best.AggregateMIPS {
+		if pr := measure(benches, cfg, n, fused, quiet); pr.AggregateMIPS > best.AggregateMIPS {
 			best = pr
 		}
 	}
@@ -196,12 +233,11 @@ func measureBest(benches []workload.Benchmark, n uint64, fused, quiet bool, repe
 // and returns per-bench and aggregate MIPS.  Aggregate is total simulated
 // instructions over total wall time, so slow benchmarks weigh in
 // proportionally — the number a sweep's wall clock actually tracks.
-func measure(benches []workload.Benchmark, n uint64, fused bool, quiet bool) *PathResult {
+func measure(benches []workload.Benchmark, cfg sim.Config, n uint64, fused bool, quiet bool) *PathResult {
 	pr := &PathResult{Benches: make([]BenchResult, 0, len(benches))}
 	var totalInstr uint64
 	var totalWall time.Duration
 	for _, b := range benches {
-		cfg := sim.Baseline()
 		start := time.Now()
 		if fused {
 			if _, err := dispatch.ExecuteBench(b, "bench", cfg, n, nil); err != nil {

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -392,5 +393,108 @@ func TestSweepRequestValidation(t *testing.T) {
 	v := decodeRunView(t, resp.Body)
 	if !v.Complete || len(v.Results) != 2 || v.Results[0] == nil {
 		t.Errorf("sync sweep document incomplete: %+v", v)
+	}
+}
+
+// readSSE consumes one SSE stream until a done event (or EOF), returning
+// the event names, their ids (0 when absent), and the decoded updates.
+func readSSE(t *testing.T, body io.Reader) (events []string, ids []uint64, updates []runUpdate) {
+	t.Helper()
+	sc := bufio.NewScanner(body)
+	event, id := "", uint64(0)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "id: "):
+			n, err := strconv.ParseUint(strings.TrimPrefix(line, "id: "), 10, 64)
+			if err != nil {
+				t.Fatalf("unparsable SSE id %q: %v", line, err)
+			}
+			id = n
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			var u runUpdate
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &u); err != nil {
+				t.Fatalf("unparsable SSE data %q: %v", line, err)
+			}
+			events, ids, updates = append(events, event), append(ids, id), append(updates, u)
+			id = 0
+		}
+		if event == "done" && len(updates) > 0 && updates[len(updates)-1].Complete {
+			return events, ids, updates
+		}
+	}
+	return events, ids, updates
+}
+
+// getEvents attaches to a run's SSE stream, optionally resuming from a
+// Last-Event-ID, and reads it through to the done event.
+func getEvents(t *testing.T, ts *httptest.Server, id, lastEventID string) ([]string, []uint64, []runUpdate) {
+	t.Helper()
+	req, err := http.NewRequest("GET", ts.URL+"/run/"+id+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastEventID != "" {
+		req.Header.Set("Last-Event-ID", lastEventID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	return readSSE(t, resp.Body)
+}
+
+// TestSSEResumeLastEventID pins the reconnect contract: every broadcast
+// carries its sequence number as the SSE id, and a client that presents
+// one back as Last-Event-ID receives exactly the completions after it —
+// no snapshot, no duplicates, no gaps — through to the done event.
+func TestSSEResumeLastEventID(t *testing.T) {
+	_, ts := testServer(t)
+	resp := postRunTenant(t, ts, "resume-client", `{"benches":["li","compress","espresso","sc"],"n":100000,"async":true}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async submit: status %d, want 202", resp.StatusCode)
+	}
+	v := decodeRunView(t, resp.Body)
+	waitComplete(t, ts, v.ID)
+
+	// A full replay from the stream's origin: four completions, ids 1..4,
+	// the last of them the done event.
+	events, ids, updates := getEvents(t, ts, v.ID, "0")
+	if len(updates) != 4 {
+		t.Fatalf("replay from 0 delivered %d events (%v), want 4", len(updates), events)
+	}
+	for i, u := range updates {
+		want := uint64(i + 1)
+		if ids[i] != want || u.Seq != want {
+			t.Errorf("event %d: id=%d seq=%d, want %d", i, ids[i], u.Seq, want)
+		}
+		if u.Done != i+1 {
+			t.Errorf("event %d: done=%d, want %d", i, u.Done, i+1)
+		}
+	}
+	if events[3] != "done" || !updates[3].Complete {
+		t.Fatalf("final replayed event %q %+v, want done", events[3], updates[3])
+	}
+
+	// A mid-stream resume skips exactly the acknowledged prefix.
+	events, ids, updates = getEvents(t, ts, v.ID, "2")
+	if len(updates) != 2 || ids[0] != 3 || ids[1] != 4 || events[1] != "done" {
+		t.Fatalf("resume from 2: events=%v ids=%v, want ids 3,4 ending in done", events, ids)
+	}
+
+	// An id beyond the retained history (a restarted server, a bogus
+	// client) falls back to the catch-up snapshot — here the done event.
+	events, _, updates = getEvents(t, ts, v.ID, "9999")
+	if len(updates) != 1 || events[0] != "done" || !updates[0].Complete {
+		t.Fatalf("resync fallback: events=%v updates=%+v, want a single done snapshot", events, updates)
+	}
+
+	// A fresh attach (no header) still gets the snapshot path.
+	events, _, updates = getEvents(t, ts, v.ID, "")
+	if len(updates) != 1 || events[0] != "done" || updates[0].Done != 4 {
+		t.Fatalf("fresh attach to complete run: events=%v updates=%+v", events, updates)
 	}
 }

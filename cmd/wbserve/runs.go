@@ -24,11 +24,22 @@ func runID(tenant string, jobs []jobqueue.Job) string {
 	return hex.EncodeToString(h.Sum(nil))[:16]
 }
 
+// runHistory bounds the per-run replay buffer behind Last-Event-ID: a
+// reconnecting client can resume across this many missed completions;
+// further behind than that it gets a catch-up snapshot instead (GET
+// /run/{id} remains the ledger either way).
+const runHistory = 256
+
 // runUpdate is one SSE progress datum: the Tracker's ETA/MIPS series for
 // one run, advanced by one finished job.  It is the same series the
 // terminal ProgressReporter renders, serialised.
 type runUpdate struct {
 	RunID string `json:"run_id"`
+	// Seq numbers broadcast updates 1,2,3,… within one run and doubles as
+	// the SSE event id, so a dropped client resumes by replaying
+	// everything after its Last-Event-ID.  Catch-up snapshots carry the
+	// seq of the last broadcast (0 before the first).
+	Seq   uint64 `json:"seq"`
 	Done  int    `json:"done"`
 	Total int    `json:"total"`
 	// Bench/Label/Key identify the job that advanced the run (empty on the
@@ -57,11 +68,14 @@ type runState struct {
 	subs     map[chan runUpdate]bool
 	finished chan struct{} // closed when every job is done
 	closed   bool
+	seq      uint64      // id of the most recent broadcast update
+	history  []runUpdate // last runHistory broadcasts, ascending Seq
 }
 
 func (st *runState) snapshotLocked(ev *experiment.ProgressEvent) runUpdate {
 	u := runUpdate{
 		RunID:    st.run.ID,
+		Seq:      st.seq,
 		Done:     len(st.done),
 		Total:    len(st.run.Jobs),
 		Complete: len(st.done) == len(st.run.Jobs),
@@ -72,6 +86,12 @@ func (st *runState) snapshotLocked(ev *experiment.ProgressEvent) runUpdate {
 		u.ElapsedMS = s.Elapsed.Milliseconds()
 		u.EtaMS = s.ETA.Milliseconds()
 		u.MIPS = s.MIPS
+		st.seq++
+		u.Seq = st.seq
+		st.history = append(st.history, u)
+		if len(st.history) > runHistory {
+			st.history = append(st.history[:0:0], st.history[len(st.history)-runHistory:]...)
+		}
 	}
 	return u
 }
@@ -82,6 +102,31 @@ func (st *runState) progress() runUpdate {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	return st.snapshotLocked(nil)
+}
+
+// updatesSince returns the retained broadcasts with Seq > after, for
+// Last-Event-ID replay.  The second result reports whether the history
+// still reaches back to the client's position; false means the buffer was
+// trimmed past it (or the process restarted, resetting seq) and the caller
+// must resync with a fresh snapshot instead.
+func (st *runState) updatesSince(after uint64) ([]runUpdate, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if after >= st.seq {
+		// At or ahead of the newest broadcast: ahead only happens across a
+		// process restart, where replay is impossible — resync.
+		return nil, after == st.seq
+	}
+	if len(st.history) == 0 || st.history[0].Seq > after+1 {
+		return nil, false
+	}
+	var out []runUpdate
+	for _, u := range st.history {
+		if u.Seq > after {
+			out = append(out, u)
+		}
+	}
+	return out, true
 }
 
 // subscribe attaches an SSE client; the returned cancel detaches it.

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -757,6 +758,13 @@ func (s *server) handleRunStatus(w http.ResponseWriter, r *http.Request) {
 // Events: one catch-up `progress` event on attach, one per completed job,
 // and a final `done` event when the run finishes.  The numbers come from
 // the same experiment.Tracker the terminal reporter renders.
+//
+// Every broadcast carries its run-local sequence number as the SSE `id:`
+// field, and a reconnecting client that presents it back as Last-Event-ID
+// (which EventSource does automatically) resumes with a replay of exactly
+// the completions it missed instead of a lossy snapshot.  A client further
+// behind than the replay buffer — or resuming across a server restart —
+// falls back to the catch-up snapshot, same as a fresh attach.
 func (s *server) handleRunEvents(w http.ResponseWriter, r *http.Request) {
 	st, ok := s.runs.get(r.PathValue("id"))
 	if !ok {
@@ -773,16 +781,39 @@ func (s *server) handleRunEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
 
-	// Subscribe before the catch-up snapshot so no completion can fall
-	// between them.
+	// Subscribe before the replay/snapshot so no completion can fall
+	// between them; seen tracks the highest Seq already written so live
+	// updates that raced the replay are not delivered twice.
 	updates, unsubscribe := st.subscribe()
 	defer unsubscribe()
-	snap := st.progress()
-	if snap.Complete {
-		writeSSE(w, flusher, "done", snap)
-		return
+	var seen uint64
+	resumed := false
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if after, err := strconv.ParseUint(v, 10, 64); err == nil {
+			if replay, ok := st.updatesSince(after); ok {
+				for _, u := range replay {
+					if u.Complete {
+						writeSSE(w, flusher, "done", u)
+						return
+					}
+					writeSSE(w, flusher, "progress", u)
+				}
+				seen, resumed = after, true
+				if n := len(replay); n > 0 {
+					seen = replay[n-1].Seq
+				}
+			}
+		}
 	}
-	writeSSE(w, flusher, "progress", snap)
+	if !resumed {
+		snap := st.progress()
+		if snap.Complete {
+			writeSSE(w, flusher, "done", snap)
+			return
+		}
+		writeSSE(w, flusher, "progress", snap)
+		seen = snap.Seq
+	}
 	for {
 		select {
 		case u := <-updates:
@@ -790,7 +821,10 @@ func (s *server) handleRunEvents(w http.ResponseWriter, r *http.Request) {
 				writeSSE(w, flusher, "done", u)
 				return
 			}
-			writeSSE(w, flusher, "progress", u)
+			if u.Seq > seen {
+				writeSSE(w, flusher, "progress", u)
+				seen = u.Seq
+			}
 		case <-st.finished:
 			// Drain any update that raced the latch, then close out.
 			for {
@@ -800,7 +834,10 @@ func (s *server) handleRunEvents(w http.ResponseWriter, r *http.Request) {
 						writeSSE(w, flusher, "done", u)
 						return
 					}
-					writeSSE(w, flusher, "progress", u)
+					if u.Seq > seen {
+						writeSSE(w, flusher, "progress", u)
+						seen = u.Seq
+					}
 				default:
 					writeSSE(w, flusher, "done", st.progress())
 					return
@@ -812,10 +849,15 @@ func (s *server) handleRunEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func writeSSE(w http.ResponseWriter, flusher http.Flusher, event string, v any) {
-	data, err := json.Marshal(v)
+// writeSSE emits one event; broadcast updates (Seq > 0) carry an `id:`
+// line so clients can resume via Last-Event-ID.
+func writeSSE(w http.ResponseWriter, flusher http.Flusher, event string, u runUpdate) {
+	data, err := json.Marshal(u)
 	if err != nil {
 		return
+	}
+	if u.Seq > 0 {
+		fmt.Fprintf(w, "id: %d\n", u.Seq)
 	}
 	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
 	flusher.Flush()

@@ -1,6 +1,9 @@
 package explore
 
 import (
+	"fmt"
+	"sync"
+
 	"repro/internal/analytic"
 	"repro/internal/core"
 	"repro/internal/sim"
@@ -78,6 +81,13 @@ func highWaterOf(cfg sim.Config, depth int) int {
 // benchmark on one machine: predicted stall cycles per instruction, the
 // model-side analogue of Counters.Stalls[BufferFull]/Instructions.  This is
 // the quantity the validation property test pins against the simulator.
+//
+// The chain is fifo-only: it models one FIFO of cfg.WB.Depth entries and
+// knows nothing about buffer organizations, so for a non-nil cfg.Org this
+// is the prediction for the same-depth FIFO, which under-predicts a striped
+// organization's blocking.  The validated contract covers only the fifo;
+// organization corrections are ranking heuristics and live in Score via
+// RegisterOrgResidual.
 func Predict(t workload.Target, cfg sim.Config) (float64, error) {
 	pred, err := analytic.Solve(Params(t, cfg))
 	if err != nil {
@@ -117,7 +127,92 @@ func Score(t workload.Target, cfg sim.Config) (float64, error) {
 		}
 		score += hazardRank(cfg.Hazard) / 3 * missRate * nonEmpty * serviceLat
 	}
+	if cfg.Org != nil && cfg.WriteCacheDepth == 0 {
+		if r := orgResidualFor(cfg.Org.OrgName()); r != nil {
+			score = r(t, cfg, score)
+		}
+		// An organization without a registered residual ranks as the
+		// same-depth fifo — the chain's fifo-only approximation.
+	}
 	return score, nil
+}
+
+// OrgResidual adjusts the fifo-based heuristic score for one organization
+// family.  It receives the benchmark profile, the full machine, and the
+// score the fifo approximation produced, and returns the corrected ranking
+// key.  Like the rest of Score, a residual is a ranking prior, not a
+// validated prediction; the guided strategy's screening rung does the real
+// measuring.
+type OrgResidual func(t workload.Target, cfg sim.Config, fifoScore float64) float64
+
+var (
+	orgResMu     sync.RWMutex
+	orgResiduals = map[string]OrgResidual{}
+)
+
+// RegisterOrgResidual installs the ranking correction for a registered
+// organization kind (core.OrgSpec.OrgName).  Custom organizations that skip
+// this still sweep correctly — they just screen under the fifo
+// approximation.  Panics on a duplicate or empty registration.
+func RegisterOrgResidual(kind string, r OrgResidual) {
+	if kind == "" || r == nil {
+		panic("explore: RegisterOrgResidual needs a kind and a residual")
+	}
+	orgResMu.Lock()
+	defer orgResMu.Unlock()
+	if _, dup := orgResiduals[kind]; dup {
+		panic(fmt.Sprintf("explore: duplicate organization residual %q", kind))
+	}
+	orgResiduals[kind] = r
+}
+
+func orgResidualFor(kind string) OrgResidual {
+	orgResMu.RLock()
+	defer orgResMu.RUnlock()
+	return orgResiduals[kind]
+}
+
+func init() {
+	RegisterOrgResidual("ftl", ftlResidual)
+}
+
+// ftlResidual corrects the fifo approximation for address striping: a
+// store blocks when its *home* buffer is full, so with uniformly striped
+// addresses each of the NB buffers behaves like an independent chain
+// receiving 1/NB of the allocations into Depth/NB entries, and the total
+// blocking overhead is NB times one such chain's.  The residual adds the
+// (non-negative) difference between that and the whole-buffer chain.
+// Sector coarsening has no blocking effect and is not modelled — its
+// payoff is on the cost axis (CostProxy).
+func ftlResidual(t workload.Target, cfg sim.Config, fifoScore float64) float64 {
+	f, ok := cfg.Org.(core.FTLOrg)
+	if !ok || f.NumBuffers <= 1 {
+		return fifoScore
+	}
+	whole := Params(t, cfg)
+	wholeSol, err := analytic.Solve(whole)
+	if err != nil {
+		return fifoScore
+	}
+	per := whole
+	per.AllocRate = whole.AllocRate / float64(f.NumBuffers)
+	per.Depth = whole.Depth / f.NumBuffers
+	if per.Depth < 1 {
+		per.Depth = 1
+	}
+	per.HighWater = (whole.HighWater + f.NumBuffers - 1) / f.NumBuffers
+	if per.HighWater > per.Depth {
+		per.HighWater = per.Depth
+	}
+	perSol, err := analytic.Solve(per)
+	if err != nil {
+		return fifoScore
+	}
+	residual := float64(f.NumBuffers)*perSol.CPIOverhead() - wholeSol.CPIOverhead()
+	if residual < 0 {
+		residual = 0
+	}
+	return fifoScore + residual
 }
 
 // hazardRank orders the paper's policies by flushing aggressiveness.

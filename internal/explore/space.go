@@ -45,6 +45,13 @@ type Space struct {
 	Widths  []int
 	Retires []int
 	Agings  []uint64
+	// Orgs sweeps the buffer organization family ("fifo", "ftl"); NumBufs
+	// and SectorBits sweep the ftl shape and are pinned to their first
+	// value for non-ftl points.  Custom organization specs enter through
+	// Base, not this axis.
+	Orgs       []string
+	NumBufs    []int
+	SectorBits []int
 	// Hazards sweeps the load-hazard policy.
 	Hazards []core.HazardPolicy
 	// WCaches sweeps Jouppi-style write caches; 0 keeps the plain buffer.
@@ -76,18 +83,21 @@ type Candidate struct {
 // Hazards travel by registered name and the base machine as a ParseSpec
 // string, so a space file composes with the rest of the config tooling.
 type spaceFile struct {
-	Base    string   `json:"base,omitempty"`
-	Depths  []int    `json:"depths,omitempty"`
-	Widths  []int    `json:"widths,omitempty"`
-	Retires []int    `json:"retires,omitempty"`
-	Agings  []uint64 `json:"agings,omitempty"`
-	Hazards []string `json:"hazards,omitempty"`
-	WCaches []int    `json:"wcaches,omitempty"`
-	L1Sizes []int    `json:"l1_sizes,omitempty"`
-	L2Lats  []uint64 `json:"l2_lats,omitempty"`
-	L2Sizes []int    `json:"l2_sizes,omitempty"`
-	MemLats []uint64 `json:"mem_lats,omitempty"`
-	MaxCost int      `json:"max_cost,omitempty"`
+	Base       string   `json:"base,omitempty"`
+	Depths     []int    `json:"depths,omitempty"`
+	Widths     []int    `json:"widths,omitempty"`
+	Retires    []int    `json:"retires,omitempty"`
+	Agings     []uint64 `json:"agings,omitempty"`
+	Orgs       []string `json:"orgs,omitempty"`
+	NumBufs    []int    `json:"numbuffers,omitempty"`
+	SectorBits []int    `json:"sectorbits,omitempty"`
+	Hazards    []string `json:"hazards,omitempty"`
+	WCaches    []int    `json:"wcaches,omitempty"`
+	L1Sizes    []int    `json:"l1_sizes,omitempty"`
+	L2Lats     []uint64 `json:"l2_lats,omitempty"`
+	L2Sizes    []int    `json:"l2_sizes,omitempty"`
+	MemLats    []uint64 `json:"mem_lats,omitempty"`
+	MaxCost    int      `json:"max_cost,omitempty"`
 }
 
 // Load parses a space file.  Unknown fields, trailing data, unknown hazard
@@ -104,8 +114,14 @@ func Load(data []byte) (*Space, error) {
 	}
 	s := &Space{
 		Depths: f.Depths, Widths: f.Widths, Retires: f.Retires, Agings: f.Agings,
+		Orgs: f.Orgs, NumBufs: f.NumBufs, SectorBits: f.SectorBits,
 		WCaches: f.WCaches, L1Sizes: f.L1Sizes, L2Lats: f.L2Lats,
 		L2Sizes: f.L2Sizes, MemLats: f.MemLats, MaxCost: f.MaxCost,
+	}
+	for _, org := range f.Orgs {
+		if org != "fifo" && org != "ftl" {
+			return nil, fmt.Errorf("explore: unknown buffer organization %q in orgs axis", org)
+		}
 	}
 	if f.Base != "" {
 		base, err := machconf.ParseSpec(f.Base)
@@ -162,13 +178,32 @@ func Default() *Space {
 // CostProxy returns a configuration's area proxy in word-slots of storage:
 // depth × entry width for a write buffer, doubled for a write cache (its
 // fully associative CAM match and victim-buffer path cost roughly a second
-// buffer's worth of area per entry).  The Pareto frontier minimises this
-// against CPI overhead; it is a proxy, not a layout model.
+// buffer's worth of area per entry).  The ftl organization adjusts the
+// buffer figure in both directions: each extra buffer adds one word-slot
+// of head/count control, and coarse sector granules shrink every entry's
+// valid mask from WordsPerEntry bits to WordsPerEntry>>SectorBits bits,
+// crediting the saved mask SRAM at 64 bits per word-slot — which is what
+// sectorbits buys, since its timing effect is purely conservative.  The
+// degenerate ftl{1,0} shape costs exactly what the fifo does.  The Pareto
+// frontier minimises this against CPI overhead; it is a proxy, not a
+// layout model.
 func CostProxy(cfg sim.Config) int {
 	if cfg.WriteCacheDepth > 0 {
 		return 2 * cfg.WriteCacheDepth * cfg.WB.Geometry.WordsPerLine()
 	}
-	return cfg.WB.Depth * cfg.WB.WordsPerEntry
+	cost := cfg.WB.Depth * cfg.WB.WordsPerEntry
+	if f, ok := cfg.Org.(core.FTLOrg); ok {
+		maskBits := cfg.WB.WordsPerEntry
+		if f.SectorBits > 0 {
+			maskBits = cfg.WB.WordsPerEntry >> f.SectorBits
+			if maskBits < 1 {
+				maskBits = 1
+			}
+		}
+		cost += f.NumBuffers - 1
+		cost -= cfg.WB.Depth * (cfg.WB.WordsPerEntry - maskBits) / 64
+	}
+	return cost
 }
 
 // base returns the machine the axes override.
@@ -196,19 +231,25 @@ func u64Axis(vals []uint64, base uint64) []uint64 {
 
 // Enumerate expands the space into its legal, deduplicated candidate list.
 // The order is deterministic: nested loops over the axes in the order
-// depth, width, retire, aging, hazard, wcache, l1, l2lat, l2, memlat.
+// depth, width, org, numbuffers, sectorbits, retire, aging, hazard,
+// wcache, l1, l2lat, l2, memlat.
 //
 // Constraints applied, in the spirit of the paper's own pruning:
 //
 //   - a retire-at mark above the depth is meaningless (skipped);
 //   - a write-cache point ignores the buffer-shape and policy axes (the
 //     write cache reads its own entries and retires via its victim
-//     buffer), so depth/width/retire/aging/hazard are pinned to their
-//     first values for wcache > 0;
+//     buffer), so depth/width/org/numbuffers/sectorbits/retire/aging/
+//     hazard are pinned to their first values for wcache > 0, and the
+//     organization itself to the fifo (sim ignores Org there; pinning
+//     keeps equal machines hash-equal);
+//   - a non-ftl organization pins numbuffers and sectorbits to their
+//     first values (they parameterise only the ftl family);
 //   - the memory latency is pinned to the base's for a perfect L2 (it is
 //     unreachable without one);
 //   - MaxCost and Filter drop what they reject;
-//   - machines failing sim validation are skipped;
+//   - machines failing sim validation are skipped — this is what drops
+//     ftl shapes whose buffer count does not divide the depth;
 //   - any remaining duplicates are removed by canonical machconf hash.
 func (s *Space) Enumerate() ([]Candidate, error) {
 	base := s.base()
@@ -221,6 +262,24 @@ func (s *Space) Enumerate() ([]Candidate, error) {
 	widths := intAxis(s.Widths, base.WB.WordsPerEntry)
 	retires := intAxis(s.Retires, baseRetire.N)
 	agings := u64Axis(s.Agings, baseRetire.Timeout)
+	baseFTL, baseIsFTL := base.Org.(core.FTLOrg)
+	orgs := s.Orgs
+	if len(orgs) == 0 {
+		switch {
+		case base.Org == nil:
+			orgs = []string{"fifo"}
+		case baseIsFTL:
+			orgs = []string{"ftl"}
+		default:
+			orgs = []string{"base"} // keep a custom base spec as-is
+		}
+	}
+	defNB, defSB := 1, 0
+	if baseIsFTL {
+		defNB, defSB = baseFTL.NumBuffers, baseFTL.SectorBits
+	}
+	numbufs := intAxis(s.NumBufs, defNB)
+	secbits := intAxis(s.SectorBits, defSB)
 	hazards := s.Hazards
 	if len(hazards) == 0 {
 		hazards = []core.HazardPolicy{base.Hazard}
@@ -240,7 +299,9 @@ func (s *Space) Enumerate() ([]Candidate, error) {
 
 	vary := map[string]bool{
 		"depth": len(depths) > 1, "width": len(widths) > 1,
-		"retire": len(retires) > 1, "aging": len(agings) > 1,
+		"org": len(orgs) > 1, "numbuffers": len(numbufs) > 1,
+		"sectorbits": len(secbits) > 1,
+		"retire":     len(retires) > 1, "aging": len(agings) > 1,
 		"hazard": len(hazards) > 1, "wcache": len(wcaches) > 1,
 		"l1": len(l1s) > 1, "l2lat": len(l2lats) > 1,
 		"l2": len(l2sizes) > 1, "memlat": len(memlats) > 1,
@@ -250,68 +311,88 @@ func (s *Space) Enumerate() ([]Candidate, error) {
 	seen := map[string]bool{}
 	for di, depth := range depths {
 		for wi, width := range widths {
-			for ri, retire := range retires {
-				for ai, aging := range agings {
-					for hi, hazard := range hazards {
-						for _, wcache := range wcaches {
-							if wcache > 0 && (di > 0 || wi > 0 || ri > 0 || ai > 0 || hi > 0) {
-								continue // wcache ignores these axes; pin them
-							}
-							if retire > depth && wcache == 0 {
-								continue
-							}
-							for _, l1 := range l1s {
-								for _, l2lat := range l2lats {
-									for _, l2size := range l2sizes {
-										for mi, memlat := range memlats {
-											if l2size == 0 && mi > 0 {
-												continue // memlat unreachable behind a perfect L2
+			for oi, org := range orgs {
+				for ni, nb := range numbufs {
+					for si, sb := range secbits {
+						if org != "ftl" && (ni > 0 || si > 0) {
+							continue // numbuffers/sectorbits parameterise only ftl
+						}
+						for ri, retire := range retires {
+							for ai, aging := range agings {
+								for hi, hazard := range hazards {
+									for _, wcache := range wcaches {
+										if wcache > 0 && (di > 0 || wi > 0 || oi > 0 || ni > 0 || si > 0 || ri > 0 || ai > 0 || hi > 0) {
+											continue // wcache ignores these axes; pin them
+										}
+										if retire > depth && wcache == 0 {
+											continue
+										}
+										for _, l1 := range l1s {
+											for _, l2lat := range l2lats {
+												for _, l2size := range l2sizes {
+													for mi, memlat := range memlats {
+														if l2size == 0 && mi > 0 {
+															continue // memlat unreachable behind a perfect L2
+														}
+														cfg := base.
+															WithDepth(depth).
+															WithL1Size(l1).
+															WithL2Latency(l2lat)
+														cfg.WB.WordsPerEntry = width
+														switch org {
+														case "fifo":
+															cfg = cfg.WithOrg(nil)
+														case "ftl":
+															cfg = cfg.WithOrg(core.FTLOrg{NumBuffers: nb, SectorBits: sb})
+														case "base":
+															// keep base.Org
+														default:
+															return nil, fmt.Errorf("explore: unknown buffer organization %q in orgs axis", org)
+														}
+														if wcache > 0 {
+															// Pin the policy axes so equal machines
+															// hash equal regardless of axis order.
+															cfg = cfg.WithWriteCache(wcache).
+																WithRetire(core.Eager{}).
+																WithHazard(core.FlushFull).
+																WithOrg(nil)
+														} else {
+															cfg.WriteCacheDepth = 0
+															cfg = cfg.WithRetire(core.RetireAt{N: retire, Timeout: aging}).
+																WithHazard(hazard)
+														}
+														if l2size > 0 {
+															cfg = cfg.WithL2(l2size)
+														} else {
+															cfg.L2 = nil
+															memlat = base.MemLat
+														}
+														cfg = cfg.WithMemLat(memlat)
+														if s.MaxCost > 0 && CostProxy(cfg) > s.MaxCost {
+															continue
+														}
+														if s.Filter != nil && !s.Filter(cfg) {
+															continue
+														}
+														if cfg.Validate() != nil {
+															continue
+														}
+														hash, err := machconf.Hash(cfg)
+														if err != nil {
+															return nil, fmt.Errorf("explore: %w", err)
+														}
+														if seen[hash] {
+															continue
+														}
+														seen[hash] = true
+														out = append(out, Candidate{
+															Label: label(vary, depth, width, org, nb, sb, retire, aging, hazard, wcache, l1, l2lat, l2size, memlat),
+															Hash:  hash,
+															Cfg:   cfg,
+														})
+													}
+												}
 											}
-											cfg := base.
-												WithDepth(depth).
-												WithL1Size(l1).
-												WithL2Latency(l2lat)
-											cfg.WB.WordsPerEntry = width
-											if wcache > 0 {
-												// Pin the policy axes so equal machines
-												// hash equal regardless of axis order.
-												cfg = cfg.WithWriteCache(wcache).
-													WithRetire(core.Eager{}).
-													WithHazard(core.FlushFull)
-											} else {
-												cfg.WriteCacheDepth = 0
-												cfg = cfg.WithRetire(core.RetireAt{N: retire, Timeout: aging}).
-													WithHazard(hazard)
-											}
-											if l2size > 0 {
-												cfg = cfg.WithL2(l2size)
-											} else {
-												cfg.L2 = nil
-												memlat = base.MemLat
-											}
-											cfg = cfg.WithMemLat(memlat)
-											if s.MaxCost > 0 && CostProxy(cfg) > s.MaxCost {
-												continue
-											}
-											if s.Filter != nil && !s.Filter(cfg) {
-												continue
-											}
-											if cfg.Validate() != nil {
-												continue
-											}
-											hash, err := machconf.Hash(cfg)
-											if err != nil {
-												return nil, fmt.Errorf("explore: %w", err)
-											}
-											if seen[hash] {
-												continue
-											}
-											seen[hash] = true
-											out = append(out, Candidate{
-												Label: label(vary, depth, width, retire, aging, hazard, wcache, l1, l2lat, l2size, memlat),
-												Hash:  hash,
-												Cfg:   cfg,
-											})
 										}
 									}
 								}
@@ -331,7 +412,7 @@ func (s *Space) Enumerate() ([]Candidate, error) {
 // label renders a candidate as the compact spec string of its varying
 // axes (machconf.ParseSpec syntax), so a reported configuration can be fed
 // straight back to wbsim/wbcompare.
-func label(vary map[string]bool, depth, width, retire int, aging uint64, hazard core.HazardPolicy, wcache, l1 int, l2lat uint64, l2size int, memlat uint64) string {
+func label(vary map[string]bool, depth, width int, org string, nb, sb, retire int, aging uint64, hazard core.HazardPolicy, wcache, l1 int, l2lat uint64, l2size int, memlat uint64) string {
 	var parts []string
 	add := func(key, val string) {
 		if vary[key] {
@@ -342,6 +423,11 @@ func label(vary map[string]bool, depth, width, retire int, aging uint64, hazard 
 		add("wcache", fmt.Sprint(wcache))
 	} else {
 		add("depth", fmt.Sprint(depth))
+		add("org", org)
+		if org == "ftl" {
+			add("numbuffers", fmt.Sprint(nb))
+			add("sectorbits", fmt.Sprint(sb))
+		}
 		add("retire", fmt.Sprint(retire))
 		add("aging", fmt.Sprint(aging))
 		add("hazard", hazard.String())

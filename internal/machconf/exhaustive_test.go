@@ -21,6 +21,7 @@ var configMutators = map[string]func(*sim.Config){
 	"L2WriteLat":           func(c *sim.Config) { c.L2WriteLat = 9 },
 	"MemLat":               func(c *sim.Config) { c.MemLat = 50 },
 	"WB":                   func(c *sim.Config) { c.WB.Depth = 12 },
+	"Org":                  func(c *sim.Config) { *c = c.WithOrg(core.FTLOrg{NumBuffers: 2, SectorBits: 1}) },
 	"Retire":               func(c *sim.Config) { *c = c.WithRetire(core.FixedRate{Interval: 7}) },
 	"Hazard":               func(c *sim.Config) { *c = c.WithHazard(core.ReadFromWB) },
 	"WriteThreshold":       func(c *sim.Config) { c.WriteThreshold = 3 },

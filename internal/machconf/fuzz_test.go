@@ -26,6 +26,9 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte(`null`))
 	f.Add([]byte(`{"v":1}`))
 	f.Add([]byte(`{"v":1,"retire":{"kind":"eager"},"hazard":"flush-full","line_bytes":32,"word_bytes":8}`))
+	f.Add([]byte(`{"v":1,"buffer":{"v":1,"org":{"kind":"fifo"}},"retire":{"kind":"eager"},"hazard":"flush-full","line_bytes":32,"word_bytes":8}`))
+	f.Add([]byte(`{"v":1,"buffer":{"v":1,"org":{"kind":"ftl","params":{"numbuffers":4,"sectorbits":1}}},"retire":{"kind":"eager"},"hazard":"flush-full","line_bytes":32,"word_bytes":8}`))
+	f.Add([]byte(`{"v":1,"buffer":{"v":2,"org":{"kind":"ftl"}}}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		cfg, err := Decode(data)

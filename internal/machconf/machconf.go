@@ -39,6 +39,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"reflect"
 
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -50,6 +51,12 @@ import (
 // a change would make old blobs decode to a different machine; Decode
 // rejects versions it does not understand rather than guessing.
 const Version = 1
+
+// BufferVersion is the nested buffer block's own schema version.  The
+// block is young and expected to evolve (new organization families, shared
+// knobs); versioning it separately lets it move without invalidating every
+// hash in the result store the way a top-level Version bump would.
+const BufferVersion = 1
 
 // Wire is the canonical JSON shape of a sim.Config.  Field order is the
 // canonical encoding order; do not reorder.  Every sim.Config field has
@@ -71,6 +78,11 @@ type Wire struct {
 	WBWords   int `json:"wb_words"`
 	LineBytes int `json:"line_bytes"`
 	WordBytes int `json:"word_bytes"`
+	// Buffer, when present, selects a non-default write-buffer
+	// organization over that geometry.  It is omitted — never encoded as
+	// an empty block — for the implicit FIFO, so every pre-existing
+	// configuration keeps its content hash.
+	Buffer *WireBuffer `json:"buffer,omitempty"`
 	// Retire and Hazard travel by registered kind, not by enumeration.
 	Retire Policy `json:"retire"`
 	Hazard string `json:"hazard"`
@@ -89,6 +101,15 @@ type WireCache struct {
 	SizeBytes int `json:"size_bytes"`
 	LineBytes int `json:"line_bytes"`
 	Assoc     int `json:"assoc"`
+}
+
+// WireBuffer is the versioned write-buffer block.  Like Retire and Hazard,
+// the organization travels as a registered kind plus that kind's parameter
+// payload (see RegisterOrg), so custom organizations become wire-encodable
+// — checkpoints, remote workers, result-store keys — without schema edits.
+type WireBuffer struct {
+	V   int    `json:"v"`
+	Org Policy `json:"org"`
 }
 
 // ToWire renders a configuration as its canonical wire structure.  It
@@ -120,6 +141,13 @@ func ToWire(cfg sim.Config) (Wire, error) {
 	}
 	if cfg.L2 != nil {
 		w.L2 = &WireCache{SizeBytes: cfg.L2.SizeBytes, LineBytes: cfg.L2.LineBytes, Assoc: cfg.L2.Assoc}
+	}
+	if cfg.Org != nil {
+		org, err := EncodeOrg(cfg.Org)
+		if err != nil {
+			return Wire{}, err
+		}
+		w.Buffer = &WireBuffer{V: BufferVersion, Org: org}
 	}
 	return w, nil
 }
@@ -165,6 +193,19 @@ func FromWire(w Wire) (sim.Config, error) {
 		l2 := cache.Config{SizeBytes: w.L2.SizeBytes, LineBytes: w.L2.LineBytes, Assoc: w.L2.Assoc}
 		cfg.L2 = &l2
 	}
+	if w.Buffer != nil {
+		if w.Buffer.V != BufferVersion {
+			return sim.Config{}, fmt.Errorf("machconf: unsupported buffer block version %d (want %d)",
+				w.Buffer.V, BufferVersion)
+		}
+		// The "fifo" kind decodes to a nil spec, so an explicitly-written
+		// fifo block converges to the canonical omitted form on re-encode.
+		org, err := DecodeOrg(w.Buffer.Org)
+		if err != nil {
+			return sim.Config{}, err
+		}
+		cfg.Org = org
+	}
 	return cfg, nil
 }
 
@@ -180,17 +221,25 @@ func Encode(cfg sim.Config) ([]byte, error) {
 }
 
 // Decode parses a canonical (or hand-written) JSON configuration.  Unknown
-// fields, trailing data, and unsupported schema versions are errors;
-// arbitrary input never panics (the package fuzzer enforces this).
+// fields, trailing data, and unsupported schema versions are errors, and
+// structural errors name the offending field by its full dotted JSON path
+// ("l1.size_bytes", "buffer.org.kind" — see strict.go); arbitrary input
+// never panics (the package fuzzer enforces this).
 func Decode(data []byte) (sim.Config, error) {
-	var w Wire
 	dec := json.NewDecoder(bytes.NewReader(data))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&w); err != nil {
+	var raw json.RawMessage
+	if err := dec.Decode(&raw); err != nil {
 		return sim.Config{}, fmt.Errorf("machconf: %w", err)
 	}
 	if dec.More() {
 		return sim.Config{}, fmt.Errorf("machconf: trailing data after configuration")
+	}
+	if err := checkValue("", raw, reflect.TypeOf(Wire{})); err != nil {
+		return sim.Config{}, fmt.Errorf("machconf: %w", err)
+	}
+	var w Wire
+	if err := json.Unmarshal(raw, &w); err != nil {
+		return sim.Config{}, fmt.Errorf("machconf: %w", err)
 	}
 	return FromWire(w)
 }

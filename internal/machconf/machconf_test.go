@@ -32,6 +32,8 @@ func testConfigs() map[string]sim.Config {
 		"eager":      sim.Baseline().WithRetire(core.Eager{}),
 		"extensions": withI,
 		"narrow":     narrow,
+		"ftl":        sim.Baseline().WithDepth(8).WithOrg(core.FTLOrg{NumBuffers: 4, SectorBits: 1}),
+		"ftl-degen":  sim.Baseline().WithOrg(core.FTLOrg{NumBuffers: 1}),
 	}
 }
 
@@ -102,6 +104,10 @@ func TestDecodeRejects(t *testing.T) {
 		"bad geometry":   strings.Replace(string(canonical), `"word_bytes":8`, `"word_bytes":3`, 1),
 		"trailing data":  string(canonical) + `{"v":1}`,
 		"unknown params": strings.Replace(string(canonical), `"params":{"n":2}`, `"params":{"n":2,"x":1}`, 1),
+		"unknown org":    strings.Replace(string(canonical), `"retire"`, `"buffer":{"v":1,"org":{"kind":"nosuch"}},"retire"`, 1),
+		"bad buffer ver": strings.Replace(string(canonical), `"retire"`, `"buffer":{"v":9,"org":{"kind":"ftl"}},"retire"`, 1),
+		"unknown org prm": strings.Replace(string(canonical), `"retire"`,
+			`"buffer":{"v":1,"org":{"kind":"ftl","params":{"numbufers":2}}},"retire"`, 1),
 	} {
 		if _, err := Decode([]byte(data)); err == nil {
 			t.Errorf("%s: decode accepted %s", name, data)

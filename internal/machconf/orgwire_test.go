@@ -1,0 +1,215 @@
+package machconf
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// TestFIFOOrgNeverEncoded pins the hash-stability contract: the implicit
+// FIFO has no buffer block, and a hand-written fifo block converges to the
+// omitted form — and therefore the pre-buffer-block content hash — on its
+// first round trip.
+func TestFIFOOrgNeverEncoded(t *testing.T) {
+	enc, err := Encode(sim.Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(enc), `"buffer"`) {
+		t.Fatalf("fifo encoding grew a buffer block: %s", enc)
+	}
+	explicit := strings.Replace(string(enc), `"retire"`,
+		`"buffer":{"v":1,"org":{"kind":"fifo"}},"retire"`, 1)
+	cfg, err := Decode([]byte(explicit))
+	if err != nil {
+		t.Fatalf("explicit fifo block rejected: %v", err)
+	}
+	if cfg.Org != nil {
+		t.Fatalf("explicit fifo block decoded to a non-nil spec %#v", cfg.Org)
+	}
+	re, err := Encode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(re) != string(enc) {
+		t.Errorf("explicit fifo did not converge to the omitted form:\n want %s\n got  %s", enc, re)
+	}
+}
+
+// TestFTLOrgWireShape pins the ftl block's exact canonical form, which
+// result-store keys depend on.
+func TestFTLOrgWireShape(t *testing.T) {
+	enc, err := Encode(sim.Baseline().WithDepth(8).WithOrg(core.FTLOrg{NumBuffers: 4, SectorBits: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `"buffer":{"v":1,"org":{"kind":"ftl","params":{"numbuffers":4,"sectorbits":1}}}`
+	if !strings.Contains(string(enc), want) {
+		t.Errorf("encoding lacks canonical ftl block %s:\n%s", want, enc)
+	}
+}
+
+// testOrg is a custom organization spec used to prove the registry keeps
+// the wire schema open: registration alone makes it travel.
+type testOrg struct {
+	Ways int
+}
+
+func (o testOrg) OrgName() string                       { return "test-org" }
+func (o testOrg) ValidateOrg(core.Config) error         { return nil }
+func (o testOrg) NewOrg(cfg core.Config) core.BufferOrg { return core.NewBuffer(cfg) }
+
+var testOrgOnce = false
+
+func registerTestOrg(t *testing.T) {
+	t.Helper()
+	if testOrgOnce {
+		return
+	}
+	testOrgOnce = true
+	RegisterOrg(OrgCodec{
+		Kind: "test-org",
+		Encode: func(o core.OrgSpec) (any, bool) {
+			to, ok := o.(testOrg)
+			if !ok {
+				return nil, false
+			}
+			return map[string]int{"ways": to.Ways}, true
+		},
+		Decode: func(raw json.RawMessage) (core.OrgSpec, error) {
+			var p struct {
+				Ways int `json:"ways"`
+			}
+			if err := decodeParams(raw, &p); err != nil {
+				return nil, err
+			}
+			return testOrg{Ways: p.Ways}, nil
+		},
+	})
+}
+
+// TestRuntimeRegisteredOrg mirrors TestRuntimeRegisteredPolicy: a custom
+// organization becomes encodable and decodable with no schema change.
+func TestRuntimeRegisteredOrg(t *testing.T) {
+	registerTestOrg(t)
+	cfg := sim.Baseline().WithOrg(testOrg{Ways: 3})
+	b, err := Encode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"kind":"test-org"`) {
+		t.Fatalf("encoding does not carry the registered kind: %s", b)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, cfg) {
+		t.Errorf("registered org round trip changed the config:\n got %+v\nwant %+v", got, cfg)
+	}
+}
+
+func TestUnregisteredOrgErrors(t *testing.T) {
+	cfg := sim.Baseline().WithOrg(unregisteredOrg{})
+	if _, err := Encode(cfg); err == nil {
+		t.Error("unregistered organization unexpectedly encoded")
+	} else if !strings.Contains(err.Error(), "RegisterOrg") {
+		t.Errorf("error %q does not say how to register", err)
+	}
+}
+
+type unregisteredOrg struct{}
+
+func (unregisteredOrg) OrgName() string                       { return "unregistered" }
+func (unregisteredOrg) ValidateOrg(core.Config) error         { return nil }
+func (unregisteredOrg) NewOrg(cfg core.Config) core.BufferOrg { return core.NewBuffer(cfg) }
+
+// TestDecodeErrorPaths pins the strict decoder's path-qualified messages:
+// every structural error must name the offending field by its full dotted
+// JSON path, not just the leaf name.
+func TestDecodeErrorPaths(t *testing.T) {
+	canonical, err := Encode(sim.Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name, data, wantPath string
+	}{
+		{"root unknown", strings.Replace(string(canonical), `"v":1`, `"v":1,"bogus":7`, 1), `"bogus"`},
+		{"nested unknown", strings.Replace(string(canonical), `"size_bytes":8192`, `"size_byte":8192`, 1), `"l1.size_byte"`},
+		{"nested mistyped", strings.Replace(string(canonical), `"size_bytes":8192`, `"size_bytes":"big"`, 1), `"l1.size_bytes"`},
+		{"block mistyped", strings.Replace(string(canonical),
+			`"l1":{"size_bytes":8192,"line_bytes":32,"assoc":1}`, `"l1":[1,2]`, 1), `"l1"`},
+		{"org unknown field", strings.Replace(string(canonical), `"retire"`,
+			`"buffer":{"v":1,"org":{"kindd":"ftl"}},"retire"`, 1), `"buffer.org.kindd"`},
+		{"org mistyped", strings.Replace(string(canonical), `"retire"`,
+			`"buffer":{"v":1,"org":{"kind":7}},"retire"`, 1), `"buffer.org.kind"`},
+		{"retire mistyped", strings.Replace(string(canonical), `"kind":"retire-at"`, `"kind":[]`, 1), `"retire.kind"`},
+	}
+	for _, c := range cases {
+		_, err := Decode([]byte(c.data))
+		if err == nil {
+			t.Errorf("%s: decode accepted %s", c.name, c.data)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantPath) {
+			t.Errorf("%s: error %q does not name path %s", c.name, err, c.wantPath)
+		}
+	}
+}
+
+// TestParseSpecOrgKeys covers the compact-spec vocabulary for the
+// organization axis, including the implied org=ftl and last-wins rules.
+func TestParseSpecOrgKeys(t *testing.T) {
+	cfg, err := ParseSpec("depth=8,org=ftl,numbuffers=4,sectorbits=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.Org; !reflect.DeepEqual(got, core.FTLOrg{NumBuffers: 4, SectorBits: 1}) {
+		t.Errorf("org = %#v", got)
+	}
+	// numbuffers alone implies org=ftl.
+	cfg, err = ParseSpec("depth=8,numbuffers=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.Org; !reflect.DeepEqual(got, core.FTLOrg{NumBuffers: 2}) {
+		t.Errorf("implied ftl org = %#v", got)
+	}
+	// org=ftl alone is the degenerate single-buffer shape.
+	cfg, err = ParseSpec("org=ftl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.Org; !reflect.DeepEqual(got, core.FTLOrg{NumBuffers: 1}) {
+		t.Errorf("bare ftl org = %#v", got)
+	}
+	// Last key wins: an explicit fifo clears earlier ftl keys…
+	cfg, err = ParseSpec("depth=8,numbuffers=2,org=fifo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Org != nil {
+		t.Errorf("org=fifo did not clear the organization: %#v", cfg.Org)
+	}
+	// …and spec keys edit a base ftl org in place (the @file,override form).
+	base := sim.Baseline().WithDepth(8).WithOrg(core.FTLOrg{NumBuffers: 2, SectorBits: 1})
+	cfg, err = ParseSpecFrom(base, "numbuffers=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.Org; !reflect.DeepEqual(got, core.FTLOrg{NumBuffers: 4, SectorBits: 1}) {
+		t.Errorf("edited org = %#v", got)
+	}
+	// Invalid shapes are caught by the shared Validate path.
+	if _, err = ParseSpec("depth=8,numbuffers=3"); err == nil {
+		t.Error("non-power-of-two numbuffers accepted")
+	}
+	if _, err = ParseSpec("org=bogus"); err == nil {
+		t.Error("unknown organization accepted")
+	}
+}

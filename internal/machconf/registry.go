@@ -35,11 +35,30 @@ type RetirementCodec struct {
 	Decode func(raw json.RawMessage) (core.RetirementPolicy, error)
 }
 
+// OrgCodec makes one write-buffer-organization family wire-encodable, with
+// the same contract as RetirementCodec: Encode claims a spec or declines
+// it, Decode rebuilds it, and the two must be deterministic and mutually
+// inverse.  Decode may return a nil spec — that is how the "fifo" kind
+// maps an explicitly-written organization block back to the canonical
+// omitted form.
+type OrgCodec struct {
+	// Kind is the family's wire identifier ("fifo", "ftl", …).
+	Kind string
+	// Encode returns the parameter payload for a spec of this family, or
+	// ok=false when the spec belongs to a different family.
+	Encode func(o core.OrgSpec) (params any, ok bool)
+	// Decode rebuilds the spec from its payload; raw is nil when the wire
+	// form carried no params.
+	Decode func(raw json.RawMessage) (core.OrgSpec, error)
+}
+
 var (
 	regMu        sync.RWMutex
 	retireCodecs []RetirementCodec  // encode tries these in registration order
 	retireKinds  = map[string]int{} // kind -> index into retireCodecs
 	hazardKinds  = map[string]core.HazardPolicy{}
+	orgCodecs    []OrgCodec
+	orgKinds     = map[string]int{} // kind -> index into orgCodecs
 )
 
 // RegisterRetirement adds a retirement-policy family to the wire schema.
@@ -82,6 +101,72 @@ func HazardByName(name string) (core.HazardPolicy, bool) {
 	defer regMu.RUnlock()
 	p, ok := hazardKinds[name]
 	return p, ok
+}
+
+// RegisterOrg adds a write-buffer-organization family to the wire schema.
+// Once registered, the organization travels everywhere a configuration
+// does — checkpoint journals, remote workers, the wbserve result cache —
+// with no further changes.  It panics on a duplicate or incomplete codec.
+func RegisterOrg(c OrgCodec) {
+	if c.Kind == "" || c.Encode == nil || c.Decode == nil {
+		panic("machconf: RegisterOrg needs a kind, an Encode, and a Decode")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := orgKinds[c.Kind]; dup {
+		panic(fmt.Sprintf("machconf: duplicate organization kind %q", c.Kind))
+	}
+	orgKinds[c.Kind] = len(orgCodecs)
+	orgCodecs = append(orgCodecs, c)
+}
+
+// EncodeOrg renders a buffer-organization spec in its registered wire
+// form.  The implicit FIFO is never encoded (a nil spec is the caller's
+// signal to omit the buffer block), so a nil spec here is an error.
+func EncodeOrg(o core.OrgSpec) (Policy, error) {
+	if o == nil {
+		return Policy{}, fmt.Errorf("machconf: no buffer organization to encode")
+	}
+	regMu.RLock()
+	codecs := orgCodecs
+	regMu.RUnlock()
+	for _, c := range codecs {
+		params, ok := c.Encode(o)
+		if !ok {
+			continue
+		}
+		var raw json.RawMessage
+		if params != nil {
+			b, err := json.Marshal(params)
+			if err != nil {
+				return Policy{}, fmt.Errorf("machconf: encoding %q params: %w", c.Kind, err)
+			}
+			raw = b
+		}
+		return Policy{Kind: c.Kind, Params: raw}, nil
+	}
+	return Policy{}, fmt.Errorf("machconf: buffer organization %q has no registered codec; "+
+		"call machconf.RegisterOrg to make it wire-encodable", o.OrgName())
+}
+
+// DecodeOrg rebuilds a buffer-organization spec from its wire form.  A
+// nil result is valid: it means the block named the implicit FIFO.
+func DecodeOrg(w Policy) (core.OrgSpec, error) {
+	regMu.RLock()
+	idx, ok := orgKinds[w.Kind]
+	var c OrgCodec
+	if ok {
+		c = orgCodecs[idx]
+	}
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("machconf: unknown buffer organization kind %q", w.Kind)
+	}
+	o, err := c.Decode(w.Params)
+	if err != nil {
+		return nil, fmt.Errorf("machconf: decoding %q params: %w", w.Kind, err)
+	}
+	return o, nil
 }
 
 // EncodeRetirement renders a retirement policy in its registered wire
@@ -206,4 +291,41 @@ func init() {
 	for _, h := range core.HazardPolicies {
 		RegisterHazard(h.String(), h)
 	}
+	// The built-in organization families.  "fifo" is decode-only: the
+	// default organization is a nil spec that is never encoded, so an
+	// explicitly-written fifo block converges to the omitted form (and the
+	// pre-buffer-block hash) on its first round trip.
+	RegisterOrg(OrgCodec{
+		Kind:   "fifo",
+		Encode: func(core.OrgSpec) (any, bool) { return nil, false },
+		Decode: func(raw json.RawMessage) (core.OrgSpec, error) {
+			var p struct{}
+			if err := decodeParams(raw, &p); err != nil {
+				return nil, err
+			}
+			return nil, nil
+		},
+	})
+	RegisterOrg(OrgCodec{
+		Kind: "ftl",
+		Encode: func(o core.OrgSpec) (any, bool) {
+			f, ok := o.(core.FTLOrg)
+			if !ok {
+				return nil, false
+			}
+			return ftlOrgParams{NumBuffers: f.NumBuffers, SectorBits: f.SectorBits}, true
+		},
+		Decode: func(raw json.RawMessage) (core.OrgSpec, error) {
+			var p ftlOrgParams
+			if err := decodeParams(raw, &p); err != nil {
+				return nil, err
+			}
+			return core.FTLOrg{NumBuffers: p.NumBuffers, SectorBits: p.SectorBits}, nil
+		},
+	})
+}
+
+type ftlOrgParams struct {
+	NumBuffers int `json:"numbuffers,omitempty"`
+	SectorBits int `json:"sectorbits,omitempty"`
 }

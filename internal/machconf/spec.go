@@ -27,6 +27,9 @@ import (
 //
 //	depth=N        write buffer depth (entries)
 //	width=N        entry width in words (1 = non-coalescing)
+//	org=K          buffer organization: fifo (default) | ftl
+//	numbuffers=N   ftl: parallel address-striped buffers (implies org=ftl)
+//	sectorbits=N   ftl: words per valid-tracking granule = 2^N (implies org=ftl)
 //	retire=N       retire-at-N high-water mark
 //	aging=N        aging timeout in cycles (0 = off)
 //	hazard=P       flush-full | flush-partial | flush-item-only | read-from-WB
@@ -66,6 +69,14 @@ func ParseSpecFrom(base sim.Config, spec string) (sim.Config, error) {
 		retire.N = 2
 	}
 	retireTouched := false
+	// Like retire=/aging=, the ftl keys edit an existing ftl spec in place
+	// and replace any other organization with a fresh one.  Custom
+	// organizations travel as JSON blobs (@file), not spec keys.
+	ftl, _ := cfg.Org.(core.FTLOrg)
+	if ftl.NumBuffers == 0 {
+		ftl.NumBuffers = 1
+	}
+	orgTouched := false
 	for _, kv := range strings.Split(spec, ",") {
 		key, val, found := strings.Cut(kv, "=")
 		if !found {
@@ -79,6 +90,18 @@ func ParseSpecFrom(base sim.Config, spec string) (sim.Config, error) {
 			cfg = cfg.WithHazard(h)
 			continue
 		}
+		if key == "org" {
+			switch val {
+			case "fifo":
+				cfg = cfg.WithOrg(nil)
+				orgTouched = false
+			case "ftl":
+				orgTouched = true
+			default:
+				return cfg, fmt.Errorf("machconf: unknown buffer organization %q (fifo or ftl)", val)
+			}
+			continue
+		}
 		num, err := strconv.Atoi(val)
 		if err != nil {
 			return cfg, fmt.Errorf("machconf: %s: %v", key, err)
@@ -88,6 +111,12 @@ func ParseSpecFrom(base sim.Config, spec string) (sim.Config, error) {
 			cfg = cfg.WithDepth(num)
 		case "width":
 			cfg.WB.WordsPerEntry = num
+		case "numbuffers":
+			ftl.NumBuffers = num
+			orgTouched = true
+		case "sectorbits":
+			ftl.SectorBits = num
+			orgTouched = true
 		case "retire":
 			retire.N = num
 			retireTouched = true
@@ -118,6 +147,9 @@ func ParseSpecFrom(base sim.Config, spec string) (sim.Config, error) {
 	}
 	if retireTouched {
 		cfg = cfg.WithRetire(retire)
+	}
+	if orgTouched {
+		cfg = cfg.WithOrg(ftl)
 	}
 	return cfg, cfg.Validate()
 }

@@ -1,0 +1,140 @@
+package machconf
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+)
+
+// This file is the strict structural checker behind Decode.  The standard
+// library's DisallowUnknownFields reports only the leaf field name
+// ("unknown field \"size_byte\""), which is useless in a nested schema
+// where three blocks have a size field; and a type mismatch reports the Go
+// struct path, not the JSON one the user wrote.  checkValue walks the raw
+// JSON against the Wire type's json tags and names every problem by its
+// full dotted path — "l1.size_bytes", "buffer.org.kind" — before the real
+// unmarshal runs.
+//
+// The checker is strictly more demanding than encoding/json: it rejects
+// case-mismatched field names (stdlib matches them case-insensitively),
+// so anything it passes the stdlib decodes without error.  Fields typed
+// json.RawMessage are opaque payloads (policy and organization params);
+// their strictness lives in the owning codec's decodeParams.
+
+var rawMessageType = reflect.TypeOf(json.RawMessage(nil))
+
+// jsonName returns the field's wire name, or "" when the field does not
+// participate in JSON.
+func jsonName(f reflect.StructField) string {
+	if f.PkgPath != "" { // unexported
+		return ""
+	}
+	tag := f.Tag.Get("json")
+	if tag == "-" {
+		return ""
+	}
+	if i := bytes.IndexByte([]byte(tag), ','); i >= 0 {
+		tag = tag[:i]
+	}
+	if tag == "" {
+		return f.Name
+	}
+	return tag
+}
+
+func joinPath(path, name string) string {
+	if path == "" {
+		return name
+	}
+	return path + "." + name
+}
+
+// jsonKind names the JSON value class of a raw payload, for error text.
+func jsonKind(raw []byte) string {
+	raw = bytes.TrimSpace(raw)
+	if len(raw) == 0 {
+		return "empty value"
+	}
+	switch raw[0] {
+	case '{':
+		return "an object"
+	case '[':
+		return "an array"
+	case '"':
+		return "a string"
+	case 't', 'f':
+		return "a boolean"
+	case 'n':
+		return "null"
+	default:
+		return "a number"
+	}
+}
+
+// checkValue validates one raw JSON value against a Go type, recursing
+// through structs so every error carries the full dotted path from the
+// document root.  path is "" at the root.
+func checkValue(path string, raw json.RawMessage, t reflect.Type) error {
+	raw = bytes.TrimSpace(raw)
+	if bytes.Equal(raw, []byte("null")) {
+		return nil // null is accepted anywhere, as in encoding/json
+	}
+	for t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	if t == rawMessageType {
+		return nil // opaque codec payload
+	}
+	switch t.Kind() {
+	case reflect.Struct:
+		var fields map[string]json.RawMessage
+		if err := json.Unmarshal(raw, &fields); err != nil {
+			if path == "" {
+				return fmt.Errorf("configuration must be a JSON object, got %s", jsonKind(raw))
+			}
+			return fmt.Errorf("field %q: want an object, got %s", path, jsonKind(raw))
+		}
+		byName := map[string]reflect.Type{}
+		for i := 0; i < t.NumField(); i++ {
+			if name := jsonName(t.Field(i)); name != "" {
+				byName[name] = t.Field(i).Type
+			}
+		}
+		for name, fraw := range fields {
+			ft, ok := byName[name]
+			if !ok {
+				return fmt.Errorf("unknown field %q", joinPath(path, name))
+			}
+			if err := checkValue(joinPath(path, name), fraw, ft); err != nil {
+				return err
+			}
+		}
+	case reflect.Slice, reflect.Array:
+		var elems []json.RawMessage
+		if err := json.Unmarshal(raw, &elems); err != nil {
+			return fmt.Errorf("field %q: want an array, got %s", path, jsonKind(raw))
+		}
+		for i, e := range elems {
+			if err := checkValue(fmt.Sprintf("%s[%d]", path, i), e, t.Elem()); err != nil {
+				return err
+			}
+		}
+	case reflect.Map:
+		var fields map[string]json.RawMessage
+		if err := json.Unmarshal(raw, &fields); err != nil {
+			return fmt.Errorf("field %q: want an object, got %s", path, jsonKind(raw))
+		}
+		for name, fraw := range fields {
+			if err := checkValue(joinPath(path, name), fraw, t.Elem()); err != nil {
+				return err
+			}
+		}
+	default:
+		v := reflect.New(t)
+		if err := json.Unmarshal(raw, v.Interface()); err != nil {
+			return fmt.Errorf("field %q: want %s, got %s", path, t.Kind(), jsonKind(raw))
+		}
+	}
+	return nil
+}

@@ -57,7 +57,17 @@ type Config struct {
 	MemLat uint64
 	// WB is the write-buffer geometry.
 	WB core.Config
-	// Retire decides when the buffer autonomously retires its head.
+	// Org selects the write-buffer organization built over that geometry:
+	// nil is the paper's single coalescing FIFO (never encoded, so
+	// pre-existing configurations keep their content hashes), and
+	// core.FTLOrg is the multi-buffer sector-masked family.  Custom
+	// organizations register a machconf codec to travel through
+	// checkpoints, remote workers, and the result store.  A write cache
+	// (WriteCacheDepth > 0) replaces the write buffer wholesale, so Org is
+	// ignored there, like Retire and Hazard.
+	Org core.OrgSpec
+	// Retire decides when the organization autonomously retires its victim
+	// (the FIFO head; the fullest buffer's oldest entry under ftl).
 	Retire core.RetirementPolicy
 	// Hazard selects the load-hazard policy.
 	Hazard core.HazardPolicy
@@ -150,6 +160,11 @@ func (c Config) Validate() error {
 	if err := c.WB.Validate(); err != nil {
 		return fmt.Errorf("sim: write buffer: %w", err)
 	}
+	if c.Org != nil {
+		if err := c.Org.ValidateOrg(c.WB); err != nil {
+			return fmt.Errorf("sim: buffer organization %q: %w", c.Org.OrgName(), err)
+		}
+	}
 	if c.Retire == nil {
 		return fmt.Errorf("sim: no retirement policy")
 	}
@@ -204,6 +219,13 @@ func (c Config) WithDepth(depth int) Config {
 	return c
 }
 
+// WithOrg returns a copy with the write-buffer organization replaced;
+// nil restores the default FIFO.
+func (c Config) WithOrg(o core.OrgSpec) Config {
+	c.Org = o
+	return c
+}
+
 // WithRetire returns a copy with the retirement policy replaced.
 func (c Config) WithRetire(p core.RetirementPolicy) Config {
 	c.Retire = p
@@ -241,11 +263,4 @@ func (c Config) WithL2(sizeBytes int) Config {
 func (c Config) WithMemLat(lat uint64) Config {
 	c.MemLat = lat
 	return c
-}
-
-// fullLineMask is the valid mask meaning "every word of the L1 line is
-// present", which lets a retirement skip the fetch-on-write a partial line
-// would need on an L2 write miss.
-func (c Config) fullLineMask() uint64 {
-	return core.FullMask(c.WB.Geometry.WordsPerLine())
 }

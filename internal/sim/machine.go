@@ -17,9 +17,18 @@ type Machine struct {
 
 	l1 *cache.Cache
 	l2 *cache.Cache // nil: perfect L2
-	// wb is the FIFO the retirement engine drains.  Under the write-cache
-	// path it is that cache's one-entry victim buffer (eager retirement).
-	wb *core.Buffer
+	// org is the write-buffer organization the retirement engine drains:
+	// the paper's FIFO, the ftl multi-buffer structure, or a registered
+	// custom one.  Under the write-cache path it is that cache's one-entry
+	// victim buffer (eager retirement).
+	org core.BufferOrg
+	// rb is org when it is the ring FIFO, else nil.  The wb* accessors in
+	// wborg.go check it so the overwhelmingly common organization calls
+	// concrete methods the compiler can inline instead of dispatching
+	// through the interface on every memory reference.
+	rb *core.Buffer
+	// lineMask is org.FullLineMask(), cached for l2WritePenalty.
+	lineMask uint64
 	// path is the configured write stage — the plain coalescing buffer or
 	// Jouppi's write cache — behind the storePath interface; everything
 	// design-specific about stores and load servicing lives there.
@@ -125,8 +134,10 @@ func New(cfg Config) (*Machine, error) {
 	if cfg.IMissRate > 0 {
 		m.irand = rng.New(cfg.ISeed)
 	}
+	m.rb, _ = m.org.(*core.Buffer)
+	m.lineMask = m.org.FullLineMask()
 	m.occHist = make([]uint64, m.path.histSize())
-	m.flushBuf = make([]core.Entry, 0, m.wb.Config().Depth)
+	m.flushBuf = make([]core.Entry, 0, m.org.Capacity())
 	m.bp, _ = m.path.(*bufferPath)
 	// Resolve the retirement policy AFTER path construction: the write-cache
 	// path overrides cfg.Retire with eager retirement for its victim buffer.
@@ -192,7 +203,7 @@ func (m *Machine) Clock() uint64 { return m.clock }
 func (m *Machine) Counters() stats.Counters {
 	c := m.c
 	c.Cycles = m.clock - m.clockBase
-	ws := m.wb.Stats()
+	ws := m.org.Stats()
 	c.Retirements = ws.Retirements
 	c.FlushedEntries = ws.Flushes + m.path.flushedExtra()
 	return c
@@ -211,7 +222,7 @@ func (m *Machine) ResetStats() {
 	if m.l2 != nil {
 		m.l2.ResetStats()
 	}
-	m.wb.ResetStats()
+	m.org.ResetStats()
 	m.path.resetStats()
 	for i := range m.occHist {
 		m.occHist[i] = 0
@@ -553,18 +564,18 @@ func (m *Machine) nextRetire(occ int, headAlloc, now uint64) (uint64, bool) {
 // cycle-by-cycle simulation would at the target cycle.
 func (m *Machine) drainTo(target uint64) {
 	for {
-		if m.wb.Retiring() {
+		if m.wbRetiring() {
 			if m.retireDone > target {
 				return
 			}
 			m.completeRetire()
 			continue
 		}
-		occ := m.wb.Occupancy()
+		occ := m.wbOccupancy()
 		if occ == 0 {
 			return
 		}
-		start0, ok := m.nextRetire(occ, m.wb.Head().AllocCycle, m.stateChangedAt)
+		start0, ok := m.nextRetire(occ, m.wbHeadAlloc(), m.stateChangedAt)
 		if !ok {
 			return
 		}
@@ -581,8 +592,8 @@ func (m *Machine) drainTo(target uint64) {
 // because retirements are always replayed in logical-time order before any
 // instruction that could observe them, the ordering is exact.
 func (m *Machine) beginRetire(start uint64) {
-	e := m.wb.BeginRetire()
-	dur := m.cfg.writeLat() + m.l2WritePenalty(m.wb.AddrOf(e), e.Valid)
+	e := m.wbBeginRetire()
+	dur := m.cfg.writeLat() + m.l2WritePenalty(m.wbAddrOf(e), e.Valid)
 	m.lastRetireStart = start
 	m.retireDone = start + dur
 	m.portBusyUntil = m.retireDone
@@ -593,7 +604,7 @@ func (m *Machine) beginRetire(start uint64) {
 
 // completeRetire frees the in-flight head.
 func (m *Machine) completeRetire() {
-	m.wb.CompleteRetire()
+	m.wbCompleteRetire()
 	m.stateChangedAt = m.retireDone
 }
 
@@ -609,7 +620,7 @@ func (m *Machine) l2WritePenalty(addr mem.Addr, valid uint64) uint64 {
 	if hasEvict {
 		m.l1.Invalidate(evicted.Addr) // strict inclusion (Table 7 note)
 	}
-	if !m.cfg.ChargeWriteMissFetch || hit || valid == m.cfg.fullLineMask() {
+	if !m.cfg.ChargeWriteMissFetch || hit || valid == m.lineMask {
 		return 0
 	}
 	return m.cfg.MemLat
@@ -634,7 +645,7 @@ func (m *Machine) store(addr mem.Addr) {
 	// the data always enters the write stage.
 	m.l1.WriteHit(addr)
 	if bp := m.bp; bp != nil {
-		m.occHist[m.wb.Occupancy()]++
+		m.occHist[m.wbOccupancy()]++
 		bp.store(addr, t)
 		return
 	}
@@ -646,16 +657,24 @@ func (m *Machine) store(addr mem.Addr) {
 // for a blocked store, and returns that cycle.
 func (m *Machine) waitForFree(t uint64) uint64 {
 	for {
-		if m.wb.Retiring() {
+		if m.wbRetiring() {
 			done := maxU(m.retireDone, t)
 			m.completeRetire()
 			return done
 		}
-		occ := m.wb.Occupancy()
-		start0, ok := m.nextRetire(occ, m.wb.Head().AllocCycle, maxU(m.stateChangedAt, t))
+		occ := m.wbOccupancy()
+		start0, ok := m.nextRetire(occ, m.wbHeadAlloc(), maxU(m.stateChangedAt, t))
 		if !ok {
-			// Config.Validate guarantees progress from a full buffer.
-			panic("sim: buffer full but retirement policy refuses to retire")
+			if m.rb != nil {
+				// A FIFO blocks only when totally full, and Config.Validate
+				// guarantees the policy retires from a full buffer.
+				panic("sim: buffer full but retirement policy refuses to retire")
+			}
+			// A striped organization can block a store while total occupancy
+			// is still below the policy's high-water mark (the home buffer is
+			// full, others are not).  Hardware must drain anyway to accept
+			// the store, so the retirement is forced rather than policy-led.
+			start0 = maxU(m.stateChangedAt, t)
 		}
 		m.beginRetire(maxU(start0, m.portBusyUntil))
 	}
@@ -684,7 +703,7 @@ func (m *Machine) load(addr mem.Addr) {
 		return
 	}
 
-	idx, wordValid, wbHit := m.wb.Probe(addr)
+	idx, wordValid, wbHit := m.wbProbe(addr)
 	if wbHit {
 		m.c.HazardEvents++
 		if m.cfg.Hazard == core.ReadFromWB {
@@ -711,7 +730,7 @@ func (m *Machine) load(addr mem.Addr) {
 // miss), fill L1.
 func (m *Machine) readMissService(t uint64, addr mem.Addr) {
 	now := t
-	if m.wb.Retiring() {
+	if m.wbRetiring() {
 		// An under-way write cannot be preempted; the wait is an
 		// L2-read-access stall.
 		now = m.retireDone
@@ -721,9 +740,9 @@ func (m *Machine) readMissService(t uint64, addr mem.Addr) {
 	// write buffer keeps the port until occupancy drops below the
 	// threshold; the read's wait is still charged as L2-read-access.
 	if k := m.cfg.WriteThreshold; k > 0 {
-		for m.wb.Occupancy() >= k {
-			start0, ok := m.nextRetire(m.wb.Occupancy(),
-				m.wb.Head().AllocCycle, maxU(m.stateChangedAt, now))
+		for m.wbOccupancy() >= k {
+			start0, ok := m.nextRetire(m.wbOccupancy(),
+				m.wbHeadAlloc(), maxU(m.stateChangedAt, now))
 			if !ok {
 				break
 			}
@@ -775,25 +794,25 @@ func (m *Machine) l2Read(addr mem.Addr, start uint64) (missCycles, extraRA uint6
 // to the miss (Section 2.3).
 func (m *Machine) hazardFlushService(t uint64, addr mem.Addr, idx int) {
 	now := t
-	if m.wb.Retiring() {
+	if m.wbRetiring() {
 		// Let the under-way transaction complete first (Section 2.2).
 		now = m.retireDone
 		m.completeRetire()
 		// The retirement may have been the hit entry itself; re-find it.
-		idx = m.wb.Find(addr)
+		idx = m.wbFind(addr)
 	}
 
 	flushed := m.flushBuf[:0]
 	switch m.cfg.Hazard {
 	case core.FlushFull:
-		flushed = m.wb.FlushAllInto(flushed)
+		flushed = m.wbFlushAllInto(flushed)
 	case core.FlushPartial:
 		if idx >= 0 {
-			flushed = m.wb.FlushPrefixInto(flushed, idx+1)
+			flushed = m.wbFlushThroughInto(flushed, idx)
 		}
 	case core.FlushItemOnly:
 		if idx >= 0 {
-			flushed = append(flushed, m.wb.FlushOne(idx))
+			flushed = append(flushed, m.wbFlushOne(idx))
 		}
 	default:
 		panic("sim: hazardFlushService with non-flushing policy")
@@ -801,7 +820,7 @@ func (m *Machine) hazardFlushService(t uint64, addr mem.Addr, idx int) {
 
 	portStart := maxU(now, m.portBusyUntil)
 	for _, e := range flushed {
-		portStart += m.cfg.writeLat() + m.l2WritePenalty(m.wb.AddrOf(e), e.Valid)
+		portStart += m.cfg.writeLat() + m.l2WritePenalty(m.wbAddrOf(e), e.Valid)
 	}
 	m.portBusyUntil = portStart
 	if len(flushed) > 0 {
@@ -826,13 +845,13 @@ func (m *Machine) membar() {
 	t := m.clock
 	m.drainTo(t)
 	now := t
-	if m.wb.Retiring() {
+	if m.wbRetiring() {
 		now = m.retireDone
 		m.completeRetire()
 	}
 	portStart := maxU(now, m.portBusyUntil)
-	for _, e := range m.wb.FlushAllInto(m.flushBuf[:0]) {
-		portStart += m.cfg.writeLat() + m.l2WritePenalty(m.wb.AddrOf(e), e.Valid)
+	for _, e := range m.wbFlushAllInto(m.flushBuf[:0]) {
+		portStart += m.cfg.writeLat() + m.l2WritePenalty(m.wbAddrOf(e), e.Valid)
 	}
 	portStart = m.path.drainAll(portStart)
 	m.portBusyUntil = portStart
@@ -854,7 +873,7 @@ func (m *Machine) ifetch() {
 	t := m.clock
 	m.drainTo(t)
 	now := t
-	if m.wb.Retiring() {
+	if m.wbRetiring() {
 		now = m.retireDone
 		m.completeRetire()
 		m.c.AddStall(stats.L2IFetch, now-t)

@@ -3,6 +3,7 @@ package sim
 import (
 	"strconv"
 
+	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/stats"
 )
@@ -48,4 +49,25 @@ func (m *Machine) PublishMetrics(reg *metrics.Registry) {
 		}
 	}
 	reg.Histogram("sim_retirement_latency_cycles").MergeLocal(&m.retLat)
+
+	// Organization-specific counters — per-buffer striping balance and
+	// sector-mask coalescing for ftl, whatever a custom organization
+	// chooses to expose.  The FIFO has none beyond the shared Stats.
+	if om, ok := m.org.(core.OrgMetrics); ok {
+		for _, s := range om.OrgSamples(nil) {
+			name := "sim_wb_org_" + s.Name
+			if s.Gauge {
+				if s.Buf >= 0 {
+					name = metrics.Label(name, "buf", strconv.Itoa(s.Buf))
+				}
+				reg.Gauge(name).Set(float64(s.Value))
+				continue
+			}
+			name += "_total"
+			if s.Buf >= 0 {
+				name = metrics.Label(name, "buf", strconv.Itoa(s.Buf))
+			}
+			reg.Counter(name).Add(s.Value)
+		}
+	}
 }

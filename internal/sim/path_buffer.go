@@ -7,29 +7,37 @@ import (
 )
 
 // bufferPath is the paper's baseline write stage: stores coalesce into the
-// FIFO write buffer (m.wb) and leave through the lazy-drain retirement
-// engine.  The path holds no state of its own beyond the machine's buffer;
+// write-buffer organization (m.org — the FIFO by default, or whatever
+// cfg.Org selects) and leave through the lazy-drain retirement engine.
+// The path holds no state of its own beyond the machine's organization;
 // it exists so each write-stage design reads as one straight-line file.
 type bufferPath struct {
 	m *Machine
 }
 
 func newBufferPath(m *Machine, cfg Config) *bufferPath {
-	m.wb = core.NewBuffer(cfg.WB)
+	if cfg.Org != nil {
+		m.org = cfg.Org.NewOrg(cfg.WB)
+	} else {
+		m.org = core.NewBuffer(cfg.WB)
+	}
 	return &bufferPath{m: m}
 }
 
-func (p *bufferPath) storeOccupancy() int  { return p.m.wb.Occupancy() }
+func (p *bufferPath) storeOccupancy() int  { return p.m.wbOccupancy() }
 func (p *bufferPath) histSize() int        { return p.m.cfg.WB.Depth + 1 }
-func (p *bufferPath) stats() core.Stats    { return p.m.wb.Stats() }
+func (p *bufferPath) stats() core.Stats    { return p.m.org.Stats() }
 func (p *bufferPath) flushedExtra() uint64 { return 0 }
 func (p *bufferPath) resetStats()          {}
 
-// store coalesces into the buffer, or stalls until a retirement frees an
-// entry (Section 2.3: buffer-full stall).
+// store coalesces into the organization, or stalls until retirements free
+// an entry the store can use (Section 2.3: buffer-full stall).  The FIFO
+// needs exactly one freed entry; a striped organization may need several
+// retirements before one lands in the store's home buffer, so the wait
+// loops — every cycle of it is still one buffer-full stall.
 func (p *bufferPath) store(addr mem.Addr, t uint64) {
 	m := p.m
-	switch m.wb.Store(addr, t) {
+	switch m.wbStore(addr, t) {
 	case core.StoreAllocated:
 		m.stateChangedAt = t
 		m.clock = t + m.base
@@ -40,8 +48,11 @@ func (p *bufferPath) store(addr mem.Addr, t uint64) {
 	}
 	m.c.BlockedStores++
 	tFree := m.waitForFree(t)
-	if m.wb.Store(addr, tFree) == core.StoreBlocked {
-		panic("sim: store still blocked after an entry was freed")
+	for m.wbStore(addr, tFree) == core.StoreBlocked {
+		if m.rb != nil {
+			panic("sim: store still blocked after an entry was freed")
+		}
+		tFree = m.waitForFree(tFree)
 	}
 	m.stateChangedAt = tFree
 	stall := tFree - t
@@ -53,5 +64,5 @@ func (p *bufferPath) store(addr mem.Addr, t uint64) {
 // to the ordinary write-buffer probe and the configured hazard policy.
 func (p *bufferPath) frontProbe(mem.Addr, uint64) bool { return false }
 
-// drainAll: nothing beyond m.wb, which the membar flushes itself.
+// drainAll: nothing beyond m.org, which the membar flushes itself.
 func (p *bufferPath) drainAll(portStart uint64) uint64 { return portStart }

@@ -8,11 +8,14 @@ import (
 
 // writeCachePath is Section 5's alternative write stage: a small
 // fully-associative write cache absorbs stores and services reads, and its
-// evictions leave through a one-entry victim buffer — the machine's m.wb
+// evictions leave through a one-entry victim buffer — the machine's m.org
 // at depth 1, retired eagerly — so the retirement engine, port arbitration,
-// and stall accounting are shared with the buffer path unchanged.
+// and stall accounting are shared with the buffer path unchanged.  The
+// victim buffer is always the ring FIFO: cfg.Org configures the write
+// *buffer* organization, which the write cache replaces wholesale.
 type writeCachePath struct {
 	m  *Machine
+	vb *core.Buffer // the one-entry victim buffer (also m.org)
 	wc *core.WriteCache
 }
 
@@ -25,10 +28,11 @@ func newWriteCachePath(m *Machine, cfg Config) *writeCachePath {
 	// The victim buffer: one entry, written out as soon as possible.
 	vbCfg := wcCfg
 	vbCfg.Depth = 1
-	m.wb = core.NewBuffer(vbCfg)
+	vb := core.NewBuffer(vbCfg)
+	m.org = vb
 	m.cfg.Retire = core.Eager{}
 	m.cfg.Hazard = core.ReadFromWB // the write cache always services reads
-	return &writeCachePath{m: m, wc: core.NewWriteCache(wcCfg)}
+	return &writeCachePath{m: m, vb: vb, wc: core.NewWriteCache(wcCfg)}
 }
 
 func (p *writeCachePath) storeOccupancy() int  { return p.wc.Occupancy() }
@@ -49,11 +53,11 @@ func (p *writeCachePath) store(addr mem.Addr, t uint64) {
 		return
 	}
 	now := t
-	if m.wb.IsFull() {
+	if p.vb.IsFull() {
 		m.c.BlockedStores++
 		now = m.waitForFree(t)
 	}
-	m.wb.Insert(victim)
+	p.vb.Insert(victim)
 	m.stateChangedAt = now
 	stall := now - t
 	m.c.AddStall(stats.BufferFull, stall)
