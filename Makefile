@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-sim bench-sim-smoke bench-explore smoke-explore smoke-ftl chaos serve-smoke
+.PHONY: all build test race vet bench bench-sim bench-sim-smoke bench-explore smoke-explore smoke-ftl smoke-banked chaos serve-smoke
 
 all: vet build test
 
@@ -78,6 +78,14 @@ smoke-ftl:
 	cmp /tmp/wbopt-ftl-a.json /tmp/wbopt-ftl-b.json
 	grep -q 'org=ftl' /tmp/wbopt-ftl-a.json
 	grep -q '"frontier": \[' /tmp/wbopt-ftl-a.json
+
+# smoke-banked is the backend-sweep acceptance smoke: the tiny
+# banked+fence grid (spaces/banked-smoke.json) run locally, through a
+# wbserve worker with a checkpoint resume, and as a pure journal replay
+# must render byte-identical frontier artifacts — the reproducibility
+# recipe behind results/banked_frontier.json.
+smoke-banked:
+	bash scripts/banked_smoke.sh
 
 # serve-smoke is the platform durability gate: a real wbserve process with
 # a durable store+queue is SIGKILLed mid-sweep and restarted; the sweep

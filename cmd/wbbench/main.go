@@ -18,7 +18,7 @@
 //
 // Usage:
 //
-//	wbbench [-n 1000000] [-mode both|fused|legacy] [-org fifo|ftl] [-out BENCH_sim.json]
+//	wbbench [-n 1000000] [-mode both|fused|legacy] [-org fifo|ftl] [-backend flat|banked] [-out BENCH_sim.json]
 package main
 
 import (
@@ -29,6 +29,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/dispatch"
 	"repro/internal/sim"
@@ -60,7 +61,11 @@ type Result struct {
 	// Org names the buffer organization the machine ran with; empty means
 	// fifo (the committed BENCH_sim.json shape, unchanged from before the
 	// organization axis existed).
-	Org               string      `json:"org,omitempty"`
+	Org string `json:"org,omitempty"`
+	// Backend names the memory backend the machine drained into; empty
+	// means flat (the committed BENCH_sim.json shape, unchanged from
+	// before the backend axis existed).
+	Backend           string      `json:"backend,omitempty"`
 	SeedAggregateMIPS float64     `json:"seed_aggregate_mips"`
 	Fused             *PathResult `json:"fused,omitempty"`
 	Legacy            *PathResult `json:"legacy,omitempty"`
@@ -82,6 +87,8 @@ func main() {
 	mode := flag.String("mode", "both", "paths to measure: both, fused, or legacy")
 	org := flag.String("org", "fifo",
 		"buffer organization to measure: fifo, or ftl (reference shape numbuffers=2, sectorbits=1)")
+	backendFlag := flag.String("backend", "flat",
+		"memory backend to measure: flat, or banked (reference shape banks=4, rowmiss=18)")
 	out := flag.String("out", "", "write JSON result to this file (default stdout only)")
 	quiet := flag.Bool("quiet", false, "suppress the per-benchmark progress lines")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measurement to this file")
@@ -119,6 +126,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wbbench: unknown -org %q (want fifo or ftl)\n", *org)
 		os.Exit(1)
 	}
+	// The banked reference shape exercises the bank-selection, busy-until,
+	// and row-buffer paths on every retirement, so a throughput cliff in
+	// the backend layer shows up here even though the committed
+	// BENCH_sim.json gates the flat backend.
+	switch *backendFlag {
+	case "flat":
+	case "banked":
+		cfg = cfg.WithBackend(backend.BankedSpec{Banks: 4, RowMiss: 18})
+	default:
+		fmt.Fprintf(os.Stderr, "wbbench: unknown -backend %q (want flat or banked)\n", *backendFlag)
+		os.Exit(1)
+	}
 
 	benches := workload.All()
 	res := Result{
@@ -129,6 +148,9 @@ func main() {
 	}
 	if *org != "fifo" {
 		res.Org = *org
+	}
+	if *backendFlag != "flat" {
+		res.Backend = *backendFlag
 	}
 
 	if *mode == "both" || *mode == "fused" {
@@ -191,6 +213,10 @@ func gate(path string, fresh Result, maxRegress float64) error {
 		return fmt.Errorf("baseline %s measured org %q, this run measured %q — gate like against like",
 			path, orgName(base.Org), orgName(fresh.Org))
 	}
+	if base.Backend != fresh.Backend {
+		return fmt.Errorf("baseline %s measured backend %q, this run measured %q — gate like against like",
+			path, backendName(base.Backend), backendName(fresh.Backend))
+	}
 	if base.Fused == nil || base.Fused.AggregateMIPS <= 0 {
 		return fmt.Errorf("baseline %s has no fused aggregate", path)
 	}
@@ -213,6 +239,15 @@ func orgName(org string) string {
 		return "fifo"
 	}
 	return org
+}
+
+// backendName renders a Result.Backend for error messages (empty means
+// flat).
+func backendName(be string) string {
+	if be == "" {
+		return "flat"
+	}
+	return be
 }
 
 // measureBest is measure repeated, keeping the run with the best

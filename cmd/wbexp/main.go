@@ -16,11 +16,16 @@
 //	wbexp -all -store /var/lib/wb/results            # share paid-for results with wbserve/wbopt
 //
 // Beyond the registered paper items, -config sweeps caller-supplied
-// machines: each machconf JSON file (wbsim -dump-config writes one;
-// -dump-config here prints the baseline) becomes one configuration column:
+// machines: each entry — a machconf JSON file (wbsim -dump-config writes
+// one; -dump-config here prints the baseline) or a machconf key=value
+// spec (machconf.ParseSpec's vocabulary, including the backend keys
+// backend=, banks=, rowhit=, rowmiss=, fencecost=) — becomes one
+// configuration column.  Entries are comma-separated; use semicolons
+// when a spec itself needs commas:
 //
 //	wbexp -dump-config > base.json       # edit copies of this
 //	wbexp -config base.json,deep.json
+//	wbexp -config 'base.json;depth=8,banks=8,rowmiss=18'
 //
 // Each figure experiment prints one row per benchmark with the total
 // write-buffer stall percentage and its (L2-read-access / buffer-full /
@@ -120,18 +125,30 @@ func main() {
 	}
 }
 
-// loadSpecs reads one machconf JSON file per -config entry through the
-// shared machconf loader (decode + validate), so a bad file fails before
-// any simulation starts.  The column label is the file name; the canonical
-// hash disambiguates files that happen to share one.
+// loadSpecs turns each -config entry into a configuration column through
+// machconf.ParseSpec, so a bad entry fails before any simulation starts.
+// An entry is either a machconf JSON file path or a key=value spec
+// (detected by '=' or a leading '@'); entries are comma-separated unless
+// the string contains a semicolon, which then separates entries so a
+// spec may itself use commas.  A file's column label is its base name, a
+// spec's the spec itself; the canonical hash disambiguates collisions.
 func loadSpecs(csv string) ([]experiment.ConfigSpec, error) {
+	sep := ","
+	if strings.Contains(csv, ";") {
+		sep = ";"
+	}
 	var specs []experiment.ConfigSpec
-	for _, path := range strings.Split(csv, ",") {
-		cfg, err := machconf.LoadFile(path)
+	for _, entry := range strings.Split(csv, sep) {
+		label := entry
+		spec := entry
+		if !strings.Contains(entry, "=") && !strings.HasPrefix(entry, "@") {
+			spec = "@" + entry
+			label = strings.TrimSuffix(filepath.Base(entry), filepath.Ext(entry))
+		}
+		cfg, err := machconf.ParseSpec(spec)
 		if err != nil {
 			return nil, err
 		}
-		label := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
 		specs = append(specs, experiment.ConfigSpec{Label: label, Cfg: cfg})
 	}
 	return specs, nil

@@ -10,18 +10,25 @@
 //	wbsim -trace li.wbt                            # run a recorded trace (wbtrace -record)
 //	wbsim -list
 //
-// The machine can also travel as a file.  -dump-config prints the flag-built
-// machine in machconf's canonical JSON; -config runs a machine from such a
-// file (the same form wbserve's /run accepts and wbexp -config sweeps):
+// The machine can also travel as a spec.  -dump-config prints the
+// flag-built machine in machconf's canonical JSON; -config accepts a
+// compact machconf spec — key=value pairs (see machconf.ParseSpec for the
+// vocabulary, including the drain-side backend keys backend=, banks=,
+// rowhit=, rowmiss=, fencecost=, releasecost=), an @file.json blob with
+// optional overrides, or a bare path to such a file (the same form
+// wbserve's /run accepts and wbexp -config sweeps):
 //
 //	wbsim -depth 12 -hazard read-from-WB -dump-config > deep.json
 //	wbsim -bench li -config deep.json
+//	wbsim -bench burstw -config depth=8,banks=8,rowhit=6,rowmiss=18
+//	wbsim -bench fenceprod -config @deep.json,fencecost=20,releasecost=4
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/machconf"
@@ -46,13 +53,15 @@ func main() {
 		l2lat      = flag.Uint64("l2lat", 6, "L2 access latency in cycles")
 		l2size     = flag.Int("l2size", 0, "finite L2 size in bytes (0 = perfect)")
 		memlat     = flag.Uint64("memlat", 25, "main memory latency in cycles")
-		configFile = flag.String("config", "", "machconf JSON machine description (replaces the machine flags)")
+		configFile = flag.String("config", "", "machine spec: machconf key=value string, @file.json, or a bare JSON path (replaces the machine flags)")
 		dumpConfig = flag.Bool("dump-config", false, "print the machine's canonical machconf JSON and exit")
 	)
 	flag.Parse()
 
 	if *list {
-		for _, b := range append(workload.All(), workload.Transformed()...) {
+		all := append(workload.All(), workload.Transformed()...)
+		all = append(all, workload.Scenarios()...)
+		for _, b := range all {
 			fmt.Printf("%-12s %-10s loads %.1f%%  stores %.1f%% (paper Table 4)\n",
 				b.Name, b.Group, b.Target.PctLoads, b.Target.PctStores)
 		}
@@ -66,7 +75,7 @@ func main() {
 			os.Exit(1)
 		}
 		var err error
-		cfg, err = machconf.LoadFile(*configFile)
+		cfg, err = machconf.ParseSpec(specArg(*configFile))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "wbsim:", err)
 			os.Exit(1)
@@ -133,6 +142,16 @@ func main() {
 	printResult(name, m)
 }
 
+// specArg maps a bare file path to ParseSpec's @file form; key=value
+// specs and explicit @file specs pass through unchanged, so the old
+// `-config machine.json` invocation keeps working.
+func specArg(s string) string {
+	if strings.Contains(s, "=") || strings.HasPrefix(s, "@") {
+		return s
+	}
+	return "@" + s
+}
+
 // machineFlagsSet lists the machine-shaping flags the user set explicitly,
 // which conflict with -config.
 func machineFlagsSet() []string {
@@ -169,10 +188,10 @@ func printResult(name string, m *sim.Machine) {
 	fmt.Println("write-buffer-induced stalls (cycles, % of run time):")
 	kinds := []stats.StallKind{
 		stats.L2ReadAccess, stats.BufferFull, stats.LoadHazard,
-		stats.L2IFetch, stats.MembarDrain,
+		stats.L2IFetch, stats.MembarDrain, stats.ReleaseDrain,
 	}
 	for _, k := range kinds {
-		if (k == stats.L2IFetch || k == stats.MembarDrain) && c.Stalls[k] == 0 {
+		if (k == stats.L2IFetch || k == stats.MembarDrain || k == stats.ReleaseDrain) && c.Stalls[k] == 0 {
 			continue
 		}
 		fmt.Printf("  %-16s %10d  %6.2f%%\n", k, c.Stalls[k], c.StallPct(k))

@@ -1,0 +1,125 @@
+// Package backend models the drain side of the machine: what happens to a
+// retired write-buffer line after it wins the single L2 port.
+//
+// The paper charges every block write one flat latency (Table 1), so
+// "retirement cost" is a constant.  This package makes it a design axis.
+// A Backend owns the question "when does a retired line actually
+// complete": the simulator hands it every block write (background
+// retirement, hazard flush, barrier drain) and the backend answers with
+// the cycle at which the port frees — plus, for fences, how long the
+// machine must additionally wait for writes still in flight inside the
+// memory system.
+//
+// Three implementations register with machconf:
+//
+//   - flat: the paper's model.  Write(start, lat) = start + lat, nothing
+//     outlives the port hold.  A nil Spec anywhere in the tree means flat;
+//     it is never encoded, so configurations predating the backend axis
+//     keep their content hashes.
+//   - banked (BankedSpec): N DRAM-style banks selected by line-address
+//     bits, each with its own busy-until time and open-row register.
+//     The port hold per write stays the machine's flat cost (the channel
+//     burst), but the addressed bank stays busy for the row-hit or
+//     row-miss service time — so back-to-back writes to different banks
+//     pipeline at burst intervals while same-bank writes serialize at the
+//     service time.  This is what lets striped multi-buffer organizations
+//     actually drain in parallel.
+//   - fenced (FencedSpec): wraps either of the above and charges
+//     differentiated costs for store-release vs full-fence barriers.
+//
+// # Timing contract
+//
+// Write(addr, start, lat) is called once per block write with start = the
+// cycle the L2 port hands the line off and lat = the machine's flat write
+// cost for that line (L2 write latency + transfer beats + any write-miss
+// fetch penalty).  It returns done >= start + lat only through bank
+// queueing: the returned cycle is when the port frees and the write is
+// architecturally complete from the buffer's point of view (the entry
+// frees, dependent loads may proceed).  A backend may keep internal state
+// busy beyond done — the bank finishing its row cycle — which delays only
+// future writes to the same bank and the Drained horizon that full fences
+// wait on.  A backend never reorders writes and never changes which lines
+// are written: organizations decide what drains, backends decide what it
+// costs.
+//
+// Flat identity: every backend parameter defaults to "use the per-call
+// lat", so the zero-valued BankedSpec — any bank count, no explicit row
+// latencies — is cycle-identical to flat, and fenced with zero costs is
+// identical to its inner backend.  The degenerate-equivalence suite in
+// internal/sim pins this bit-for-bit across the differential matrix.
+package backend
+
+import "repro/internal/mem"
+
+// Backend is the drain-side timing model behind the L2 port.
+// Implementations are single-machine, not thread-safe, and must not
+// allocate in Write (it sits on the simulator's steady-state path).
+type Backend interface {
+	// Write schedules one block write: addr is the line's base byte
+	// address, start the cycle the port hands it off, lat the machine's
+	// flat cost for this line.  It returns the cycle the port frees and
+	// the write is architecturally done.
+	Write(addr mem.Addr, start, lat uint64) uint64
+	// Drained returns the earliest cycle >= now at which every write
+	// accepted so far has fully completed inside the backend, bank tails
+	// included.  Full fences wait for this horizon; flat returns now.
+	Drained(now uint64) uint64
+	// FenceExtra is the additional cost a barrier pays after the buffer
+	// has drained: full=true for a full membar, false for a
+	// store-release.  Zero for every backend except fenced.
+	FenceExtra(full bool) uint64
+	// Stats returns a copy of the event counters.
+	Stats() Stats
+	// ResetStats zeroes the counters without touching timing state, so a
+	// mid-run reset (the warm-up split) keeps bank occupancy intact.
+	ResetStats()
+}
+
+// Spec describes a backend to instantiate — the sweepable axis behind
+// machconf's backend block.  A nil Spec everywhere in the tree means flat;
+// that default is never encoded, so configurations predating the backend
+// axis keep their content hashes.
+type Spec interface {
+	// BackendName is the registry kind ("banked", "fenced"); "flat" names
+	// the nil default.
+	BackendName() string
+	// ValidateBackend checks the spec's parameters.
+	ValidateBackend() error
+	// NewBackend builds the backend over the machine's line geometry; it
+	// panics on an invalid spec (callers validate first, as with NewOrg).
+	NewBackend(geom mem.Geometry) Backend
+}
+
+// Stats counts backend events for /metrics (sim_backend_*).  Flat keeps
+// all of them at zero.
+type Stats struct {
+	// Writes is the number of block writes accepted.
+	Writes uint64
+	// BankConflicts counts writes that found their bank still busy;
+	// ConflictWaitCycles is the total delay those writes absorbed.
+	BankConflicts      uint64
+	ConflictWaitCycles uint64
+	// RowHits and RowMisses count writes against the per-bank open-row
+	// registers.
+	RowHits   uint64
+	RowMisses uint64
+	// OverlapCycles is the total bank service time that ran beyond the
+	// port hold — cycles the machine would have stalled for under the
+	// flat model but that banked parallelism hid.
+	OverlapCycles uint64
+}
+
+// flat is the paper's backend: the write completes when the port frees,
+// nothing outlives the hold.
+type flat struct{}
+
+// NewFlat returns the flat backend (the nil-Spec default).
+func NewFlat() Backend { return flat{} }
+
+func (flat) Write(_ mem.Addr, start, lat uint64) uint64 { return start + lat }
+func (flat) Drained(now uint64) uint64                  { return now }
+func (flat) FenceExtra(bool) uint64                     { return 0 }
+func (flat) Stats() Stats                               { return Stats{} }
+func (flat) ResetStats()                                {}
+
+var _ Backend = flat{}

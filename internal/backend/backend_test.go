@@ -1,0 +1,187 @@
+package backend
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+var geom = mem.DefaultGeometry
+
+// lineAddr returns the base byte address of the n-th cache line.
+func lineAddr(n int) mem.Addr { return mem.Addr(n) * mem.Addr(geom.LineBytes()) }
+
+func TestFlat(t *testing.T) {
+	be := NewFlat()
+	if got := be.Write(lineAddr(3), 100, 6); got != 106 {
+		t.Fatalf("flat Write = %d, want 106", got)
+	}
+	if got := be.Drained(42); got != 42 {
+		t.Fatalf("flat Drained = %d, want 42", got)
+	}
+	if got := be.FenceExtra(true); got != 0 {
+		t.Fatalf("flat FenceExtra = %d, want 0", got)
+	}
+	if s := be.Stats(); s != (Stats{}) {
+		t.Fatalf("flat Stats = %+v, want zero", s)
+	}
+}
+
+func TestBankedSpecValidate(t *testing.T) {
+	cases := []struct {
+		spec BankedSpec
+		ok   bool
+	}{
+		{BankedSpec{}, true},
+		{BankedSpec{Banks: 1}, true},
+		{BankedSpec{Banks: 8, RowHit: 4, RowMiss: 18}, true},
+		{BankedSpec{Banks: 8, RowLines: 64}, true},
+		{BankedSpec{Banks: 3}, false},
+		{BankedSpec{Banks: 2048}, false},
+		{BankedSpec{Banks: 4, RowLines: 100}, false},
+		{BankedSpec{Banks: 4, RowHit: 20, RowMiss: 10}, false},
+	}
+	for _, c := range cases {
+		err := c.spec.ValidateBackend()
+		if (err == nil) != c.ok {
+			t.Errorf("ValidateBackend(%+v) = %v, want ok=%v", c.spec, err, c.ok)
+		}
+	}
+}
+
+// TestBankedDefaultsMatchFlat: with RowHit/RowMiss unset the service time
+// is the per-call flat cost, so timing is identical to flat at any bank
+// count even with varying per-write latencies.
+func TestBankedDefaultsMatchFlat(t *testing.T) {
+	for _, banks := range []int{1, 4, 16} {
+		be := BankedSpec{Banks: banks}.NewBackend(geom)
+		fl := NewFlat()
+		start := uint64(10)
+		for i := 0; i < 200; i++ {
+			lat := uint64(6 + i%3*7) // vary the flat cost like a finite L2 would
+			addr := lineAddr(i * 3)
+			got, want := be.Write(addr, start, lat), fl.Write(addr, start, lat)
+			if got != want {
+				t.Fatalf("banks=%d write %d: done %d, want flat %d", banks, i, got, want)
+			}
+			if d := be.Drained(got); d != got {
+				t.Fatalf("banks=%d write %d: Drained = %d, want %d (no bank tail)", banks, i, d, got)
+			}
+			start = got + uint64(i%5)
+		}
+	}
+}
+
+// TestBankedConflictAndOverlap: with a row-miss service beyond the burst,
+// same-bank writes serialize at the service time while cross-bank writes
+// pipeline at burst intervals.
+func TestBankedConflictAndOverlap(t *testing.T) {
+	spec := BankedSpec{Banks: 4, RowMiss: 18} // burst floor comes from lat
+	be := spec.NewBackend(geom).(*Banked)
+
+	// Two writes to different banks back to back: both complete at
+	// burst intervals, banks hold their 18-cycle tails.
+	d0 := be.Write(lineAddr(0), 100, 6)
+	d1 := be.Write(lineAddr(1), d0, 6)
+	if d0 != 106 || d1 != 112 {
+		t.Fatalf("cross-bank dones = %d,%d, want 106,112", d0, d1)
+	}
+	if got := be.Drained(d1); got != 124 { // bank 1 busy until 106+18
+		t.Fatalf("Drained = %d, want 124", got)
+	}
+
+	// A third write to bank 0 at cycle 112 waits for the bank (busy
+	// until 118) even though the port was free.
+	d2 := be.Write(lineAddr(4), d1, 6) // line 4 -> bank 0 again
+	if d2 != 124 {
+		t.Fatalf("same-bank done = %d, want 124 (118 wait + 6 burst)", d2)
+	}
+	s := be.Stats()
+	if s.BankConflicts != 1 || s.ConflictWaitCycles != 6 {
+		t.Fatalf("conflicts = %d/%d cycles, want 1/6", s.BankConflicts, s.ConflictWaitCycles)
+	}
+	// Writes 1 and 2 opened their rows (misses, 18-cycle service); write 3
+	// hit bank 0's open row, and with RowHit unset its service defaulted to
+	// the 6-cycle burst — no tail beyond the port hold.
+	if s.OverlapCycles != 2*12 {
+		t.Fatalf("overlap = %d, want 24 (two misses x (18-6))", s.OverlapCycles)
+	}
+	if s.Writes != 3 || s.RowMisses != 2 || s.RowHits != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestBankedRowHits: consecutive lines within one row hit the open-row
+// register; crossing the row boundary misses.
+func TestBankedRowHits(t *testing.T) {
+	spec := BankedSpec{Banks: 1, RowHit: 6, RowMiss: 18, RowLines: 4}
+	be := spec.NewBackend(geom).(*Banked)
+	start := uint64(0)
+	for i := 0; i < 8; i++ { // lines 0..7: rows {0,0,0,0,1,1,1,1}
+		start = be.Write(lineAddr(i), start, 6)
+	}
+	s := be.Stats()
+	if s.RowMisses != 2 || s.RowHits != 6 {
+		t.Fatalf("row hits/misses = %d/%d, want 6/2", s.RowHits, s.RowMisses)
+	}
+	// Returning to row 0 after touching row 1 misses again.
+	be.Write(lineAddr(0), start, 6)
+	if s = be.Stats(); s.RowMisses != 3 {
+		t.Fatalf("row misses after return = %d, want 3", s.RowMisses)
+	}
+}
+
+// TestBankedResetStatsKeepsTiming: the warm-up reset zeroes counters but
+// leaves bank busy-until state alone.
+func TestBankedResetStatsKeepsTiming(t *testing.T) {
+	be := BankedSpec{Banks: 2, RowMiss: 30}.NewBackend(geom).(*Banked)
+	be.Write(lineAddr(0), 100, 6)
+	be.ResetStats()
+	if s := be.Stats(); s != (Stats{}) {
+		t.Fatalf("stats after reset = %+v, want zero", s)
+	}
+	if got := be.Drained(106); got != 130 {
+		t.Fatalf("Drained after reset = %d, want 130 (bank tail survives)", got)
+	}
+}
+
+func TestFencedSpec(t *testing.T) {
+	if err := (FencedSpec{Inner: FencedSpec{}}).ValidateBackend(); err == nil {
+		t.Fatal("fenced wrapping fenced must not validate")
+	}
+	if err := (FencedSpec{Inner: BankedSpec{Banks: 3}}).ValidateBackend(); err == nil {
+		t.Fatal("fenced must surface inner validation errors")
+	}
+	be := FencedSpec{Inner: BankedSpec{Banks: 2, RowMiss: 18}, ReleaseCost: 3, FullCost: 11}.
+		NewBackend(geom)
+	if got := be.FenceExtra(false); got != 3 {
+		t.Fatalf("release extra = %d, want 3", got)
+	}
+	if got := be.FenceExtra(true); got != 11 {
+		t.Fatalf("full extra = %d, want 11", got)
+	}
+	// Write timing delegates to the inner banked backend.
+	if got := be.Write(lineAddr(0), 100, 6); got != 106 {
+		t.Fatalf("fenced Write = %d, want 106", got)
+	}
+	if got := be.Drained(106); got != 118 {
+		t.Fatalf("fenced Drained = %d, want inner 118", got)
+	}
+	if s := be.Stats(); s.Writes != 1 {
+		t.Fatalf("fenced Stats = %+v, want delegated Writes=1", s)
+	}
+}
+
+// TestFencedZeroIsTransparent: fenced{0,0} over nil is flat.
+func TestFencedZeroIsTransparent(t *testing.T) {
+	be := FencedSpec{}.NewBackend(geom)
+	if got := be.Write(lineAddr(9), 50, 7); got != 57 {
+		t.Fatalf("Write = %d, want 57", got)
+	}
+	if got := be.FenceExtra(true) + be.FenceExtra(false); got != 0 {
+		t.Fatalf("fence extras = %d, want 0", got)
+	}
+	if got := be.Drained(57); got != 57 {
+		t.Fatalf("Drained = %d, want 57", got)
+	}
+}

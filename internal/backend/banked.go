@@ -1,0 +1,172 @@
+package backend
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// defaultRowLines is the number of consecutive cache lines per DRAM row
+// when a BankedSpec does not say otherwise: 256 lines x 32 B = an 8 KB
+// row, a common DDR page size.
+const defaultRowLines = 256
+
+// maxBanks bounds the bank count; real channels top out far below this.
+const maxBanks = 1024
+
+// BankedSpec is the Spec for the banked DRAM-style backend.
+//
+// Bank selection uses the low line-tag bits (bank = lineTag mod Banks),
+// the same bits the FTL organization stripes buffers over — so an FTL
+// drain streak from one home buffer revisits one bank while interleaved
+// drains from striped buffers spread across banks.  Row selection uses
+// the next bits up: RowLines consecutive lines (per bank) share an open
+// row.
+//
+// The zero value — any Banks, RowHit and RowMiss left 0 — is
+// cycle-identical to flat: both service times default to the per-call
+// flat latency, so bank busy-until never extends past the port hold.
+type BankedSpec struct {
+	// Banks is the number of banks; a power of two in [1, 1024].
+	// 0 means 1.
+	Banks int
+	// RowHit and RowMiss are the bank service times in cycles for a write
+	// hitting / missing the bank's open row.  0 means "the machine's flat
+	// write cost for that line".  Service time is clamped from below by
+	// the flat cost (the channel burst is the floor), so RowHit smaller
+	// than the burst behaves as the burst.
+	RowHit  uint64
+	RowMiss uint64
+	// RowLines is the number of consecutive lines per DRAM row; a power
+	// of two.  0 means 256 (an 8 KB row at 32 B lines).
+	RowLines int
+}
+
+// BackendName implements Spec.
+func (s BankedSpec) BackendName() string { return "banked" }
+
+// banks returns the effective bank count.
+func (s BankedSpec) banks() int {
+	if s.Banks == 0 {
+		return 1
+	}
+	return s.Banks
+}
+
+// rowLines returns the effective lines-per-row.
+func (s BankedSpec) rowLines() int {
+	if s.RowLines == 0 {
+		return defaultRowLines
+	}
+	return s.RowLines
+}
+
+// ValidateBackend implements Spec.
+func (s BankedSpec) ValidateBackend() error {
+	if b := s.banks(); !mem.IsPow2(b) || b > maxBanks {
+		return fmt.Errorf("backend: banks %d must be a power of two in [1,%d]", b, maxBanks)
+	}
+	if r := s.rowLines(); !mem.IsPow2(r) {
+		return fmt.Errorf("backend: rowlines %d must be a power of two", r)
+	}
+	if s.RowHit != 0 && s.RowMiss != 0 && s.RowHit > s.RowMiss {
+		return fmt.Errorf("backend: row-hit service %d exceeds row-miss service %d",
+			s.RowHit, s.RowMiss)
+	}
+	return nil
+}
+
+// NewBackend implements Spec.
+func (s BankedSpec) NewBackend(geom mem.Geometry) Backend {
+	if err := s.ValidateBackend(); err != nil {
+		panic(err)
+	}
+	n := s.banks()
+	return &Banked{
+		geom:     geom,
+		bankMask: mem.Addr(n - 1),
+		bankBits: mem.Log2(n),
+		rowShift: mem.Log2(s.rowLines()),
+		rowHit:   s.RowHit,
+		rowMiss:  s.RowMiss,
+		busy:     make([]uint64, n),
+		openRow:  make([]mem.Addr, n),
+		rowOpen:  make([]bool, n),
+	}
+}
+
+// Banked is the DRAM-style banked backend.  Each bank keeps a busy-until
+// time and an open-row register; a write holds the port for the flat cost
+// (the channel burst) but occupies its bank for the row-hit or row-miss
+// service time, so only same-bank writes feel the difference.
+type Banked struct {
+	geom     mem.Geometry
+	bankMask mem.Addr
+	bankBits uint
+	rowShift uint
+	rowHit   uint64
+	rowMiss  uint64
+	busy     []uint64
+	openRow  []mem.Addr
+	rowOpen  []bool
+	stats    Stats
+}
+
+// Write implements Backend.  done = max(start, bank busy) + lat; the bank
+// stays busy for the (clamped) service time, delaying only future writes
+// to the same bank and the Drained horizon.
+func (b *Banked) Write(addr mem.Addr, start, lat uint64) uint64 {
+	tag := b.geom.LineTag(addr)
+	bank := int(tag & b.bankMask)
+	bankStart := start
+	if bu := b.busy[bank]; bu > bankStart {
+		bankStart = bu
+		b.stats.BankConflicts++
+		b.stats.ConflictWaitCycles += bu - start
+	}
+	row := tag >> b.bankBits >> b.rowShift
+	var service uint64
+	if b.rowOpen[bank] && b.openRow[bank] == row {
+		service = b.rowHit
+		b.stats.RowHits++
+	} else {
+		service = b.rowMiss
+		b.stats.RowMisses++
+	}
+	if service < lat {
+		service = lat // 0 means "flat cost"; the burst is the floor
+	}
+	b.openRow[bank] = row
+	b.rowOpen[bank] = true
+	done := bankStart + lat
+	b.busy[bank] = bankStart + service
+	b.stats.OverlapCycles += service - lat
+	b.stats.Writes++
+	return done
+}
+
+// Drained implements Backend: the latest bank busy-until, or now.
+func (b *Banked) Drained(now uint64) uint64 {
+	d := now
+	for _, bu := range b.busy {
+		if bu > d {
+			d = bu
+		}
+	}
+	return d
+}
+
+// FenceExtra implements Backend.
+func (b *Banked) FenceExtra(bool) uint64 { return 0 }
+
+// Stats implements Backend.
+func (b *Banked) Stats() Stats { return b.stats }
+
+// ResetStats implements Backend.  Bank busy and open-row state survive so
+// the warm-up split does not perturb timing.
+func (b *Banked) ResetStats() { b.stats = Stats{} }
+
+var (
+	_ Backend = (*Banked)(nil)
+	_ Spec    = BankedSpec{}
+)

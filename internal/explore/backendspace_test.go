@@ -1,0 +1,198 @@
+package explore
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	backendpkg "repro/internal/backend"
+	"repro/internal/machconf"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// bankedSpace is the backend sweep the determinism tests pin: backend ×
+// banks × rowmiss with a fence-cost wrap, over two depths.
+func bankedSpace() *Space {
+	return &Space{
+		Depths:     []int{4, 8},
+		Retires:    []int{2},
+		Backends:   []string{"flat", "banked"},
+		Banks:      []int{1, 4},
+		RowMisses:  []uint64{18},
+		FenceCosts: []uint64{0, 20},
+	}
+}
+
+func TestEnumerateBackendAxes(t *testing.T) {
+	cands, err := bankedSpace().Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per depth: 1 flat (banks/rowmiss pinned) + 2 banked shapes, each
+	// with and without the fenced wrap.  Two depths → 12 candidates.
+	if len(cands) != 12 {
+		for _, c := range cands {
+			t.Log(c.Label)
+		}
+		t.Fatalf("got %d candidates, want 12", len(cands))
+	}
+	var flat, banked, fenced int
+	for _, c := range cands {
+		spec := c.Cfg.Backend
+		if f, ok := spec.(backendpkg.FencedSpec); ok {
+			fenced++
+			spec = f.Inner
+		}
+		switch spec.(type) {
+		case nil:
+			flat++
+			if strings.Contains(c.Label, "banks") {
+				t.Errorf("flat label %q carries banked keys", c.Label)
+			}
+		case backendpkg.BankedSpec:
+			banked++
+			if !strings.Contains(c.Label, "backend=banked") {
+				t.Errorf("banked label %q lacks backend key", c.Label)
+			}
+		}
+		// Labels are ParseSpec specs; they must round-trip to the
+		// candidate's own machine.
+		cfg, err := machconf.ParseSpec(c.Label)
+		if err != nil {
+			t.Errorf("label %q does not parse: %v", c.Label, err)
+			continue
+		}
+		hash, _ := machconf.Hash(cfg)
+		if hash != c.Hash {
+			t.Errorf("label %q parses to a different machine (backend %+v)", c.Label, c.Cfg.Backend)
+		}
+	}
+	if flat != 4 || banked != 8 || fenced != 6 {
+		t.Errorf("flat=%d banked=%d fenced=%d, want 4, 8, and 6", flat, banked, fenced)
+	}
+}
+
+// TestEnumerateBackendUnderWCache: unlike the buffer-shape axes, the
+// backend axis is not pinned under a write cache — it times the victim
+// buffer's drains too, so the product is real.
+func TestEnumerateBackendUnderWCache(t *testing.T) {
+	s := &Space{
+		WCaches:   []int{0, 8},
+		Backends:  []string{"flat", "banked"},
+		Banks:     []int{4},
+		RowMisses: []uint64{18},
+	}
+	cands, err := s.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wcacheBanked int
+	for _, c := range cands {
+		if c.Cfg.WriteCacheDepth > 0 {
+			if _, ok := c.Cfg.Backend.(backendpkg.BankedSpec); ok {
+				wcacheBanked++
+			}
+		}
+	}
+	if wcacheBanked != 1 {
+		t.Errorf("got %d banked write-cache candidates, want 1", wcacheBanked)
+	}
+}
+
+func TestSpaceFileBackendAxes(t *testing.T) {
+	s, err := Load([]byte(`{"backends":["flat","banked"],"banks":[1,4],` +
+		`"rowhits":[6],"rowmisses":[18],"fence_costs":[0,20]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Backends) != 2 || len(s.Banks) != 2 || len(s.FenceCosts) != 2 {
+		t.Errorf("axes did not load: %+v", s)
+	}
+	if _, err := Load([]byte(`{"backends":["dram"]}`)); err == nil {
+		t.Error("unknown backend kind accepted in backends axis")
+	}
+}
+
+func TestCostProxyBanked(t *testing.T) {
+	base := sim.Baseline().WithDepth(8)
+	one := base.WithBackend(backendpkg.BankedSpec{Banks: 1, RowMiss: 18})
+	if got, want := CostProxy(one), CostProxy(base); got != want {
+		t.Errorf("single-bank cost %d != flat cost %d", got, want)
+	}
+	four := base.WithBackend(backendpkg.BankedSpec{Banks: 4, RowMiss: 18})
+	if got, want := CostProxy(four), CostProxy(base)+3; got != want {
+		t.Errorf("4-bank cost %d, want flat+3 = %d", got, want)
+	}
+	// The fenced wrap is pure policy — zero area — and the bank term
+	// reaches through it; a write cache drains through the same banks.
+	wrapped := base.WithBackend(backendpkg.FencedSpec{
+		Inner: backendpkg.BankedSpec{Banks: 4, RowMiss: 18}, FullCost: 20})
+	if got, want := CostProxy(wrapped), CostProxy(four); got != want {
+		t.Errorf("fenced-wrap cost %d != inner cost %d", got, want)
+	}
+	wc := base.WithWriteCache(8)
+	wcBanked := wc.WithBackend(backendpkg.BankedSpec{Banks: 4})
+	if got, want := CostProxy(wcBanked), CostProxy(wc)+3; got != want {
+		t.Errorf("banked write-cache cost %d, want wcache+3 = %d", got, want)
+	}
+}
+
+// TestBankedResidualOrdering: the registered banked residual must rank a
+// slow row service above flat, shrink monotonically with bank count, and
+// leave defaults exactly at the flat score.
+func TestBankedResidualOrdering(t *testing.T) {
+	b, _ := workload.ByName("cholsky")
+	base := sim.Baseline().WithDepth(8)
+	flatScore, err := Score(b.Target, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defaults, err := Score(b.Target, base.WithBackend(backendpkg.BankedSpec{Banks: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if defaults != flatScore {
+		t.Errorf("default banked score %v != flat score %v", defaults, flatScore)
+	}
+	prev := -1.0
+	for _, banks := range []int{16, 4, 1} {
+		s, err := Score(b.Target, base.WithBackend(backendpkg.BankedSpec{Banks: banks, RowMiss: 40}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s < flatScore {
+			t.Errorf("banks=%d scored %v, below the flat %v", banks, s, flatScore)
+		}
+		if s < prev {
+			t.Errorf("banks=%d scored %v, below the more-banked %v", banks, s, prev)
+		}
+		prev = s
+	}
+}
+
+// TestBankedSameSeedByteIdentical extends the reproducibility contract to
+// the backend sweep: fixed (space, seed, budget, suite, n) renders
+// byte-identical canonical result JSON for every strategy.
+func TestBankedSameSeedByteIdentical(t *testing.T) {
+	run := func(strat Strategy) []byte {
+		env := smallEnv(42)
+		env.Budget = 8
+		res, err := strat.Search(context.Background(), bankedSpace(), env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := res.MarshalCanonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+	for _, name := range []string{"grid", "random", "guided"} {
+		strat, _ := ByName(name)
+		if a, b := run(strat), run(strat); !bytes.Equal(a, b) {
+			t.Errorf("%s: two same-seed banked runs differ", name)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/analytic"
+	backendpkg "repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -82,12 +83,13 @@ func highWaterOf(cfg sim.Config, depth int) int {
 // model-side analogue of Counters.Stalls[BufferFull]/Instructions.  This is
 // the quantity the validation property test pins against the simulator.
 //
-// The chain is fifo-only: it models one FIFO of cfg.WB.Depth entries and
-// knows nothing about buffer organizations, so for a non-nil cfg.Org this
-// is the prediction for the same-depth FIFO, which under-predicts a striped
-// organization's blocking.  The validated contract covers only the fifo;
-// organization corrections are ranking heuristics and live in Score via
-// RegisterOrgResidual.
+// The chain is fifo-only and flat-backend-only: it models one FIFO of
+// cfg.WB.Depth entries draining at the fixed channel rate, and knows
+// nothing about buffer organizations or memory backends, so for a non-nil
+// cfg.Org or cfg.Backend this is the prediction for the same-depth FIFO
+// over a flat drain.  The validated contract covers only that machine;
+// organization and backend corrections are ranking heuristics and live in
+// Score via RegisterOrgResidual and RegisterBackendResidual.
 func Predict(t workload.Target, cfg sim.Config) (float64, error) {
 	pred, err := analytic.Solve(Params(t, cfg))
 	if err != nil {
@@ -134,7 +136,25 @@ func Score(t workload.Target, cfg sim.Config) (float64, error) {
 		// An organization without a registered residual ranks as the
 		// same-depth fifo — the chain's fifo-only approximation.
 	}
+	if spec := unwrapFenced(cfg.Backend); spec != nil {
+		if r := backendResidualFor(spec.BackendName()); r != nil {
+			score = r(t, cfg, score)
+		}
+		// A backend without a registered residual ranks as the flat drain
+		// — the chain's flat-backend approximation.  The fenced wrap
+		// itself contributes nothing: Target carries no fence rate, so
+		// its cost is invisible to the screen and left to measurement.
+	}
 	return score, nil
+}
+
+// unwrapFenced strips a fenced wrap off a backend spec, returning the
+// backend that actually times the writes.
+func unwrapFenced(spec backendpkg.Spec) backendpkg.Spec {
+	if f, ok := spec.(backendpkg.FencedSpec); ok {
+		return f.Inner
+	}
+	return spec
 }
 
 // OrgResidual adjusts the fifo-based heuristic score for one organization
@@ -174,6 +194,82 @@ func orgResidualFor(kind string) OrgResidual {
 
 func init() {
 	RegisterOrgResidual("ftl", ftlResidual)
+	RegisterBackendResidual("banked", bankedResidual)
+}
+
+// BackendResidual adjusts the flat-drain heuristic score for one memory
+// backend family, exactly as OrgResidual does for buffer organizations: a
+// ranking prior over the flat approximation, not a validated prediction.
+// It receives the machine with its full backend spec (a fenced wrap is
+// passed intact; use the inner shape).
+type BackendResidual func(t workload.Target, cfg sim.Config, flatScore float64) float64
+
+var (
+	backendResMu     sync.RWMutex
+	backendResiduals = map[string]BackendResidual{}
+)
+
+// RegisterBackendResidual installs the ranking correction for a registered
+// backend kind (backend.Spec.BackendName).  Custom backends that skip this
+// still sweep correctly — they just screen under the flat approximation.
+// Panics on a duplicate or empty registration.
+func RegisterBackendResidual(kind string, r BackendResidual) {
+	if kind == "" || r == nil {
+		panic("explore: RegisterBackendResidual needs a kind and a residual")
+	}
+	backendResMu.Lock()
+	defer backendResMu.Unlock()
+	if _, dup := backendResiduals[kind]; dup {
+		panic(fmt.Sprintf("explore: duplicate backend residual %q", kind))
+	}
+	backendResiduals[kind] = r
+}
+
+func backendResidualFor(kind string) BackendResidual {
+	backendResMu.RLock()
+	defer backendResMu.RUnlock()
+	return backendResiduals[kind]
+}
+
+// bankedResidual corrects the flat approximation for DRAM-style banking:
+// the chain's service latency is the channel burst, but a banked drain
+// keeps each bank busy for its row service, so sustained retirement rate
+// is governed by the slower of the two.  With uniformly striped addresses
+// the N banks hide all but 1/N of the excess service, giving the effective
+// per-write latency burst + (service − burst)/N; the residual adds the
+// (non-negative) blocking difference the chain predicts at that latency.
+// Defaults (RowMiss 0) drain at the channel rate — exactly flat, zero
+// residual — and more banks at fixed service monotonically shrink it.
+func bankedResidual(t workload.Target, cfg sim.Config, flatScore float64) float64 {
+	b, ok := unwrapFenced(cfg.Backend).(backendpkg.BankedSpec)
+	if !ok || b.RowMiss == 0 {
+		return flatScore
+	}
+	banks := b.Banks
+	if banks < 1 {
+		banks = 1
+	}
+	whole := Params(t, cfg)
+	wholeSol, err := analytic.Solve(whole)
+	if err != nil {
+		return flatScore
+	}
+	burst := float64(whole.ServiceLat)
+	svc := float64(b.RowMiss)
+	if svc < burst {
+		svc = burst // bank service never completes before the channel burst
+	}
+	adj := whole
+	adj.ServiceLat = int(burst + (svc-burst)/float64(banks) + 0.5)
+	adjSol, err := analytic.Solve(adj)
+	if err != nil {
+		return flatScore
+	}
+	residual := adjSol.CPIOverhead() - wholeSol.CPIOverhead()
+	if residual < 0 {
+		residual = 0
+	}
+	return flatScore + residual
 }
 
 // ftlResidual corrects the fifo approximation for address striping: a

@@ -25,6 +25,7 @@ import (
 	"os"
 	"strings"
 
+	backendpkg "repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/machconf"
 	"repro/internal/sim"
@@ -62,6 +63,19 @@ type Space struct {
 	L2Lats  []uint64
 	L2Sizes []int
 	MemLats []uint64
+	// Backends sweeps the memory-backend family ("flat", "banked"); Banks,
+	// RowHits, and RowMisses sweep the banked shape and are pinned to
+	// their first values for non-banked points.  Unlike the buffer-shape
+	// axes, the backend is NOT pinned under a write cache: it times the
+	// victim-buffer drains too.  Custom backend specs enter through Base.
+	Backends  []string
+	Banks     []int
+	RowHits   []uint64
+	RowMisses []uint64
+	// FenceCosts sweeps the full-membar surcharge of a fenced wrap over
+	// whichever backend a point runs; 0 means no wrap.  It is orthogonal
+	// to the Backends axis, matching the fencecost spec key.
+	FenceCosts []uint64
 	// MaxCost, when > 0, drops candidates whose area proxy (CostProxy)
 	// exceeds it — the designer's area budget as a constraint predicate.
 	MaxCost int
@@ -97,6 +111,11 @@ type spaceFile struct {
 	L2Lats     []uint64 `json:"l2_lats,omitempty"`
 	L2Sizes    []int    `json:"l2_sizes,omitempty"`
 	MemLats    []uint64 `json:"mem_lats,omitempty"`
+	Backends   []string `json:"backends,omitempty"`
+	Banks      []int    `json:"banks,omitempty"`
+	RowHits    []uint64 `json:"rowhits,omitempty"`
+	RowMisses  []uint64 `json:"rowmisses,omitempty"`
+	FenceCosts []uint64 `json:"fence_costs,omitempty"`
 	MaxCost    int      `json:"max_cost,omitempty"`
 }
 
@@ -117,10 +136,17 @@ func Load(data []byte) (*Space, error) {
 		Orgs: f.Orgs, NumBufs: f.NumBufs, SectorBits: f.SectorBits,
 		WCaches: f.WCaches, L1Sizes: f.L1Sizes, L2Lats: f.L2Lats,
 		L2Sizes: f.L2Sizes, MemLats: f.MemLats, MaxCost: f.MaxCost,
+		Backends: f.Backends, Banks: f.Banks,
+		RowHits: f.RowHits, RowMisses: f.RowMisses, FenceCosts: f.FenceCosts,
 	}
 	for _, org := range f.Orgs {
 		if org != "fifo" && org != "ftl" {
 			return nil, fmt.Errorf("explore: unknown buffer organization %q in orgs axis", org)
+		}
+	}
+	for _, be := range f.Backends {
+		if be != "flat" && be != "banked" {
+			return nil, fmt.Errorf("explore: unknown memory backend %q in backends axis", be)
 		}
 	}
 	if f.Base != "" {
@@ -188,20 +214,34 @@ func Default() *Space {
 // frontier minimises this against CPI overhead; it is a proxy, not a
 // layout model.
 func CostProxy(cfg sim.Config) int {
+	var cost int
 	if cfg.WriteCacheDepth > 0 {
-		return 2 * cfg.WriteCacheDepth * cfg.WB.Geometry.WordsPerLine()
-	}
-	cost := cfg.WB.Depth * cfg.WB.WordsPerEntry
-	if f, ok := cfg.Org.(core.FTLOrg); ok {
-		maskBits := cfg.WB.WordsPerEntry
-		if f.SectorBits > 0 {
-			maskBits = cfg.WB.WordsPerEntry >> f.SectorBits
-			if maskBits < 1 {
-				maskBits = 1
+		cost = 2 * cfg.WriteCacheDepth * cfg.WB.Geometry.WordsPerLine()
+	} else {
+		cost = cfg.WB.Depth * cfg.WB.WordsPerEntry
+		if f, ok := cfg.Org.(core.FTLOrg); ok {
+			maskBits := cfg.WB.WordsPerEntry
+			if f.SectorBits > 0 {
+				maskBits = cfg.WB.WordsPerEntry >> f.SectorBits
+				if maskBits < 1 {
+					maskBits = 1
+				}
 			}
+			cost += f.NumBuffers - 1
+			cost -= cfg.WB.Depth * (cfg.WB.WordsPerEntry - maskBits) / 64
 		}
-		cost += f.NumBuffers - 1
-		cost -= cfg.WB.Depth * (cfg.WB.WordsPerEntry - maskBits) / 64
+	}
+	// A banked backend adds one word-slot of drain-engine control per extra
+	// bank (busy-until timer plus open-row tag), whichever buffer fronts it
+	// — a write cache drains through the same banks, so the term applies
+	// there too.  The degenerate single bank costs exactly what flat does,
+	// and a fenced wrap is pure policy: zero area.
+	be := cfg.Backend
+	if f, ok := be.(backendpkg.FencedSpec); ok {
+		be = f.Inner
+	}
+	if b, ok := be.(backendpkg.BankedSpec); ok && b.Banks > 1 {
+		cost += b.Banks - 1
 	}
 	return cost
 }
@@ -297,6 +337,39 @@ func (s *Space) Enumerate() ([]Candidate, error) {
 	}
 	memlats := u64Axis(s.MemLats, base.MemLat)
 
+	// Backend axis defaults come from the base machine, unwrapping a
+	// fenced base to seed the inner shape and the fence-cost axis.
+	baseBE := base.Backend
+	baseFenced, baseIsFenced := baseBE.(backendpkg.FencedSpec)
+	baseInner := baseBE
+	if baseIsFenced {
+		baseInner = baseFenced.Inner
+	}
+	baseBanked, baseIsBanked := baseInner.(backendpkg.BankedSpec)
+	backends := s.Backends
+	if len(backends) == 0 {
+		switch {
+		case baseInner == nil:
+			backends = []string{"flat"}
+		case baseIsBanked:
+			backends = []string{"banked"}
+		default:
+			backends = []string{"basebe"} // keep a custom base spec as-is
+		}
+	}
+	defBanks, defRowHit, defRowMiss := 1, uint64(0), uint64(0)
+	if baseIsBanked {
+		defBanks, defRowHit, defRowMiss = baseBanked.Banks, baseBanked.RowHit, baseBanked.RowMiss
+	}
+	banks := intAxis(s.Banks, defBanks)
+	rowhits := u64Axis(s.RowHits, defRowHit)
+	rowmisses := u64Axis(s.RowMisses, defRowMiss)
+	defFenceCost := uint64(0)
+	if baseIsFenced {
+		defFenceCost = baseFenced.FullCost
+	}
+	fencecosts := u64Axis(s.FenceCosts, defFenceCost)
+
 	vary := map[string]bool{
 		"depth": len(depths) > 1, "width": len(widths) > 1,
 		"org": len(orgs) > 1, "numbuffers": len(numbufs) > 1,
@@ -305,6 +378,9 @@ func (s *Space) Enumerate() ([]Candidate, error) {
 		"hazard": len(hazards) > 1, "wcache": len(wcaches) > 1,
 		"l1": len(l1s) > 1, "l2lat": len(l2lats) > 1,
 		"l2": len(l2sizes) > 1, "memlat": len(memlats) > 1,
+		"backend": len(backends) > 1, "banks": len(banks) > 1,
+		"rowhit": len(rowhits) > 1, "rowmiss": len(rowmisses) > 1,
+		"fencecost": len(fencecosts) > 1,
 	}
 
 	var out []Candidate
@@ -334,62 +410,92 @@ func (s *Space) Enumerate() ([]Candidate, error) {
 														if l2size == 0 && mi > 0 {
 															continue // memlat unreachable behind a perfect L2
 														}
-														cfg := base.
-															WithDepth(depth).
-															WithL1Size(l1).
-															WithL2Latency(l2lat)
-														cfg.WB.WordsPerEntry = width
-														switch org {
-														case "fifo":
-															cfg = cfg.WithOrg(nil)
-														case "ftl":
-															cfg = cfg.WithOrg(core.FTLOrg{NumBuffers: nb, SectorBits: sb})
-														case "base":
-															// keep base.Org
-														default:
-															return nil, fmt.Errorf("explore: unknown buffer organization %q in orgs axis", org)
+														for _, be := range backends {
+															for bki, nbanks := range banks {
+																for rhi, rowhit := range rowhits {
+																	for rmi, rowmiss := range rowmisses {
+																		if be != "banked" && (bki > 0 || rhi > 0 || rmi > 0) {
+																			continue // banks/rowhit/rowmiss parameterise only banked
+																		}
+																		for _, fencecost := range fencecosts {
+																			cfg := base.
+																				WithDepth(depth).
+																				WithL1Size(l1).
+																				WithL2Latency(l2lat)
+																			cfg.WB.WordsPerEntry = width
+																			switch org {
+																			case "fifo":
+																				cfg = cfg.WithOrg(nil)
+																			case "ftl":
+																				cfg = cfg.WithOrg(core.FTLOrg{NumBuffers: nb, SectorBits: sb})
+																			case "base":
+																				// keep base.Org
+																			default:
+																				return nil, fmt.Errorf("explore: unknown buffer organization %q in orgs axis", org)
+																			}
+																			if wcache > 0 {
+																				// Pin the policy axes so equal machines
+																				// hash equal regardless of axis order.
+																				cfg = cfg.WithWriteCache(wcache).
+																					WithRetire(core.Eager{}).
+																					WithHazard(core.FlushFull).
+																					WithOrg(nil)
+																			} else {
+																				cfg.WriteCacheDepth = 0
+																				cfg = cfg.WithRetire(core.RetireAt{N: retire, Timeout: aging}).
+																					WithHazard(hazard)
+																			}
+																			if l2size > 0 {
+																				cfg = cfg.WithL2(l2size)
+																			} else {
+																				cfg.L2 = nil
+																				memlat = base.MemLat
+																			}
+																			cfg = cfg.WithMemLat(memlat)
+																			// The backend is deliberately NOT pinned under
+																			// a write cache: it times victim-buffer drains.
+																			switch be {
+																			case "flat":
+																				cfg = cfg.WithBackend(nil)
+																			case "banked":
+																				cfg = cfg.WithBackend(backendpkg.BankedSpec{
+																					Banks: nbanks, RowHit: rowhit, RowMiss: rowmiss})
+																			case "basebe":
+																				// keep base.Backend (including any fenced wrap)
+																			default:
+																				return nil, fmt.Errorf("explore: unknown memory backend %q in backends axis", be)
+																			}
+																			if fencecost > 0 && be != "basebe" {
+																				cfg = cfg.WithBackend(backendpkg.FencedSpec{
+																					Inner: cfg.Backend, FullCost: fencecost})
+																			}
+																			if s.MaxCost > 0 && CostProxy(cfg) > s.MaxCost {
+																				continue
+																			}
+																			if s.Filter != nil && !s.Filter(cfg) {
+																				continue
+																			}
+																			if cfg.Validate() != nil {
+																				continue
+																			}
+																			hash, err := machconf.Hash(cfg)
+																			if err != nil {
+																				return nil, fmt.Errorf("explore: %w", err)
+																			}
+																			if seen[hash] {
+																				continue
+																			}
+																			seen[hash] = true
+																			out = append(out, Candidate{
+																				Label: label(vary, depth, width, org, nb, sb, retire, aging, hazard, wcache, l1, l2lat, l2size, memlat, be, nbanks, rowhit, rowmiss, fencecost),
+																				Hash:  hash,
+																				Cfg:   cfg,
+																			})
+																		}
+																	}
+																}
+															}
 														}
-														if wcache > 0 {
-															// Pin the policy axes so equal machines
-															// hash equal regardless of axis order.
-															cfg = cfg.WithWriteCache(wcache).
-																WithRetire(core.Eager{}).
-																WithHazard(core.FlushFull).
-																WithOrg(nil)
-														} else {
-															cfg.WriteCacheDepth = 0
-															cfg = cfg.WithRetire(core.RetireAt{N: retire, Timeout: aging}).
-																WithHazard(hazard)
-														}
-														if l2size > 0 {
-															cfg = cfg.WithL2(l2size)
-														} else {
-															cfg.L2 = nil
-															memlat = base.MemLat
-														}
-														cfg = cfg.WithMemLat(memlat)
-														if s.MaxCost > 0 && CostProxy(cfg) > s.MaxCost {
-															continue
-														}
-														if s.Filter != nil && !s.Filter(cfg) {
-															continue
-														}
-														if cfg.Validate() != nil {
-															continue
-														}
-														hash, err := machconf.Hash(cfg)
-														if err != nil {
-															return nil, fmt.Errorf("explore: %w", err)
-														}
-														if seen[hash] {
-															continue
-														}
-														seen[hash] = true
-														out = append(out, Candidate{
-															Label: label(vary, depth, width, org, nb, sb, retire, aging, hazard, wcache, l1, l2lat, l2size, memlat),
-															Hash:  hash,
-															Cfg:   cfg,
-														})
 													}
 												}
 											}
@@ -412,7 +518,7 @@ func (s *Space) Enumerate() ([]Candidate, error) {
 // label renders a candidate as the compact spec string of its varying
 // axes (machconf.ParseSpec syntax), so a reported configuration can be fed
 // straight back to wbsim/wbcompare.
-func label(vary map[string]bool, depth, width int, org string, nb, sb, retire int, aging uint64, hazard core.HazardPolicy, wcache, l1 int, l2lat uint64, l2size int, memlat uint64) string {
+func label(vary map[string]bool, depth, width int, org string, nb, sb, retire int, aging uint64, hazard core.HazardPolicy, wcache, l1 int, l2lat uint64, l2size int, memlat uint64, be string, nbanks int, rowhit, rowmiss, fencecost uint64) string {
 	var parts []string
 	add := func(key, val string) {
 		if vary[key] {
@@ -440,6 +546,28 @@ func label(vary map[string]bool, depth, width int, org string, nb, sb, retire in
 	add("l2lat", fmt.Sprint(l2lat))
 	add("l2", fmt.Sprint(l2size))
 	add("memlat", fmt.Sprint(memlat))
+	// The backend keys compose (banks= without backend=banked would imply
+	// it, fencecost=0 would parse to a degenerate wrap), so unlike the
+	// independent axes above the whole backend description is emitted
+	// whenever any backend axis varies — otherwise a label whose fixed
+	// parameters differ from the parser's defaults would round-trip to a
+	// different machine.
+	if (vary["backend"] || vary["banks"] || vary["rowhit"] || vary["rowmiss"] ||
+		vary["fencecost"]) && be != "basebe" {
+		parts = append(parts, "backend="+be)
+		if be == "banked" {
+			parts = append(parts, "banks="+fmt.Sprint(nbanks))
+			if rowhit > 0 {
+				parts = append(parts, "rowhit="+fmt.Sprint(rowhit))
+			}
+			if rowmiss > 0 {
+				parts = append(parts, "rowmiss="+fmt.Sprint(rowmiss))
+			}
+		}
+		if fencecost > 0 {
+			parts = append(parts, "fencecost="+fmt.Sprint(fencecost))
+		}
+	}
 	if len(parts) == 0 {
 		return "base"
 	}

@@ -1,0 +1,274 @@
+package machconf
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// TestFlatBackendNeverEncoded pins the hash-stability contract for the
+// drain side: the implicit flat backend has no backend block, and a
+// hand-written flat block converges to the omitted form — and therefore
+// the pre-backend-block content hash — on its first round trip.
+func TestFlatBackendNeverEncoded(t *testing.T) {
+	enc, err := Encode(sim.Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(enc), `"backend"`) {
+		t.Fatalf("flat encoding grew a backend block: %s", enc)
+	}
+	explicit := strings.Replace(string(enc), `"retire"`,
+		`"backend":{"v":1,"drain":{"kind":"flat"}},"retire"`, 1)
+	cfg, err := Decode([]byte(explicit))
+	if err != nil {
+		t.Fatalf("explicit flat block rejected: %v", err)
+	}
+	if cfg.Backend != nil {
+		t.Fatalf("explicit flat block decoded to a non-nil spec %#v", cfg.Backend)
+	}
+	re, err := Encode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(re) != string(enc) {
+		t.Errorf("explicit flat did not converge to the omitted form:\n want %s\n got  %s", enc, re)
+	}
+}
+
+// TestBankedBackendWireShape pins the banked block's exact canonical form,
+// which result-store keys depend on.
+func TestBankedBackendWireShape(t *testing.T) {
+	enc, err := Encode(sim.Baseline().WithBackend(
+		backend.BankedSpec{Banks: 8, RowHit: 6, RowMiss: 18, RowLines: 64}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `"backend":{"v":1,"drain":{"kind":"banked",` +
+		`"params":{"banks":8,"rowhit":6,"rowmiss":18,"rowlines":64}}}`
+	if !strings.Contains(string(enc), want) {
+		t.Errorf("encoding lacks canonical banked block %s:\n%s", want, enc)
+	}
+}
+
+// TestFencedBackendWireShape pins the fenced block, including the nested
+// inner backend Policy.
+func TestFencedBackendWireShape(t *testing.T) {
+	enc, err := Encode(sim.Baseline().WithBackend(backend.FencedSpec{
+		Inner: backend.BankedSpec{Banks: 4, RowMiss: 18}, ReleaseCost: 4, FullCost: 20}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `"backend":{"v":1,"drain":{"kind":"fenced","params":{` +
+		`"inner":{"kind":"banked","params":{"banks":4,"rowmiss":18}},` +
+		`"releasecost":4,"fullcost":20}}}`
+	if !strings.Contains(string(enc), want) {
+		t.Errorf("encoding lacks canonical fenced block %s:\n%s", want, enc)
+	}
+	// A fenced wrap over the implicit flat inner omits "inner" entirely.
+	enc, err = Encode(sim.Baseline().WithBackend(backend.FencedSpec{FullCost: 9}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = `"backend":{"v":1,"drain":{"kind":"fenced","params":{"fullcost":9}}}`
+	if !strings.Contains(string(enc), want) {
+		t.Errorf("encoding lacks canonical flat-inner fenced block %s:\n%s", want, enc)
+	}
+}
+
+// TestBackendDecodeErrors extends the strict-decode contract to the
+// backend block: unknown kinds, bad versions, and unknown or mistyped
+// fields are rejected with path-qualified messages.
+func TestBackendDecodeErrors(t *testing.T) {
+	canonical, err := Encode(sim.Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	insert := func(block string) string {
+		return strings.Replace(string(canonical), `"retire"`, block+`,"retire"`, 1)
+	}
+	cases := []struct {
+		name, data, want string
+	}{
+		{"unknown kind", insert(`"backend":{"v":1,"drain":{"kind":"nosuch"}}`),
+			`unknown backend kind "nosuch"`},
+		{"bad version", insert(`"backend":{"v":9,"drain":{"kind":"banked"}}`),
+			`backend block version 9`},
+		{"unknown field", insert(`"backend":{"v":1,"drain":{"kindd":"banked"}}`),
+			`"backend.drain.kindd"`},
+		{"mistyped kind", insert(`"backend":{"v":1,"drain":{"kind":7}}`),
+			`"backend.drain.kind"`},
+		{"unknown banked param", insert(
+			`"backend":{"v":1,"drain":{"kind":"banked","params":{"bankss":4}}}`),
+			`decoding "banked" params`},
+		{"unknown fenced inner kind", insert(
+			`"backend":{"v":1,"drain":{"kind":"fenced","params":{"inner":{"kind":"nosuch"}}}}`),
+			`unknown backend kind "nosuch"`},
+	}
+	for _, c := range cases {
+		_, err := Decode([]byte(c.data))
+		if err == nil {
+			t.Errorf("%s: decode accepted %s", c.name, c.data)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.want)
+		}
+	}
+}
+
+// testBackend is a custom backend spec used to prove the registry keeps
+// the wire schema open: registration alone makes it travel.
+type testBackend struct {
+	Boost uint64
+}
+
+func (b testBackend) BackendName() string    { return "test-backend" }
+func (b testBackend) ValidateBackend() error { return nil }
+func (b testBackend) NewBackend(mem.Geometry) backend.Backend {
+	return backend.NewFlat()
+}
+
+var testBackendOnce = false
+
+func registerTestBackend(t *testing.T) {
+	t.Helper()
+	if testBackendOnce {
+		return
+	}
+	testBackendOnce = true
+	RegisterBackend(BackendCodec{
+		Kind: "test-backend",
+		Encode: func(b backend.Spec) (any, bool) {
+			tb, ok := b.(testBackend)
+			if !ok {
+				return nil, false
+			}
+			return map[string]uint64{"boost": tb.Boost}, true
+		},
+		Decode: func(raw json.RawMessage) (backend.Spec, error) {
+			var p struct {
+				Boost uint64 `json:"boost"`
+			}
+			if err := decodeParams(raw, &p); err != nil {
+				return nil, err
+			}
+			return testBackend{Boost: p.Boost}, nil
+		},
+	})
+}
+
+// TestRuntimeRegisteredBackend mirrors TestRuntimeRegisteredOrg: a custom
+// backend becomes encodable and decodable with no schema change.
+func TestRuntimeRegisteredBackend(t *testing.T) {
+	registerTestBackend(t)
+	cfg := sim.Baseline().WithBackend(testBackend{Boost: 5})
+	b, err := Encode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"kind":"test-backend"`) {
+		t.Fatalf("encoding does not carry the registered kind: %s", b)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, cfg) {
+		t.Errorf("registered backend round trip changed the config:\n got %+v\nwant %+v", got, cfg)
+	}
+}
+
+func TestUnregisteredBackendErrors(t *testing.T) {
+	cfg := sim.Baseline().WithBackend(unregisteredBackend{})
+	if _, err := Encode(cfg); err == nil {
+		t.Error("unregistered backend unexpectedly encoded")
+	} else if !strings.Contains(err.Error(), "RegisterBackend") {
+		t.Errorf("error %q does not say how to register", err)
+	}
+}
+
+type unregisteredBackend struct{}
+
+func (unregisteredBackend) BackendName() string    { return "unregistered" }
+func (unregisteredBackend) ValidateBackend() error { return nil }
+func (unregisteredBackend) NewBackend(mem.Geometry) backend.Backend {
+	return backend.NewFlat()
+}
+
+// TestParseSpecBackendKeys covers the compact-spec vocabulary for the
+// backend axis, including the implied backend=banked / fenced wrap and
+// the backend=flat reset.
+func TestParseSpecBackendKeys(t *testing.T) {
+	cfg, err := ParseSpec("backend=banked,banks=8,rowhit=6,rowmiss=18")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := backend.BankedSpec{Banks: 8, RowHit: 6, RowMiss: 18}
+	if got := cfg.Backend; !reflect.DeepEqual(got, want) {
+		t.Errorf("backend = %#v, want %#v", got, want)
+	}
+	// banks alone implies backend=banked.
+	cfg, err = ParseSpec("banks=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.Backend; !reflect.DeepEqual(got, backend.BankedSpec{Banks: 4}) {
+		t.Errorf("implied banked backend = %#v", got)
+	}
+	// fencecost implies a fenced wrap; combined with bank keys the wrap
+	// nests the banked backend.
+	cfg, err = ParseSpec("fencecost=20,releasecost=4,banks=4,rowmiss=18")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantF := backend.FencedSpec{
+		Inner: backend.BankedSpec{Banks: 4, RowMiss: 18}, ReleaseCost: 4, FullCost: 20}
+	if got := cfg.Backend; !reflect.DeepEqual(got, wantF) {
+		t.Errorf("fenced backend = %#v, want %#v", got, wantF)
+	}
+	// fencecost alone wraps flat.
+	cfg, err = ParseSpec("fencecost=20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.Backend; !reflect.DeepEqual(got, backend.FencedSpec{FullCost: 20}) {
+		t.Errorf("flat-inner fenced backend = %#v", got)
+	}
+	// Last key wins: an explicit flat clears earlier backend keys…
+	cfg, err = ParseSpec("banks=4,backend=flat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Backend != nil {
+		t.Errorf("backend=flat did not clear the backend: %#v", cfg.Backend)
+	}
+	// …and spec keys edit a base backend in place (the @file,override form).
+	base := sim.Baseline().WithBackend(backend.FencedSpec{
+		Inner: backend.BankedSpec{Banks: 4, RowMiss: 18}, FullCost: 20})
+	cfg, err = ParseSpecFrom(base, "banks=16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantF = backend.FencedSpec{
+		Inner: backend.BankedSpec{Banks: 16, RowMiss: 18}, FullCost: 20}
+	if got := cfg.Backend; !reflect.DeepEqual(got, wantF) {
+		t.Errorf("edited backend = %#v, want %#v", got, wantF)
+	}
+	// Invalid shapes are caught by the shared Validate path, and negative
+	// values by the parser itself.
+	if _, err = ParseSpec("banks=3"); err == nil {
+		t.Error("non-power-of-two banks accepted")
+	}
+	if _, err = ParseSpec("rowhit=-1"); err == nil {
+		t.Error("negative rowhit accepted")
+	}
+	if _, err = ParseSpec("backend=bogus"); err == nil {
+		t.Error("unknown backend accepted")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/sim"
 )
@@ -22,6 +23,7 @@ var configMutators = map[string]func(*sim.Config){
 	"MemLat":               func(c *sim.Config) { c.MemLat = 50 },
 	"WB":                   func(c *sim.Config) { c.WB.Depth = 12 },
 	"Org":                  func(c *sim.Config) { *c = c.WithOrg(core.FTLOrg{NumBuffers: 2, SectorBits: 1}) },
+	"Backend":              func(c *sim.Config) { *c = c.WithBackend(backend.BankedSpec{Banks: 4, RowMiss: 18}) },
 	"Retire":               func(c *sim.Config) { *c = c.WithRetire(core.FixedRate{Interval: 7}) },
 	"Hazard":               func(c *sim.Config) { *c = c.WithHazard(core.ReadFromWB) },
 	"WriteThreshold":       func(c *sim.Config) { c.WriteThreshold = 3 },

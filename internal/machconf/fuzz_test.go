@@ -29,6 +29,10 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte(`{"v":1,"buffer":{"v":1,"org":{"kind":"fifo"}},"retire":{"kind":"eager"},"hazard":"flush-full","line_bytes":32,"word_bytes":8}`))
 	f.Add([]byte(`{"v":1,"buffer":{"v":1,"org":{"kind":"ftl","params":{"numbuffers":4,"sectorbits":1}}},"retire":{"kind":"eager"},"hazard":"flush-full","line_bytes":32,"word_bytes":8}`))
 	f.Add([]byte(`{"v":1,"buffer":{"v":2,"org":{"kind":"ftl"}}}`))
+	f.Add([]byte(`{"v":1,"backend":{"v":1,"drain":{"kind":"banked","params":{"banks":8,"rowhit":6,"rowmiss":18,"rowlines":64}}},"retire":{"kind":"eager"},"hazard":"flush-full","line_bytes":32,"word_bytes":8}`))
+	f.Add([]byte(`{"v":1,"backend":{"v":1,"drain":{"kind":"fenced","params":{"inner":{"kind":"banked","params":{"banks":4,"rowmiss":18}},"releasecost":4,"fullcost":20}}},"retire":{"kind":"eager"},"hazard":"flush-full","line_bytes":32,"word_bytes":8}`))
+	f.Add([]byte(`{"v":1,"backend":{"v":9,"drain":{"kind":"flat"}}}`))
+	f.Add([]byte(`{"v":1,"backend":{"v":1,"drain":{"kind":"fenced","params":{"inner":{"kind":"fenced"}}}}}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		cfg, err := Decode(data)

@@ -58,6 +58,10 @@ const Version = 1
 // hash in the result store the way a top-level Version bump would.
 const BufferVersion = 1
 
+// BackendVersion is the nested drain-side backend block's own schema
+// version, versioned separately for the same reason as BufferVersion.
+const BackendVersion = 1
+
 // Wire is the canonical JSON shape of a sim.Config.  Field order is the
 // canonical encoding order; do not reorder.  Every sim.Config field has
 // exactly one counterpart here — the exhaustiveness test in
@@ -83,6 +87,11 @@ type Wire struct {
 	// an empty block — for the implicit FIFO, so every pre-existing
 	// configuration keeps its content hash.
 	Buffer *WireBuffer `json:"buffer,omitempty"`
+	// Backend, when present, selects a non-default drain-side backend
+	// (banked DRAM timing, fenced barrier costs).  Like Buffer it is
+	// omitted for the implicit flat backend, so every pre-existing
+	// configuration keeps its content hash.
+	Backend *WireBackend `json:"backend,omitempty"`
 	// Retire and Hazard travel by registered kind, not by enumeration.
 	Retire Policy `json:"retire"`
 	Hazard string `json:"hazard"`
@@ -110,6 +119,16 @@ type WireCache struct {
 type WireBuffer struct {
 	V   int    `json:"v"`
 	Org Policy `json:"org"`
+}
+
+// WireBackend is the versioned drain-side backend block.  The backend
+// travels as a registered kind plus that kind's parameter payload (see
+// RegisterBackend), so custom backends become wire-encodable without
+// schema edits.  The fenced kind nests its inner backend as another
+// Policy inside its params.
+type WireBackend struct {
+	V     int    `json:"v"`
+	Drain Policy `json:"drain"`
 }
 
 // ToWire renders a configuration as its canonical wire structure.  It
@@ -148,6 +167,13 @@ func ToWire(cfg sim.Config) (Wire, error) {
 			return Wire{}, err
 		}
 		w.Buffer = &WireBuffer{V: BufferVersion, Org: org}
+	}
+	if cfg.Backend != nil {
+		drain, err := EncodeBackend(cfg.Backend)
+		if err != nil {
+			return Wire{}, err
+		}
+		w.Backend = &WireBackend{V: BackendVersion, Drain: drain}
 	}
 	return w, nil
 }
@@ -205,6 +231,19 @@ func FromWire(w Wire) (sim.Config, error) {
 			return sim.Config{}, err
 		}
 		cfg.Org = org
+	}
+	if w.Backend != nil {
+		if w.Backend.V != BackendVersion {
+			return sim.Config{}, fmt.Errorf("machconf: unsupported backend block version %d (want %d)",
+				w.Backend.V, BackendVersion)
+		}
+		// The "flat" kind decodes to a nil spec, so an explicitly-written
+		// flat block converges to the canonical omitted form on re-encode.
+		be, err := DecodeBackend(w.Backend.Drain)
+		if err != nil {
+			return sim.Config{}, err
+		}
+		cfg.Backend = be
 	}
 	return cfg, nil
 }

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/sim"
 )
@@ -34,6 +35,13 @@ func testConfigs() map[string]sim.Config {
 		"narrow":     narrow,
 		"ftl":        sim.Baseline().WithDepth(8).WithOrg(core.FTLOrg{NumBuffers: 4, SectorBits: 1}),
 		"ftl-degen":  sim.Baseline().WithOrg(core.FTLOrg{NumBuffers: 1}),
+		"banked": sim.Baseline().WithBackend(
+			backend.BankedSpec{Banks: 8, RowHit: 6, RowMiss: 18, RowLines: 64}),
+		"fenced": sim.Baseline().WithBackend(backend.FencedSpec{
+			Inner: backend.BankedSpec{Banks: 4, RowMiss: 18}, ReleaseCost: 4, FullCost: 20}),
+		"banked-ftl": sim.Baseline().WithDepth(8).
+			WithOrg(core.FTLOrg{NumBuffers: 4, SectorBits: 1}).
+			WithBackend(backend.BankedSpec{Banks: 4, RowMiss: 18}),
 	}
 }
 
@@ -108,6 +116,12 @@ func TestDecodeRejects(t *testing.T) {
 		"bad buffer ver": strings.Replace(string(canonical), `"retire"`, `"buffer":{"v":9,"org":{"kind":"ftl"}},"retire"`, 1),
 		"unknown org prm": strings.Replace(string(canonical), `"retire"`,
 			`"buffer":{"v":1,"org":{"kind":"ftl","params":{"numbufers":2}}},"retire"`, 1),
+		"unknown backend": strings.Replace(string(canonical), `"retire"`,
+			`"backend":{"v":1,"drain":{"kind":"nosuch"}},"retire"`, 1),
+		"bad backend ver": strings.Replace(string(canonical), `"retire"`,
+			`"backend":{"v":9,"drain":{"kind":"banked"}},"retire"`, 1),
+		"unknown bck prm": strings.Replace(string(canonical), `"retire"`,
+			`"backend":{"v":1,"drain":{"kind":"banked","params":{"bankss":4}}},"retire"`, 1),
 	} {
 		if _, err := Decode([]byte(data)); err == nil {
 			t.Errorf("%s: decode accepted %s", name, data)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 )
 
@@ -52,13 +53,34 @@ type OrgCodec struct {
 	Decode func(raw json.RawMessage) (core.OrgSpec, error)
 }
 
+// BackendCodec makes one drain-side-backend family wire-encodable, with
+// the same contract as OrgCodec: Encode claims a spec or declines it,
+// Decode rebuilds it, and the two must be deterministic and mutually
+// inverse.  Decode may return a nil spec — that is how the "flat" kind
+// maps an explicitly-written backend block back to the canonical omitted
+// form.  A codec may recurse through EncodeBackend/DecodeBackend for
+// nested backends (the fenced family does); the registry lock is released
+// before any codec runs, so the recursion is safe.
+type BackendCodec struct {
+	// Kind is the family's wire identifier ("flat", "banked", "fenced", …).
+	Kind string
+	// Encode returns the parameter payload for a spec of this family, or
+	// ok=false when the spec belongs to a different family.
+	Encode func(b backend.Spec) (params any, ok bool)
+	// Decode rebuilds the spec from its payload; raw is nil when the wire
+	// form carried no params.
+	Decode func(raw json.RawMessage) (backend.Spec, error)
+}
+
 var (
-	regMu        sync.RWMutex
-	retireCodecs []RetirementCodec  // encode tries these in registration order
-	retireKinds  = map[string]int{} // kind -> index into retireCodecs
-	hazardKinds  = map[string]core.HazardPolicy{}
-	orgCodecs    []OrgCodec
-	orgKinds     = map[string]int{} // kind -> index into orgCodecs
+	regMu         sync.RWMutex
+	retireCodecs  []RetirementCodec  // encode tries these in registration order
+	retireKinds   = map[string]int{} // kind -> index into retireCodecs
+	hazardKinds   = map[string]core.HazardPolicy{}
+	orgCodecs     []OrgCodec
+	orgKinds      = map[string]int{} // kind -> index into orgCodecs
+	backendCodecs []BackendCodec
+	backendKinds  = map[string]int{} // kind -> index into backendCodecs
 )
 
 // RegisterRetirement adds a retirement-policy family to the wire schema.
@@ -167,6 +189,73 @@ func DecodeOrg(w Policy) (core.OrgSpec, error) {
 		return nil, fmt.Errorf("machconf: decoding %q params: %w", w.Kind, err)
 	}
 	return o, nil
+}
+
+// RegisterBackend adds a drain-side-backend family to the wire schema.
+// Once registered, the backend travels everywhere a configuration does —
+// checkpoint journals, remote workers, the wbserve result cache — with no
+// further changes.  It panics on a duplicate or incomplete codec.
+func RegisterBackend(c BackendCodec) {
+	if c.Kind == "" || c.Encode == nil || c.Decode == nil {
+		panic("machconf: RegisterBackend needs a kind, an Encode, and a Decode")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := backendKinds[c.Kind]; dup {
+		panic(fmt.Sprintf("machconf: duplicate backend kind %q", c.Kind))
+	}
+	backendKinds[c.Kind] = len(backendCodecs)
+	backendCodecs = append(backendCodecs, c)
+}
+
+// EncodeBackend renders a drain-side backend spec in its registered wire
+// form.  The implicit flat backend is never encoded (a nil spec is the
+// caller's signal to omit the backend block), so a nil spec here is an
+// error.
+func EncodeBackend(b backend.Spec) (Policy, error) {
+	if b == nil {
+		return Policy{}, fmt.Errorf("machconf: no backend to encode")
+	}
+	regMu.RLock()
+	codecs := backendCodecs
+	regMu.RUnlock()
+	for _, c := range codecs {
+		params, ok := c.Encode(b)
+		if !ok {
+			continue
+		}
+		var raw json.RawMessage
+		if params != nil {
+			p, err := json.Marshal(params)
+			if err != nil {
+				return Policy{}, fmt.Errorf("machconf: encoding %q params: %w", c.Kind, err)
+			}
+			raw = p
+		}
+		return Policy{Kind: c.Kind, Params: raw}, nil
+	}
+	return Policy{}, fmt.Errorf("machconf: backend %q has no registered codec; "+
+		"call machconf.RegisterBackend to make it wire-encodable", b.BackendName())
+}
+
+// DecodeBackend rebuilds a drain-side backend spec from its wire form.  A
+// nil result is valid: it means the block named the implicit flat backend.
+func DecodeBackend(w Policy) (backend.Spec, error) {
+	regMu.RLock()
+	idx, ok := backendKinds[w.Kind]
+	var c BackendCodec
+	if ok {
+		c = backendCodecs[idx]
+	}
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("machconf: unknown backend kind %q", w.Kind)
+	}
+	b, err := c.Decode(w.Params)
+	if err != nil {
+		return nil, fmt.Errorf("machconf: decoding %q params: %w", w.Kind, err)
+	}
+	return b, nil
 }
 
 // EncodeRetirement renders a retirement policy in its registered wire
@@ -323,9 +412,94 @@ func init() {
 			return core.FTLOrg{NumBuffers: p.NumBuffers, SectorBits: p.SectorBits}, nil
 		},
 	})
+	// The built-in backend families.  "flat" is decode-only for the same
+	// reason "fifo" is: the default backend is a nil spec that is never
+	// encoded, so an explicitly-written flat block converges to the
+	// omitted form (and the pre-backend-block hash) on its first round
+	// trip.
+	RegisterBackend(BackendCodec{
+		Kind:   "flat",
+		Encode: func(backend.Spec) (any, bool) { return nil, false },
+		Decode: func(raw json.RawMessage) (backend.Spec, error) {
+			var p struct{}
+			if err := decodeParams(raw, &p); err != nil {
+				return nil, err
+			}
+			return nil, nil
+		},
+	})
+	RegisterBackend(BackendCodec{
+		Kind: "banked",
+		Encode: func(b backend.Spec) (any, bool) {
+			s, ok := b.(backend.BankedSpec)
+			if !ok {
+				return nil, false
+			}
+			return bankedParams{Banks: s.Banks, RowHit: s.RowHit,
+				RowMiss: s.RowMiss, RowLines: s.RowLines}, true
+		},
+		Decode: func(raw json.RawMessage) (backend.Spec, error) {
+			var p bankedParams
+			if err := decodeParams(raw, &p); err != nil {
+				return nil, err
+			}
+			return backend.BankedSpec{Banks: p.Banks, RowHit: p.RowHit,
+				RowMiss: p.RowMiss, RowLines: p.RowLines}, nil
+		},
+	})
+	// "fenced" nests its inner backend as another Policy; the recursion
+	// through EncodeBackend/DecodeBackend is safe because the registry
+	// lock is released before any codec runs.  A nil inner (flat) is
+	// omitted from the params.
+	RegisterBackend(BackendCodec{
+		Kind: "fenced",
+		Encode: func(b backend.Spec) (any, bool) {
+			s, ok := b.(backend.FencedSpec)
+			if !ok {
+				return nil, false
+			}
+			p := fencedParams{ReleaseCost: s.ReleaseCost, FullCost: s.FullCost}
+			if s.Inner != nil {
+				inner, err := EncodeBackend(s.Inner)
+				if err != nil {
+					return nil, false
+				}
+				p.Inner = &inner
+			}
+			return p, true
+		},
+		Decode: func(raw json.RawMessage) (backend.Spec, error) {
+			var p fencedParams
+			if err := decodeParams(raw, &p); err != nil {
+				return nil, err
+			}
+			s := backend.FencedSpec{ReleaseCost: p.ReleaseCost, FullCost: p.FullCost}
+			if p.Inner != nil {
+				inner, err := DecodeBackend(*p.Inner)
+				if err != nil {
+					return nil, err
+				}
+				s.Inner = inner
+			}
+			return s, nil
+		},
+	})
 }
 
 type ftlOrgParams struct {
 	NumBuffers int `json:"numbuffers,omitempty"`
 	SectorBits int `json:"sectorbits,omitempty"`
+}
+
+type bankedParams struct {
+	Banks    int    `json:"banks,omitempty"`
+	RowHit   uint64 `json:"rowhit,omitempty"`
+	RowMiss  uint64 `json:"rowmiss,omitempty"`
+	RowLines int    `json:"rowlines,omitempty"`
+}
+
+type fencedParams struct {
+	Inner       *Policy `json:"inner,omitempty"`
+	ReleaseCost uint64  `json:"releasecost,omitempty"`
+	FullCost    uint64  `json:"fullcost,omitempty"`
 }

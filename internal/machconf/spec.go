@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/sim"
 )
@@ -34,6 +35,13 @@ import (
 //	aging=N        aging timeout in cycles (0 = off)
 //	hazard=P       flush-full | flush-partial | flush-item-only | read-from-WB
 //	               (any policy registered with RegisterHazard)
+//	backend=K      drain-side backend: flat (default) | banked | fenced
+//	banks=N        banked: DRAM banks, power of two (implies backend=banked)
+//	rowhit=N       banked: row-buffer-hit service cycles (implies backend=banked)
+//	rowmiss=N      banked: row-buffer-miss service cycles (implies backend=banked)
+//	fencecost=N    fenced: full-membar surcharge in cycles (implies a fenced
+//	               wrap around the current backend)
+//	releasecost=N  fenced: store-release surcharge in cycles (implies fenced)
 //	wcache=N       use an N-entry write cache instead of a buffer
 //	l1=BYTES       L1 size
 //	l2lat=N        L2 latency (read and write)
@@ -77,6 +85,23 @@ func ParseSpecFrom(base sim.Config, spec string) (sim.Config, error) {
 		ftl.NumBuffers = 1
 	}
 	orgTouched := false
+	// The backend keys likewise edit the base's backend in place: banks=/
+	// rowhit=/rowmiss= imply banked, fencecost=/releasecost= imply a fenced
+	// wrap around whatever the write path uses, and backend=flat clears
+	// everything.  Custom backends travel as JSON blobs (@file), not keys.
+	var banked backend.BankedSpec
+	var fenced backend.FencedSpec
+	bankedOn, fencedOn := false, false
+	switch b := cfg.Backend.(type) {
+	case backend.BankedSpec:
+		banked, bankedOn = b, true
+	case backend.FencedSpec:
+		fenced, fencedOn = b, true
+		if inner, ok := b.Inner.(backend.BankedSpec); ok {
+			banked, bankedOn = inner, true
+		}
+	}
+	backendTouched := false
 	for _, kv := range strings.Split(spec, ",") {
 		key, val, found := strings.Cut(kv, "=")
 		if !found {
@@ -102,6 +127,21 @@ func ParseSpecFrom(base sim.Config, spec string) (sim.Config, error) {
 			}
 			continue
 		}
+		if key == "backend" {
+			switch val {
+			case "flat":
+				cfg = cfg.WithBackend(nil)
+				banked, fenced = backend.BankedSpec{}, backend.FencedSpec{}
+				bankedOn, fencedOn, backendTouched = false, false, false
+			case "banked":
+				bankedOn, backendTouched = true, true
+			case "fenced":
+				fencedOn, backendTouched = true, true
+			default:
+				return cfg, fmt.Errorf("machconf: unknown backend %q (flat, banked, or fenced)", val)
+			}
+			continue
+		}
 		num, err := strconv.Atoi(val)
 		if err != nil {
 			return cfg, fmt.Errorf("machconf: %s: %v", key, err)
@@ -117,6 +157,28 @@ func ParseSpecFrom(base sim.Config, spec string) (sim.Config, error) {
 		case "sectorbits":
 			ftl.SectorBits = num
 			orgTouched = true
+		case "banks", "rowhit", "rowmiss", "fencecost", "releasecost":
+			if num < 0 {
+				return cfg, fmt.Errorf("machconf: %s=%d must not be negative", key, num)
+			}
+			switch key {
+			case "banks":
+				banked.Banks = num
+				bankedOn = true
+			case "rowhit":
+				banked.RowHit = uint64(num)
+				bankedOn = true
+			case "rowmiss":
+				banked.RowMiss = uint64(num)
+				bankedOn = true
+			case "fencecost":
+				fenced.FullCost = uint64(num)
+				fencedOn = true
+			case "releasecost":
+				fenced.ReleaseCost = uint64(num)
+				fencedOn = true
+			}
+			backendTouched = true
 		case "retire":
 			retire.N = num
 			retireTouched = true
@@ -150,6 +212,17 @@ func ParseSpecFrom(base sim.Config, spec string) (sim.Config, error) {
 	}
 	if orgTouched {
 		cfg = cfg.WithOrg(ftl)
+	}
+	if backendTouched {
+		var spec backend.Spec
+		if bankedOn {
+			spec = banked
+		}
+		if fencedOn {
+			fenced.Inner = spec // nil inner means the fenced wrap times writes flat
+			spec = fenced
+		}
+		cfg = cfg.WithBackend(spec)
 	}
 	return cfg, cfg.Validate()
 }

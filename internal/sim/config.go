@@ -38,6 +38,7 @@ package sim
 import (
 	"fmt"
 
+	"repro/internal/backend"
 	"repro/internal/cache"
 	"repro/internal/core"
 )
@@ -66,6 +67,16 @@ type Config struct {
 	// (WriteCacheDepth > 0) replaces the write buffer wholesale, so Org is
 	// ignored there, like Retire and Hazard.
 	Org core.OrgSpec
+	// Backend selects the drain-side timing model every block write
+	// (retirement, hazard flush, barrier drain) runs through: nil is the
+	// paper's flat fixed latency (never encoded, so pre-existing
+	// configurations keep their content hashes), backend.BankedSpec adds
+	// DRAM-style bank/row contention, and backend.FencedSpec wraps either
+	// with differentiated store-release vs full-fence costs.  Custom
+	// backends register a machconf codec to travel through checkpoints,
+	// remote workers, and the result store.  Unlike Org, the backend also
+	// applies under a write cache — it times the victim buffer's drains.
+	Backend backend.Spec
 	// Retire decides when the organization autonomously retires its victim
 	// (the FIFO head; the fullest buffer's oldest entry under ftl).
 	Retire core.RetirementPolicy
@@ -165,6 +176,11 @@ func (c Config) Validate() error {
 			return fmt.Errorf("sim: buffer organization %q: %w", c.Org.OrgName(), err)
 		}
 	}
+	if c.Backend != nil {
+		if err := c.Backend.ValidateBackend(); err != nil {
+			return fmt.Errorf("sim: backend %q: %w", c.Backend.BackendName(), err)
+		}
+	}
 	if c.Retire == nil {
 		return fmt.Errorf("sim: no retirement policy")
 	}
@@ -223,6 +239,13 @@ func (c Config) WithDepth(depth int) Config {
 // nil restores the default FIFO.
 func (c Config) WithOrg(o core.OrgSpec) Config {
 	c.Org = o
+	return c
+}
+
+// WithBackend returns a copy with the drain-side backend replaced;
+// nil restores the paper's flat fixed latency.
+func (c Config) WithBackend(b backend.Spec) Config {
+	c.Backend = b
 	return c
 }
 

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"repro/internal/backend"
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/mem"
@@ -38,6 +39,13 @@ type Machine struct {
 	// methods the compiler can inline instead of dispatching through the
 	// interface on every memory reference.
 	bp *bufferPath
+	// be is the drain-side backend every block write (retirement, hazard
+	// flush, barrier drain) is timed through: flat reproduces the paper's
+	// fixed latency, banked adds DRAM-style bank/row contention, fenced
+	// adds differentiated barrier costs.  Block writes happen orders of
+	// magnitude less often than instructions, so the interface dispatch
+	// stays off the issue hot path.
+	be backend.Backend
 
 	c stats.Counters
 
@@ -134,6 +142,11 @@ func New(cfg Config) (*Machine, error) {
 	if cfg.IMissRate > 0 {
 		m.irand = rng.New(cfg.ISeed)
 	}
+	if cfg.Backend != nil {
+		m.be = cfg.Backend.NewBackend(cfg.WB.Geometry)
+	} else {
+		m.be = backend.NewFlat()
+	}
 	m.rb, _ = m.org.(*core.Buffer)
 	m.lineMask = m.org.FullLineMask()
 	m.occHist = make([]uint64, m.path.histSize())
@@ -224,6 +237,7 @@ func (m *Machine) ResetStats() {
 	}
 	m.org.ResetStats()
 	m.path.resetStats()
+	m.be.ResetStats()
 	for i := range m.occHist {
 		m.occHist[i] = 0
 	}
@@ -233,6 +247,11 @@ func (m *Machine) ResetStats() {
 // WBStats exposes the write stage's event counters (allocations, merges,
 // …): the write cache's when one is configured, else the write buffer's.
 func (m *Machine) WBStats() core.Stats { return m.path.stats() }
+
+// BackendStats exposes the drain-side backend's event counters (bank
+// conflicts, row hits/misses, overlap cycles) — all zero under the flat
+// backend.
+func (m *Machine) BackendStats() backend.Stats { return m.be.Stats() }
 
 // L1Stats exposes the L1 data cache's counters.
 func (m *Machine) L1Stats() cache.Stats { return m.l1.Stats() }
@@ -405,6 +424,8 @@ func (m *Machine) StepBatch(refs []trace.Ref) {
 			m.store(r.Addr)
 		case trace.Membar:
 			m.membar()
+		case trace.Release:
+			m.release()
 		}
 		i++
 	}
@@ -488,6 +509,8 @@ func (m *Machine) Step(r trace.Ref) {
 		m.store(r.Addr)
 	case trace.Membar:
 		m.membar()
+	case trace.Release:
+		m.release()
 	default:
 		// Plain execution: no memory interaction.  The lazy drain makes
 		// catching retirement state up here unnecessary — the next memory
@@ -593,9 +616,10 @@ func (m *Machine) drainTo(target uint64) {
 // instruction that could observe them, the ordering is exact.
 func (m *Machine) beginRetire(start uint64) {
 	e := m.wbBeginRetire()
-	dur := m.cfg.writeLat() + m.l2WritePenalty(m.wbAddrOf(e), e.Valid)
+	addr := m.wbAddrOf(e)
+	lat := m.cfg.writeLat() + m.l2WritePenalty(addr, e.Valid)
 	m.lastRetireStart = start
-	m.retireDone = start + dur
+	m.retireDone = m.be.Write(addr, start, lat)
 	m.portBusyUntil = m.retireDone
 	if m.retireDone > e.AllocCycle {
 		m.retLat.Observe(m.retireDone - e.AllocCycle)
@@ -820,7 +844,8 @@ func (m *Machine) hazardFlushService(t uint64, addr mem.Addr, idx int) {
 
 	portStart := maxU(now, m.portBusyUntil)
 	for _, e := range flushed {
-		portStart += m.cfg.writeLat() + m.l2WritePenalty(m.wbAddrOf(e), e.Valid)
+		addr := m.wbAddrOf(e)
+		portStart = m.be.Write(addr, portStart, m.cfg.writeLat()+m.l2WritePenalty(addr, e.Valid))
 	}
 	m.portBusyUntil = portStart
 	if len(flushed) > 0 {
@@ -839,10 +864,38 @@ func (m *Machine) hazardFlushService(t uint64, addr mem.Addr, idx int) {
 
 // membar stalls until every buffered store has been written to L2: the
 // under-way retirement completes, then all remaining entries are flushed
-// in FIFO order.  The wait is charged to the membar-drain category so the
-// ordering cost of coalescing/read-bypassing is visible separately.
+// in FIFO order.  A full fence additionally waits for the backend's drain
+// horizon (bank service tails) plus any full-fence surcharge.  The wait
+// is charged to the membar-drain category so the ordering cost of
+// coalescing/read-bypassing is visible separately.
 func (m *Machine) membar() {
 	t := m.clock
+	portStart := m.fenceDrain(t)
+	done := m.be.Drained(portStart) + m.be.FenceExtra(true)
+	stall := done - t
+	m.c.AddStall(stats.MembarDrain, stall)
+	m.clock = t + m.base + stall
+}
+
+// release is the store-release barrier: it drains the buffer like membar
+// but only orders the handoff of prior stores to the memory system, so it
+// skips the backend's Drained horizon and pays the (cheaper) release
+// surcharge.  Its wait is charged to release-drain, kept separate from
+// membar-drain so fence-heavy workloads show what the weaker semantics
+// save.
+func (m *Machine) release() {
+	t := m.clock
+	portStart := m.fenceDrain(t)
+	stall := portStart + m.be.FenceExtra(false) - t
+	m.c.AddStall(stats.ReleaseDrain, stall)
+	m.clock = t + m.base + stall
+}
+
+// fenceDrain empties the write stage for a barrier: the under-way
+// retirement completes, then every remaining entry is flushed in
+// writeback order through the backend.  It returns the cycle the last
+// handoff completes (the port is free and the buffer empty).
+func (m *Machine) fenceDrain(t uint64) uint64 {
 	m.drainTo(t)
 	now := t
 	if m.wbRetiring() {
@@ -851,14 +904,13 @@ func (m *Machine) membar() {
 	}
 	portStart := maxU(now, m.portBusyUntil)
 	for _, e := range m.wbFlushAllInto(m.flushBuf[:0]) {
-		portStart += m.cfg.writeLat() + m.l2WritePenalty(m.wbAddrOf(e), e.Valid)
+		addr := m.wbAddrOf(e)
+		portStart = m.be.Write(addr, portStart, m.cfg.writeLat()+m.l2WritePenalty(addr, e.Valid))
 	}
 	portStart = m.path.drainAll(portStart)
 	m.portBusyUntil = portStart
 	m.stateChangedAt = portStart
-	stall := portStart - t
-	m.c.AddStall(stats.MembarDrain, stall)
-	m.clock = t + m.base + stall
+	return portStart
 }
 
 // ─── instruction fetch (Section 4.3 extension) ───────────────────────────

@@ -50,6 +50,29 @@ func (m *Machine) PublishMetrics(reg *metrics.Registry) {
 	}
 	reg.Histogram("sim_retirement_latency_cycles").MergeLocal(&m.retLat)
 
+	// Drain-side backend counters — bank contention and row-buffer
+	// locality under the banked backend.  The flat backend keeps them all
+	// zero, and zero-valued counters are not published, so the /metrics
+	// surface is unchanged for machines predating the backend axis.
+	if bs := m.be.Stats(); bs.Writes > 0 {
+		reg.Counter("sim_backend_writes_total").Add(bs.Writes)
+		if bs.BankConflicts > 0 {
+			reg.Counter("sim_backend_bank_conflicts_total").Add(bs.BankConflicts)
+		}
+		if bs.ConflictWaitCycles > 0 {
+			reg.Counter("sim_backend_conflict_wait_cycles_total").Add(bs.ConflictWaitCycles)
+		}
+		if bs.RowHits > 0 {
+			reg.Counter("sim_backend_row_hits_total").Add(bs.RowHits)
+		}
+		if bs.RowMisses > 0 {
+			reg.Counter("sim_backend_row_misses_total").Add(bs.RowMisses)
+		}
+		if bs.OverlapCycles > 0 {
+			reg.Counter("sim_backend_overlap_cycles_total").Add(bs.OverlapCycles)
+		}
+	}
+
 	// Organization-specific counters — per-buffer striping balance and
 	// sector-mask coalescing for ftl, whatever a custom organization
 	// chooses to expose.  The FIFO has none beyond the shared Stats.

@@ -84,11 +84,13 @@ func (p *writeCachePath) frontProbe(addr mem.Addr, t uint64) bool {
 }
 
 // drainAll writes every write-cache line to L2 behind the already-flushed
-// victim buffer during a membar drain.
+// victim buffer during a barrier drain, timing each block write through
+// the drain-side backend.
 func (p *writeCachePath) drainAll(portStart uint64) uint64 {
 	m := p.m
 	for _, e := range p.wc.DrainAll() {
-		portStart += m.cfg.writeLat() + m.l2WritePenalty(p.wc.AddrOf(e), e.Valid)
+		addr := p.wc.AddrOf(e)
+		portStart = m.be.Write(addr, portStart, m.cfg.writeLat()+m.l2WritePenalty(addr, e.Valid))
 	}
 	return portStart
 }

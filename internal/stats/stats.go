@@ -23,11 +23,18 @@ const (
 	// L2IFetch: an instruction fetch waited for the buffer's L2 write
 	// (only with the realistic I-cache extension enabled).
 	L2IFetch
-	// MembarDrain: a memory-barrier instruction waited for the write
+	// MembarDrain: a full memory-barrier instruction waited for the write
 	// buffer to drain completely (multiprocessor-ordering extension; the
 	// paper notes barriers are how architectures restore the ordering
-	// that coalescing and read-bypassing relax).
+	// that coalescing and read-bypassing relax).  Under a banked backend
+	// this includes waiting for bank service tails and any full-fence
+	// surcharge.
 	MembarDrain
+	// ReleaseDrain: a store-release barrier waited for the buffer to hand
+	// its stores to the memory system.  Kept separate from MembarDrain so
+	// fence-heavy workloads show how much of their fence cost the cheaper
+	// release semantics avoid.
+	ReleaseDrain
 	numStallKinds
 )
 
@@ -44,6 +51,8 @@ func (k StallKind) String() string {
 		return "L2-I-fetch"
 	case MembarDrain:
 		return "membar-drain"
+	case ReleaseDrain:
+		return "release-drain"
 	default:
 		return fmt.Sprintf("stall(%d)", uint8(k))
 	}

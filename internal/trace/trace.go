@@ -36,6 +36,12 @@ const (
 	// the simulator models one by draining the write buffer completely
 	// before the barrier completes.
 	Membar
+	// Release is a store-release barrier: it drains the write buffer like
+	// Membar but only orders the handoff of prior stores to the memory
+	// system, so under a fence-aware backend it pays the cheaper release
+	// cost and never waits for bank service tails.  Its stall cycles are
+	// charged to stats.ReleaseDrain, not stats.MembarDrain.
+	Release
 )
 
 // String implements fmt.Stringer for diagnostics.
@@ -49,6 +55,8 @@ func (k Kind) String() string {
 		return "store"
 	case Membar:
 		return "membar"
+	case Release:
+		return "release"
 	default:
 		return "invalid"
 	}
@@ -92,14 +100,17 @@ type Stream interface {
 // Mix summarises the dynamic instruction mix of a stream, mirroring the
 // paper's Table 4.
 type Mix struct {
-	Execs   uint64
-	Loads   uint64
-	Stores  uint64
-	Membars uint64
+	Execs    uint64
+	Loads    uint64
+	Stores   uint64
+	Membars  uint64
+	Releases uint64
 }
 
 // Total returns the total dynamic instruction count.
-func (m Mix) Total() uint64 { return m.Execs + m.Loads + m.Stores + m.Membars }
+func (m Mix) Total() uint64 {
+	return m.Execs + m.Loads + m.Stores + m.Membars + m.Releases
+}
 
 // PctLoads returns loads as a percentage of all instructions.
 func (m Mix) PctLoads() float64 { return pct(m.Loads, m.Total()) }
@@ -123,6 +134,8 @@ func (m *Mix) Add(r Ref) {
 		m.Stores++
 	case Membar:
 		m.Membars++
+	case Release:
+		m.Releases++
 	default:
 		m.Execs++
 	}

@@ -29,6 +29,16 @@ func (e *Emitter) Load(addr mem.Addr) { e.push(trace.Ref{Kind: trace.Load, Addr:
 // Store emits a store to addr.
 func (e *Emitter) Store(addr mem.Addr) { e.push(trace.Ref{Kind: trace.Store, Addr: addr}) }
 
+// Membar emits a full memory-barrier instruction (an Alpha MB): the
+// machine drains the write buffer and waits for the drained stores to
+// complete in the memory system before proceeding.
+func (e *Emitter) Membar() { e.push(trace.Ref{Kind: trace.Membar}) }
+
+// Release emits a store-release barrier: the machine drains the write
+// buffer but only orders the handoff of prior stores, so under a
+// fence-aware backend it is cheaper than a full Membar.
+func (e *Emitter) Release() { e.push(trace.Ref{Kind: trace.Release}) }
+
 // Exec emits n non-memory instructions as a single run-length-encoded
 // reference (trace.ExecRun).  Kernels pad every inner-loop iteration with
 // a run of these, so a thousand-instruction compute block costs one slot

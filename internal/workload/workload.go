@@ -20,6 +20,13 @@
 //     traverse a row-major array down its columns exactly as the Fortran
 //     originals did.
 //
+// A third, smaller family — stress scenarios (scenarios.go, Group
+// Scenario, listed by Scenarios rather than All) — targets machine
+// features the paper's traces cannot reach: burstw drives drain-side bank
+// pressure with deep scattered store bursts, and fenceprod is a
+// producer/consumer that publishes through store-release barriers and
+// periodic full membars.
+//
 // Every generator is deterministic: the same benchmark always produces the
 // same reference stream, so different write-buffer configurations are
 // compared on identical workloads — exactly as the paper's trace-driven
@@ -54,6 +61,12 @@ const (
 	SPECfp
 	// NASA kernels from nasa7.
 	NASA
+	// Scenario marks the synthetic stress scenarios that are not paper
+	// benchmarks: they exist to exercise machine features the SPEC92-era
+	// traces cannot (memory fences, drain-side bank pressure).  Scenarios
+	// live in their own registry (Scenarios) so All keeps returning exactly
+	// the paper's 17-benchmark suite.
+	Scenario
 )
 
 // String implements fmt.Stringer.
@@ -65,6 +78,8 @@ func (g Group) String() string {
 		return "SPECfp92"
 	case NASA:
 		return "NASA"
+	case Scenario:
+		return "scenario"
 	default:
 		return fmt.Sprintf("group(%d)", uint8(g))
 	}
@@ -112,7 +127,8 @@ func Names() []string {
 }
 
 // ByName finds a benchmark (including the transformed NASA kernel variants
-// "cholsky-t" and "gmtry-t").
+// "cholsky-t" and "gmtry-t" and the stress scenarios "burstw" and
+// "fenceprod").
 func ByName(name string) (Benchmark, bool) {
 	for _, b := range registry {
 		if b.Name == name {
@@ -124,7 +140,23 @@ func ByName(name string) (Benchmark, bool) {
 			return b, true
 		}
 	}
+	for _, b := range scenarios {
+		if b.Name == name {
+			return b, true
+		}
+	}
 	return Benchmark{}, false
+}
+
+// Scenarios lists the stress scenarios (Group Scenario): workloads that
+// target machine features outside the paper's trace suite, currently the
+// bursty writer (burstw) and the fence-heavy producer/consumer
+// (fenceprod).  They are deliberately excluded from All so the paper's
+// experiments keep running on exactly the paper's benchmarks.
+func Scenarios() []Benchmark {
+	out := make([]Benchmark, len(scenarios))
+	copy(out, scenarios)
+	return out
 }
 
 // Reseeded returns a copy of a profile-driven benchmark whose generator
@@ -156,8 +188,9 @@ func Transformed() []Benchmark {
 }
 
 var (
-	registry []Benchmark
-	extras   []Benchmark
+	registry  []Benchmark
+	extras    []Benchmark
+	scenarios []Benchmark
 )
 
 func register(b Benchmark) {
@@ -166,6 +199,10 @@ func register(b Benchmark) {
 
 func registerExtra(b Benchmark) {
 	extras = append(extras, b)
+}
+
+func registerScenario(b Benchmark) {
+	scenarios = append(scenarios, b)
 }
 
 // sortRegistry fixes the registry into the paper's presentation order no

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# banked_smoke.sh — acceptance smoke for the backend-axis sweep path.
+#
+# The banked/fenced backend rides through every layer a result crosses:
+# machconf labels, the wbserve worker wire, the wbopt checkpoint journal,
+# and the canonical frontier JSON.  This script sweeps the tiny
+# banked+fence space (spaces/banked-smoke.json) three ways and asserts
+# they are byte-identical:
+#
+#   1. a plain local grid run (the reference artifact),
+#   2. a worker-pool run with a checkpoint journal, then — simulating a
+#      process killed mid-sweep — a resume over that journal truncated to
+#      its first third, which must re-run exactly the missing jobs; this
+#      is the shape of the committed results/banked_frontier.json sweep,
+#   3. a re-run over the complete journal, which must answer every job
+#      from the journal (zero new lines) and still render the same bytes.
+#
+# Run it from the repository root:  make smoke-banked
+set -euo pipefail
+
+PORT="${WB_BANKED_SMOKE_PORT:-8163}"
+TMP="$(mktemp -d)"
+WORKER_PID=""
+
+cleanup() {
+  [ -n "$WORKER_PID" ] && kill "$WORKER_PID" 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() { echo "smoke-banked: FAIL: $*" >&2; exit 1; }
+
+go build -o "$TMP/wbserve" ./cmd/wbserve
+go build -o "$TMP/wbopt" ./cmd/wbopt
+
+SPACE=spaces/banked-smoke.json
+ARGS=(-space "$SPACE" -strategy grid -n 100000 -seed 1 -quiet)
+
+# --- Pass 1: local reference run.
+"$TMP/wbopt" "${ARGS[@]}" -out "$TMP/local.json" >/dev/null
+grep -q 'backend=banked' "$TMP/local.json" \
+  || fail "no banked machine in the frontier artifact"
+grep -q 'fencecost=20' "$TMP/local.json" \
+  || fail "no fenced machine in the frontier artifact"
+
+# --- Pass 2: the same sweep through a worker, then a resume over a
+# truncated journal (what a process killed mid-sweep leaves behind).
+"$TMP/wbserve" -worker -addr "127.0.0.1:$PORT" >>"$TMP/worker.log" 2>&1 &
+WORKER_PID=$!
+for _ in $(seq 1 100); do
+  curl -sf "http://127.0.0.1:$PORT/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -sf "http://127.0.0.1:$PORT/healthz" >/dev/null 2>&1 \
+  || fail "worker on port $PORT never became healthy"
+
+"$TMP/wbopt" "${ARGS[@]}" -workers "127.0.0.1:$PORT" \
+  -checkpoint "$TMP/ckpt-full.jsonl" -out "$TMP/worker.json" >/dev/null
+cmp "$TMP/local.json" "$TMP/worker.json" \
+  || fail "worker-pool artifact differs from the local run"
+FULL=$(wc -l < "$TMP/ckpt-full.jsonl")
+[ "$FULL" -gt 3 ] || fail "worker run journaled only $FULL jobs"
+
+PARTIAL=$((FULL / 3))
+head -n "$PARTIAL" "$TMP/ckpt-full.jsonl" > "$TMP/ckpt.jsonl"
+"$TMP/wbopt" "${ARGS[@]}" -workers "127.0.0.1:$PORT" \
+  -checkpoint "$TMP/ckpt.jsonl" -out "$TMP/resumed.json" >/dev/null
+RESUMED=$(wc -l < "$TMP/ckpt.jsonl")
+[ "$RESUMED" -eq "$FULL" ] || fail "resume journaled $RESUMED jobs, want $FULL"
+cmp "$TMP/local.json" "$TMP/resumed.json" \
+  || fail "worker + checkpoint-resume artifact differs from the local run"
+
+# --- Pass 3: a complete journal must satisfy the whole sweep by itself.
+"$TMP/wbopt" "${ARGS[@]}" -checkpoint "$TMP/ckpt.jsonl" -out "$TMP/replayed.json" >/dev/null
+REPLAYED=$(wc -l < "$TMP/ckpt.jsonl")
+[ "$REPLAYED" -eq "$FULL" ] || fail "replay over a complete journal re-ran jobs ($FULL -> $REPLAYED)"
+cmp "$TMP/local.json" "$TMP/replayed.json" \
+  || fail "journal-replay artifact differs from the local run"
+
+echo "smoke-banked: PASS — local, worker+resume ($PARTIAL/$FULL journaled), and replay are byte-identical"
