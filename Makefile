@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-sim bench-sim-smoke bench-explore smoke-explore smoke-ftl smoke-banked chaos serve-smoke
+.PHONY: all build test race vet bench bench-sim bench-sim-smoke bench-explore smoke-explore smoke-ftl smoke-banked chaos serve-smoke scrub-smoke
 
 all: vet build test
 
@@ -93,3 +93,11 @@ smoke-banked:
 # docs/SERVING.md for the recovery semantics this exercises.
 serve-smoke:
 	bash scripts/serve_smoke.sh
+
+# scrub-smoke is the self-healing gate: one wbserve with a two-replica
+# store, bearer-token auth, and -supervise takes a bit-flip on a stored
+# entry and a SIGKILLed worker mid-sweep, and must finish byte-identical
+# to a fault-free baseline with the corruption quarantined and repaired.
+# See the disk-fault runbook in docs/SERVING.md.
+scrub-smoke:
+	bash scripts/scrub_smoke.sh

@@ -19,9 +19,12 @@
 //
 //	wbserve                                   # in-memory, listen on :8047
 //	wbserve -store /var/lib/wb/results        # durable shared result store
+//	wbserve -store /var/lib/wb/a,/var/lib/wb/b   # replicated store + scrubber
 //	wbserve -store /var/lib/wb/results -queue /var/lib/wb/queue.jsonl
 //	wbserve -tenants tenants.json -rate 10 -maxpending 256
+//	wbserve -authkeys keys.json               # bearer-token auth + /admin surface
 //	wbserve -worker -addr :8101               # also accept sweep jobs on POST /job
+//	wbserve -supervise -minworkers 1 -maxworkers 4   # self-managed worker pool
 //
 // Endpoints:
 //
@@ -37,6 +40,15 @@
 //	GET  /debug/pprof/     net/http/pprof profiles
 //	GET  /debug/vars       expvar JSON (cmdline, memstats)
 //
+// Admin endpoints (require -authkeys and a token whose tenant holds the
+// admin bit; 401 without a token, 403 without the bit):
+//
+//	POST /admin/store/verify   synchronous integrity pass (scrub when replicated)
+//	POST /admin/store/evict    {"config_hash": h}: drop one configuration's entries
+//	POST /admin/store/prune    {"max_entries": n}: bound the disk tier
+//	GET  /admin/store/status   tier sizes, per-replica stats, last scrub report
+//	GET  /admin/queue/status   backlog depth, journal bytes, autoscale hint
+//
 // Example:
 //
 //	curl -s localhost:8047/run -d '{"bench":"li","depth":12,"retire_at":8,"hazard":"read-from-WB"}'
@@ -51,7 +63,10 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"os/exec"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -72,6 +87,12 @@ func main() {
 		burst     = flag.Float64("burst", 0, "default per-tenant burst size (0 = same as -rate, minimum 1)")
 		maxPend   = flag.Int("maxpending", 0, "default per-tenant cap on enqueued-but-unfinished simulations (0 = unlimited)")
 		drain     = flag.Duration("draintimeout", 30*time.Second, "graceful-shutdown deadline for in-flight requests on SIGINT/SIGTERM")
+		authKeys  = flag.String("authkeys", "", "bearer-token keys JSON file (see docs/SERVING.md); enables authentication and the /admin surface")
+		scrubEach = flag.Duration("scrubinterval", 5*time.Minute, "replicated-store background scrub interval (jittered; only meaningful with a comma-separated -store)")
+		supervise = flag.Bool("supervise", false, "supervise local wbserve -worker subprocesses, scaling them to the queue backlog between -minworkers and -maxworkers")
+		minWorker = flag.Int("minworkers", 0, "supervised worker floor (with -supervise)")
+		maxWorker = flag.Int("maxworkers", 4, "supervised worker ceiling (with -supervise)")
+		workPort  = flag.Int("workerport", 8200, "first port for supervised worker subprocesses; slots use workerport..workerport+maxworkers-1")
 	)
 	flag.Parse()
 
@@ -80,20 +101,64 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wbserve: %v\n", err)
 		os.Exit(2)
 	}
+	keyring, err := tenant.LoadKeyring(*authKeys)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wbserve: %v\n", err)
+		os.Exit(2)
+	}
+	var workerAddrs []string
+	if *supervise {
+		if *maxWorker < 1 || *minWorker < 0 || *minWorker > *maxWorker {
+			fmt.Fprintf(os.Stderr, "wbserve: -supervise needs 0 <= minworkers <= maxworkers and maxworkers >= 1 (got %d..%d)\n", *minWorker, *maxWorker)
+			os.Exit(2)
+		}
+		for i := 0; i < *maxWorker; i++ {
+			workerAddrs = append(workerAddrs, fmt.Sprintf("http://127.0.0.1:%d", *workPort+i))
+		}
+	}
 	s, err := newServer(serverConfig{
 		CacheSize:       *cacheSize,
 		MaxN:            *maxN,
 		Worker:          *worker,
 		StoreDir:        *storeDir,
+		ScrubInterval:   *scrubEach,
 		QueuePath:       *queueFile,
 		Dispatchers:     *workers,
 		TenantDefaults:  tenant.Limits{Rate: *rate, Burst: *burst, MaxPending: *maxPend},
 		TenantOverrides: overrides,
+		Keyring:         keyring,
+		WorkerAddrs:     workerAddrs,
 		Logf:            log.New(os.Stderr, "", log.LstdFlags).Printf,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "wbserve: %v\n", err)
 		os.Exit(2)
+	}
+	var sup *supervisor
+	if *supervise {
+		exe, err := os.Executable()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wbserve: %v\n", err)
+			os.Exit(2)
+		}
+		maxNStr := strconv.FormatUint(*maxN, 10)
+		sup = newSupervisor(supervisorConfig{
+			Min:   *minWorker,
+			Max:   *maxWorker,
+			Addrs: workerAddrs,
+			Spawn: func(addr string) *exec.Cmd {
+				port := strings.TrimPrefix(addr, "http://")
+				cmd := exec.Command(exe, "-worker", "-addr", port, "-maxn", maxNStr)
+				cmd.Stdout = os.Stderr
+				cmd.Stderr = os.Stderr
+				return cmd
+			},
+			Depth:   s.queue.Depth,
+			Metrics: s.reg,
+			Logf:    s.logf,
+		})
+		fmt.Fprintf(os.Stderr, "wbserve: supervising %d..%d workers on ports %d..%d\n",
+			*minWorker, *maxWorker, *workPort, *workPort+*maxWorker-1)
 	}
 	srv := &http.Server{
 		Addr:              *addr,
@@ -143,6 +208,9 @@ func main() {
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
+	}
+	if sup != nil {
+		sup.Stop(*drain)
 	}
 	s.Close()
 	fmt.Fprintln(os.Stderr, "wbserve: drained, exiting")

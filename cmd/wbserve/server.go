@@ -274,9 +274,25 @@ type serverConfig struct {
 	MaxN uint64
 	// Worker additionally serves POST /job for dispatch coordinators.
 	Worker bool
-	// StoreDir is the durable result-store root; empty keeps results in
-	// memory only.
+	// StoreDir is the durable result-store root — or a comma-separated
+	// list of roots, which opens a self-healing replicated store; empty
+	// keeps results in memory only.
 	StoreDir string
+	// ScrubInterval starts the replicated store's background scrubber
+	// (ignored for a single-directory or memory-only store).
+	ScrubInterval time.Duration
+	// Keyring, when non-nil, turns bearer-token authentication on: POST
+	// /run requires a valid token and the /admin surface additionally
+	// requires the admin bit.  Nil keeps identity header-declared and the
+	// admin surface disabled.
+	Keyring *tenant.Keyring
+	// WorkerAddrs, when non-empty, routes simulations through a
+	// dispatch.Remote pool over these addresses instead of the in-process
+	// local backend (still wrapped with the result store).  Supervisor mode
+	// preassigns one address per worker slot here; addresses with no
+	// process yet are simply unhealthy until the supervisor starts them,
+	// and with every address down execution falls back in-process.
+	WorkerAddrs []string
 	// QueuePath is the durable job-queue journal; empty keeps the queue in
 	// memory.  A durable queue requires a durable store: done markers mean
 	// "the result is in the store", which a memory-only store cannot honour
@@ -307,10 +323,12 @@ type server struct {
 	ready    *dispatch.Readiness
 	inflight atomic.Int64
 
-	store   *resultstore.Store
+	store   resultstore.Interface
 	queue   *jobqueue.Queue
 	tenants *tenant.Registry
+	keys    *tenant.Keyring
 	runs    *runRegistry
+	remote  *dispatch.Remote // nil unless WorkerAddrs routed through a pool
 	backend dispatch.Backend
 
 	logf   func(format string, args ...any)
@@ -330,17 +348,36 @@ func newServer(cfg serverConfig) (*server, error) {
 		logf = func(string, ...any) {}
 	}
 	reg := metrics.NewRegistry()
-	store, err := resultstore.Open(cfg.StoreDir, resultstore.Options{
+	store, err := resultstore.OpenSpec(cfg.StoreDir, resultstore.Options{
 		MemoryEntries: cfg.CacheSize,
 		Metrics:       reg,
 		Logf:          logf,
+		ScrubInterval: cfg.ScrubInterval,
 	})
 	if err != nil {
 		return nil, err
 	}
 	queue, err := jobqueue.Open(cfg.QueuePath, reg, logf)
 	if err != nil {
+		store.Close()
 		return nil, err
+	}
+	var inner dispatch.Backend = &dispatch.Local{Metrics: reg}
+	var remote *dispatch.Remote
+	if len(cfg.WorkerAddrs) > 0 {
+		remote, err = dispatch.NewRemote(cfg.WorkerAddrs, dispatch.RemoteOptions{
+			FallbackLocal:   true,
+			QuarantineAfter: 2,
+			ProbeInterval:   500 * time.Millisecond,
+			Metrics:         reg,
+			Logf:            logf,
+		})
+		if err != nil {
+			store.Close()
+			queue.Close()
+			return nil, err
+		}
+		inner = remote
 	}
 	s := &server{
 		reg:     reg,
@@ -350,8 +387,10 @@ func newServer(cfg serverConfig) (*server, error) {
 		store:   store,
 		queue:   queue,
 		tenants: tenant.NewRegistry(cfg.TenantDefaults, cfg.TenantOverrides, reg),
+		keys:    cfg.Keyring,
 		runs:    newRunRegistry(),
-		backend: dispatch.NewCached(&dispatch.Local{Metrics: reg}, store, reg),
+		remote:  remote,
+		backend: dispatch.NewCached(inner, store, reg),
 		logf:    logf,
 	}
 	// Recovery: re-register every journaled run (so GET /run/{id} answers
@@ -388,6 +427,10 @@ func (s *server) Close() {
 	s.cancel()
 	s.wg.Wait()
 	_ = s.queue.Close()
+	if s.remote != nil {
+		s.remote.Close()
+	}
+	_ = s.store.Close() // stops the replicated store's scrubber
 }
 
 // storeHas is the result store's membership test, threaded into queue
@@ -476,6 +519,13 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /run/{id}", s.instrument("/run/{id}", s.handleRunStatus))
 	mux.HandleFunc("GET /run/{id}/events", s.instrument("/run/{id}/events", s.handleRunEvents))
 	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	// The authenticated admin surface (admin.go): store maintenance and
+	// queue introspection, admin-bit tenants only.
+	mux.HandleFunc("POST /admin/store/verify", s.instrument("/admin/store/verify", s.requireAdmin(s.handleStoreVerify)))
+	mux.HandleFunc("POST /admin/store/evict", s.instrument("/admin/store/evict", s.requireAdmin(s.handleStoreEvict)))
+	mux.HandleFunc("POST /admin/store/prune", s.instrument("/admin/store/prune", s.requireAdmin(s.handleStorePrune)))
+	mux.HandleFunc("GET /admin/store/status", s.instrument("/admin/store/status", s.requireAdmin(s.handleStoreStatus)))
+	mux.HandleFunc("GET /admin/queue/status", s.instrument("/admin/queue/status", s.requireAdmin(s.handleQueueStatus)))
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		// Readiness, not liveness: a draining (or starting) process
 		// answers 503 so load balancers and the dispatch re-prober route
@@ -547,11 +597,75 @@ func (s *server) handleExperiments(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
-	tn := r.Header.Get(tenantHeader)
-	if tn == "" {
-		tn = tenant.DefaultName
+// identify resolves the caller's tenant identity.  With no keyring the
+// identity is header-declared (the platform's historical honest
+// multi-tenancy).  With a keyring, a valid bearer token is required —
+// missing or invalid answers 401 — and an X-WB-Tenant header that
+// contradicts the token's tenant answers 403 (claiming someone else's
+// name with your own valid token is a permission problem, not an
+// authentication one).
+func (s *server) identify(r *http.Request) (tenant.Identity, int, string) {
+	claimed := r.Header.Get(tenantHeader)
+	if !s.keys.Enabled() {
+		if claimed == "" {
+			claimed = tenant.DefaultName
+		}
+		return tenant.Identity{Name: claimed}, 0, ""
 	}
+	tok := tenant.BearerToken(r.Header.Get("Authorization"))
+	if tok == "" {
+		return tenant.Identity{}, http.StatusUnauthorized, "missing bearer token (Authorization: Bearer <token>)"
+	}
+	id, ok := s.keys.Authenticate(tok)
+	if !ok {
+		return tenant.Identity{}, http.StatusUnauthorized, "invalid bearer token"
+	}
+	if claimed != "" && claimed != id.Name {
+		return tenant.Identity{}, http.StatusForbidden,
+			fmt.Sprintf("token belongs to tenant %q, not %q", id.Name, claimed)
+	}
+	return id, 0, ""
+}
+
+// refuseUnidentified answers an identify failure, with the RFC 6750
+// challenge header on 401s.
+func refuseUnidentified(w http.ResponseWriter, status int, msg string) {
+	if status == http.StatusUnauthorized {
+		w.Header().Set("WWW-Authenticate", `Bearer realm="wbserve"`)
+	}
+	httpError(w, status, "%s", msg)
+}
+
+// requireAdmin gates the /admin surface: 403 when authentication is off
+// entirely (an unauthenticated admin API is not an API, it is an incident),
+// 401 for missing/invalid tokens, 403 for authenticated tenants without
+// the admin bit.
+func (s *server) requireAdmin(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !s.keys.Enabled() {
+			httpError(w, http.StatusForbidden, "admin API disabled: start wbserve with -authkeys to enable it")
+			return
+		}
+		id, status, msg := s.identify(r)
+		if status != 0 {
+			refuseUnidentified(w, status, msg)
+			return
+		}
+		if !id.Admin {
+			httpError(w, http.StatusForbidden, "tenant %q lacks the admin bit", id.Name)
+			return
+		}
+		h(w, r)
+	}
+}
+
+func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
+	id, status, msg := s.identify(r)
+	if status != 0 {
+		refuseUnidentified(w, status, msg)
+		return
+	}
+	tn := id.Name
 	if !s.tenants.Allow(tn) {
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests, "tenant %q is over its request rate", tn)

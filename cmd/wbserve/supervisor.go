@@ -1,0 +1,292 @@
+package main
+
+// Worker supervision: `wbserve -supervise` finally acts on the autoscale
+// hint instead of just publishing it.  The supervisor owns a fixed set of
+// worker slots (one local `wbserve -worker` subprocess address each,
+// preassigned so the dispatch pool's membership never changes) and, on
+// every tick, reconciles how many slots are running against what the
+// queue backlog justifies:
+//
+//	desired = clamp(ceil(depth / autoscaleJobsPerWorker), min, max)
+//
+// Scale-up spawns subprocesses; the dispatch layer's health probes notice
+// them coming ready.  Scale-down sends SIGTERM, which the worker's own
+// readiness machinery turns into a graceful drain (healthz flips 503, the
+// dispatcher routes around it, in-flight jobs finish).  A worker that
+// exits without being asked is a crash: it is restarted with exponential
+// backoff per slot, and the backoff resets once a replacement survives.
+// Between crash and restart, jobs route to the surviving workers — or,
+// with every slot down, fall back to in-process execution — so the sweep
+// never stalls on supervision.
+import (
+	"math"
+	"os/exec"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// supervisorConfig assembles a supervisor.
+type supervisorConfig struct {
+	// Min and Max bound the running worker count; desired is clamped into
+	// [Min, Max] every tick.
+	Min, Max int
+	// Addrs are the preassigned worker addresses, one per slot; len(Addrs)
+	// must be Max.
+	Addrs []string
+	// Spawn builds (but does not start) the subprocess for one worker
+	// address.
+	Spawn func(addr string) *exec.Cmd
+	// Depth reports the queue backlog the scaling decision divides.
+	Depth func() int
+	// Interval is the reconcile period.
+	Interval time.Duration
+	// Backoff bounds: first restart after BaseBackoff, doubling per
+	// consecutive crash up to MaxBackoff.
+	BaseBackoff, MaxBackoff time.Duration
+
+	Metrics *metrics.Registry
+	Logf    func(format string, args ...any)
+}
+
+// slot is one worker position: an address, at most one live subprocess,
+// and its crash-backoff state.
+type slot struct {
+	addr      string
+	cmd       *exec.Cmd
+	stopping  bool      // we sent SIGTERM; the exit is expected
+	failures  int       // consecutive crashes
+	notBefore time.Time // backoff gate for the next spawn
+}
+
+type supervisor struct {
+	cfg   supervisorConfig
+	clock func() time.Time // test hook
+
+	mu    sync.Mutex
+	slots []*slot
+
+	workers  *metrics.Gauge   // running subprocesses
+	desired  *metrics.Gauge   // what the last tick wanted
+	spawns   *metrics.Counter // subprocesses started
+	restarts *metrics.Counter // spawns that replaced a crash
+	crashes  *metrics.Counter // unexpected exits
+
+	done      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// newSupervisor builds and starts the reconcile loop.
+func newSupervisor(cfg supervisorConfig) *supervisor {
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 500 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 15 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	sup := &supervisor{
+		cfg:      cfg,
+		clock:    time.Now,
+		workers:  reg.Gauge("wbserve_supervisor_workers"),
+		desired:  reg.Gauge("wbserve_supervisor_desired_workers"),
+		spawns:   reg.Counter("wbserve_supervisor_spawns_total"),
+		restarts: reg.Counter("wbserve_supervisor_restarts_total"),
+		crashes:  reg.Counter("wbserve_supervisor_crashes_total"),
+		done:     make(chan struct{}),
+	}
+	for _, addr := range cfg.Addrs {
+		sup.slots = append(sup.slots, &slot{addr: addr})
+	}
+	sup.wg.Add(1)
+	go sup.loop()
+	return sup
+}
+
+func (sup *supervisor) loop() {
+	defer sup.wg.Done()
+	sup.reconcile()
+	t := time.NewTicker(sup.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-sup.done:
+			return
+		case <-t.C:
+			sup.reconcile()
+		}
+	}
+}
+
+// desiredCount is the scaling decision: the backlog divided by what one
+// worker absorbs, clamped into [min, max].
+func (sup *supervisor) desiredCount() int {
+	d := int(math.Ceil(float64(sup.cfg.Depth()) / autoscaleJobsPerWorker))
+	if d < sup.cfg.Min {
+		d = sup.cfg.Min
+	}
+	if d > sup.cfg.Max {
+		d = sup.cfg.Max
+	}
+	return d
+}
+
+// reconcile drives the slot set toward the desired count: the first
+// `desired` slots should be running, the rest draining.
+func (sup *supervisor) reconcile() {
+	sup.mu.Lock()
+	defer sup.mu.Unlock()
+	select {
+	case <-sup.done:
+		return // shutting down: never spawn into a teardown
+	default:
+	}
+	want := sup.desiredCount()
+	sup.desired.Set(float64(want))
+	now := sup.clock()
+	for i, sl := range sup.slots {
+		switch {
+		case i < want && sl.cmd == nil && !now.Before(sl.notBefore):
+			sup.spawnLocked(sl)
+		case i >= want && sl.cmd != nil && !sl.stopping:
+			sup.cfg.Logf("wbserve: supervisor draining worker %s (backlog shrank)", sl.addr)
+			sl.stopping = true
+			_ = sl.cmd.Process.Signal(syscall.SIGTERM)
+		}
+	}
+	sup.workers.Set(float64(sup.runningLocked()))
+}
+
+func (sup *supervisor) runningLocked() int {
+	n := 0
+	for _, sl := range sup.slots {
+		if sl.cmd != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// spawnLocked starts one worker subprocess and its reaper.  Callers hold mu.
+func (sup *supervisor) spawnLocked(sl *slot) {
+	cmd := sup.cfg.Spawn(sl.addr)
+	if err := cmd.Start(); err != nil {
+		sup.cfg.Logf("wbserve: supervisor failed to start worker %s: %v", sl.addr, err)
+		sl.failures++
+		sl.notBefore = sup.clock().Add(sup.backoff(sl.failures))
+		return
+	}
+	sl.cmd = cmd
+	sl.stopping = false
+	if sl.failures > 0 {
+		sup.restarts.Inc()
+	}
+	sup.spawns.Inc()
+	sup.cfg.Logf("wbserve: supervisor started worker %s (pid %d)", sl.addr, cmd.Process.Pid)
+	sup.wg.Add(1)
+	go sup.reap(sl, cmd)
+}
+
+// reap waits for one subprocess and classifies its exit: expected (we
+// asked it to drain — backoff state resets) or a crash (backoff grows, the
+// next reconcile restarts it).
+func (sup *supervisor) reap(sl *slot, cmd *exec.Cmd) {
+	defer sup.wg.Done()
+	err := cmd.Wait()
+	sup.mu.Lock()
+	defer sup.mu.Unlock()
+	if sl.cmd != cmd {
+		return // slot was already reassigned
+	}
+	sl.cmd = nil
+	if sl.stopping {
+		sl.stopping = false
+		sl.failures = 0
+		sl.notBefore = time.Time{}
+		sup.cfg.Logf("wbserve: supervisor worker %s drained and exited", sl.addr)
+	} else {
+		sl.failures++
+		sl.notBefore = sup.clock().Add(sup.backoff(sl.failures))
+		sup.crashes.Inc()
+		sup.cfg.Logf("wbserve: supervisor worker %s crashed (%v), restart after %v (failure %d)",
+			sl.addr, err, sup.backoff(sl.failures), sl.failures)
+	}
+	sup.workers.Set(float64(sup.runningLocked()))
+}
+
+// backoff is the restart delay after n consecutive crashes.
+func (sup *supervisor) backoff(n int) time.Duration {
+	d := sup.cfg.BaseBackoff
+	for i := 1; i < n; i++ {
+		d *= 2
+		if d >= sup.cfg.MaxBackoff {
+			return sup.cfg.MaxBackoff
+		}
+	}
+	if d > sup.cfg.MaxBackoff {
+		d = sup.cfg.MaxBackoff
+	}
+	return d
+}
+
+// Stop ends the reconcile loop, SIGTERMs every worker (graceful drain
+// through the worker's own readiness states), escalates to SIGKILL after
+// the grace period, and waits for every reaper.
+func (sup *supervisor) Stop(grace time.Duration) {
+	sup.closeOnce.Do(func() { close(sup.done) })
+
+	sup.mu.Lock()
+	for _, sl := range sup.slots {
+		if sl.cmd != nil {
+			sl.stopping = true
+			_ = sl.cmd.Process.Signal(syscall.SIGTERM)
+		}
+	}
+	sup.mu.Unlock()
+
+	deadline := time.After(grace)
+	tick := time.NewTicker(20 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		sup.mu.Lock()
+		n := sup.runningLocked()
+		sup.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		select {
+		case <-deadline:
+			sup.mu.Lock()
+			for _, sl := range sup.slots {
+				if sl.cmd != nil {
+					sup.cfg.Logf("wbserve: supervisor killing worker %s (drain deadline exceeded)", sl.addr)
+					_ = sl.cmd.Process.Kill()
+				}
+			}
+			sup.mu.Unlock()
+		case <-tick.C:
+			continue
+		}
+		break
+	}
+	sup.wg.Wait()
+}
+
+// Workers reports the running subprocess count (tests and logs).
+func (sup *supervisor) Workers() int {
+	sup.mu.Lock()
+	defer sup.mu.Unlock()
+	return sup.runningLocked()
+}

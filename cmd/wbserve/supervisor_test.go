@@ -1,0 +1,172 @@
+package main
+
+import (
+	"os/exec"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// sleepSpawn builds harmless long-lived subprocesses: `sleep` exits
+// promptly on SIGTERM, which is exactly the drain behaviour the
+// supervisor expects from a real worker.
+func sleepSpawn(string) *exec.Cmd { return exec.Command("sleep", "60") }
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestSupervisorScalesWithBacklog(t *testing.T) {
+	var depth atomic.Int64
+	reg := metrics.NewRegistry()
+	sup := newSupervisor(supervisorConfig{
+		Min:      1,
+		Max:      3,
+		Addrs:    []string{"http://127.0.0.1:1", "http://127.0.0.1:2", "http://127.0.0.1:3"},
+		Spawn:    sleepSpawn,
+		Depth:    func() int { return int(depth.Load()) },
+		Interval: 10 * time.Millisecond,
+		Metrics:  reg,
+		Logf:     t.Logf,
+	})
+	defer sup.Stop(2 * time.Second)
+
+	// Idle: the floor holds one worker up.
+	waitFor(t, 2*time.Second, "min workers", func() bool { return sup.Workers() == 1 })
+
+	// Backlog of 20 jobs: ceil(20/8) = 3, at the ceiling.
+	depth.Store(20)
+	waitFor(t, 2*time.Second, "scale-up to 3", func() bool { return sup.Workers() == 3 })
+	if got := reg.Gauge("wbserve_supervisor_desired_workers").Value(); got != 3 {
+		t.Errorf("desired gauge = %v, want 3", got)
+	}
+
+	// Backlog drains: scale back to the floor; the extra workers get
+	// SIGTERM and their exits must not count as crashes.
+	depth.Store(0)
+	waitFor(t, 2*time.Second, "scale-down to 1", func() bool { return sup.Workers() == 1 })
+	if got := reg.Counter("wbserve_supervisor_crashes_total").Value(); got != 0 {
+		t.Errorf("drained workers counted as %d crashes", got)
+	}
+	if got := reg.Counter("wbserve_supervisor_spawns_total").Value(); got < 3 {
+		t.Errorf("spawns_total = %d, want >= 3", got)
+	}
+}
+
+func TestSupervisorRestartsCrashedWorker(t *testing.T) {
+	reg := metrics.NewRegistry()
+	sup := newSupervisor(supervisorConfig{
+		Min:         1,
+		Max:         1,
+		Addrs:       []string{"http://127.0.0.1:1"},
+		Spawn:       sleepSpawn,
+		Depth:       func() int { return 0 },
+		Interval:    10 * time.Millisecond,
+		BaseBackoff: 20 * time.Millisecond,
+		Metrics:     reg,
+		Logf:        t.Logf,
+	})
+	defer sup.Stop(2 * time.Second)
+
+	waitFor(t, 2*time.Second, "first worker", func() bool { return sup.Workers() == 1 })
+
+	// Murder the worker out from under the supervisor: a crash, not a drain.
+	sup.mu.Lock()
+	proc := sup.slots[0].cmd.Process
+	sup.mu.Unlock()
+	if err := proc.Kill(); err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor(t, 2*time.Second, "crash detected", func() bool {
+		return reg.Counter("wbserve_supervisor_crashes_total").Value() == 1
+	})
+	waitFor(t, 2*time.Second, "restart after backoff", func() bool {
+		return sup.Workers() == 1 && reg.Counter("wbserve_supervisor_restarts_total").Value() == 1
+	})
+
+	// The replacement is a different process.
+	sup.mu.Lock()
+	newPid := sup.slots[0].cmd.Process.Pid
+	sup.mu.Unlock()
+	if newPid == proc.Pid {
+		t.Errorf("restarted worker reused pid %d", newPid)
+	}
+}
+
+func TestSupervisorStopDrainsEverything(t *testing.T) {
+	sup := newSupervisor(supervisorConfig{
+		Min:      2,
+		Max:      2,
+		Addrs:    []string{"http://127.0.0.1:1", "http://127.0.0.1:2"},
+		Spawn:    sleepSpawn,
+		Depth:    func() int { return 0 },
+		Interval: 10 * time.Millisecond,
+		Logf:     t.Logf,
+	})
+	waitFor(t, 2*time.Second, "both workers", func() bool { return sup.Workers() == 2 })
+
+	sup.Stop(2 * time.Second)
+	if n := sup.Workers(); n != 0 {
+		t.Fatalf("%d workers survived Stop", n)
+	}
+	// Idempotent: a second Stop must not panic or hang.
+	sup.Stop(time.Second)
+}
+
+func TestSupervisorBackoffGrowsAndCaps(t *testing.T) {
+	sup := &supervisor{cfg: supervisorConfig{
+		BaseBackoff: 100 * time.Millisecond,
+		MaxBackoff:  time.Second,
+	}}
+	cases := []struct {
+		failures int
+		want     time.Duration
+	}{
+		{1, 100 * time.Millisecond},
+		{2, 200 * time.Millisecond},
+		{3, 400 * time.Millisecond},
+		{4, 800 * time.Millisecond},
+		{5, time.Second},
+		{20, time.Second},
+	}
+	for _, c := range cases {
+		if got := sup.backoff(c.failures); got != c.want {
+			t.Errorf("backoff(%d) = %v, want %v", c.failures, got, c.want)
+		}
+	}
+}
+
+func TestSupervisorDesiredCountClamps(t *testing.T) {
+	var depth int
+	sup := &supervisor{cfg: supervisorConfig{
+		Min:   1,
+		Max:   4,
+		Depth: func() int { return depth },
+	}}
+	cases := []struct{ depth, want int }{
+		{0, 1},   // floor
+		{1, 1},   // one job still needs one worker
+		{8, 1},   // exactly one worker's worth
+		{9, 2},   // spills into a second
+		{32, 4},  // at the ceiling
+		{999, 4}, // clamped
+	}
+	for _, c := range cases {
+		depth = c.depth
+		if got := sup.desiredCount(); got != c.want {
+			t.Errorf("desiredCount(depth=%d) = %d, want %d", c.depth, got, c.want)
+		}
+	}
+}

@@ -30,17 +30,18 @@ import (
 // custom policy) pass through uncached.
 type Cached struct {
 	inner  Backend
-	store  *resultstore.Store
+	store  resultstore.KV
 	hits   *metrics.Counter
 	misses *metrics.Counter
 }
 
-// NewCached wraps inner with the store.  reg, when non-nil, receives
-// dispatch_store_hits_total and dispatch_store_misses_total — the series
-// the zero-resimulation acceptance tests assert on (the store's own
+// NewCached wraps inner with the store — any resultstore.KV: a plain
+// Store, a Replicated store, or a test double.  reg, when non-nil,
+// receives dispatch_store_hits_total and dispatch_store_misses_total — the
+// series the zero-resimulation acceptance tests assert on (the store's own
 // resultstore_* series count at store granularity; these count at dispatch
 // granularity, i.e. misses == simulations actually paid for).
-func NewCached(inner Backend, store *resultstore.Store, reg *metrics.Registry) *Cached {
+func NewCached(inner Backend, store resultstore.KV, reg *metrics.Registry) *Cached {
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}

@@ -17,10 +17,11 @@ type BuildOptions struct {
 	// Empty disables journaling.
 	Checkpoint string
 	// Store is the shared content-addressed result-store directory (the
-	// -store flag).  Empty disables the store tier.  When set, the store
-	// wraps the whole stack: a sweep whose results any process already
-	// paid for — wbserve, wbexp, wbopt, any tenant — dispatches zero
-	// simulations.
+	// -store flag); a comma-separated list opens a replicated store
+	// mirroring across the listed directories.  Empty disables the store
+	// tier.  When set, the store wraps the whole stack: a sweep whose
+	// results any process already paid for — wbserve, wbexp, wbopt, any
+	// tenant — dispatches zero simulations.
 	Store string
 	// VerifyFraction, in (0, 1], re-executes that fraction of remote jobs
 	// locally and aborts on divergence (the -verify flag).
@@ -93,7 +94,7 @@ func BuildBackendOpts(opts BuildOptions) (Backend, func(), error) {
 		backend = ckpt
 	}
 	if opts.Store != "" {
-		store, err := resultstore.Open(opts.Store, resultstore.Options{
+		store, err := resultstore.OpenSpec(opts.Store, resultstore.Options{
 			Metrics: opts.Metrics,
 			Logf:    opts.Logf,
 		})
@@ -104,6 +105,11 @@ func BuildBackendOpts(opts BuildOptions) (Backend, func(), error) {
 		inner := backend
 		if inner == nil {
 			inner = &Local{Metrics: opts.Metrics}
+		}
+		innerCleanup := cleanup
+		cleanup = func() {
+			store.Close()
+			innerCleanup()
 		}
 		backend = NewCached(inner, store, opts.Metrics)
 	}

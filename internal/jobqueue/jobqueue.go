@@ -25,6 +25,12 @@
 // when the process died simply reruns.  A torn final line is skipped, like
 // the checkpoint journal.
 //
+// Growth is bounded: Resume compacts the journal after replay, rewriting
+// only the live records (runs that still have undone jobs, and the done
+// markers those runs reference) and atomically swapping the file — a
+// long-lived server replays a backlog, not its whole history.  The
+// jobqueue_journal_bytes gauge tracks the file size between restarts.
+//
 // The queue does not interpret job payloads: the machconf blob rides
 // through opaquely, so custom registered policies queue like built-ins.
 // docs/SERVING.md covers sizing, recovery semantics, and journal rotation.
@@ -37,6 +43,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 
 	"repro/internal/metrics"
@@ -77,6 +84,8 @@ type record struct {
 type Queue struct {
 	mu      sync.Mutex
 	f       *os.File        // nil for a memory-only queue
+	path    string          // journal path, "" for memory-only
+	bytes   int64           // journal size (tracked so appends stay O(1))
 	runs    map[string]*Run // every journaled run, by id
 	order   []string        // run ids in submission order
 	done    map[string]bool // keys with a durable result
@@ -88,11 +97,13 @@ type Queue struct {
 	loaded  int // runs replayed from the journal
 	skipped int // unparsable journal lines
 
-	enqueued *metrics.Counter
-	deduped  *metrics.Counter
-	doneC    *metrics.Counter
-	depth    *metrics.Gauge
-	logf     func(format string, args ...any)
+	enqueued  *metrics.Counter
+	deduped   *metrics.Counter
+	doneC     *metrics.Counter
+	compacted *metrics.Counter
+	depth     *metrics.Gauge
+	jbytes    *metrics.Gauge
+	logf      func(format string, args ...any)
 }
 
 // Open opens (creating if needed) the queue journaled at path, replaying
@@ -109,17 +120,22 @@ func Open(path string, reg *metrics.Registry, logf func(format string, args ...a
 		done:     map[string]bool{},
 		inQueue:  map[string]bool{},
 		wake:     make(chan struct{}),
-		enqueued: reg.Counter("jobqueue_enqueued_total"),
-		deduped:  reg.Counter("jobqueue_deduped_total"),
-		doneC:    reg.Counter("jobqueue_done_total"),
-		depth:    reg.Gauge("jobqueue_depth"),
-		logf:     logf,
+		enqueued:  reg.Counter("jobqueue_enqueued_total"),
+		deduped:   reg.Counter("jobqueue_deduped_total"),
+		doneC:     reg.Counter("jobqueue_done_total"),
+		compacted: reg.Counter("jobqueue_compactions_total"),
+		depth:     reg.Gauge("jobqueue_depth"),
+		jbytes:    reg.Gauge("jobqueue_journal_bytes"),
+		logf:      logf,
 	}
 	if path == "" {
 		return q, nil
 	}
+	q.path = path
 	if existing, err := os.ReadFile(path); err == nil {
 		q.replay(existing)
+		q.bytes = int64(len(existing))
+		q.jbytes.Set(float64(q.bytes))
 	} else if !os.IsNotExist(err) {
 		return nil, fmt.Errorf("jobqueue: reading journal %s: %w", path, err)
 	}
@@ -197,7 +213,109 @@ func (q *Queue) Resume(isDone func(key string) bool) int {
 			q.logf("jobqueue: resumed %d pending jobs from %d journaled runs", n, q.loaded)
 		}
 	}
+	q.compactLocked()
 	return n
+}
+
+// compactLocked rewrites the journal with only its live records — runs
+// that still have undone jobs, plus the done markers those runs reference —
+// and atomically replaces the old file.  Without this, a long-lived server
+// replays every done marker it ever wrote on each restart; with it, the
+// journal's size tracks the backlog, not the history.  Completed runs drop
+// out of the journal entirely (their results live in the store, and
+// resubmitting the same sweep reconstructs the run instantly from store
+// hits).  Callers hold mu.  Best-effort: a failed rewrite keeps the old
+// journal and is logged, never fatal.
+func (q *Queue) compactLocked() {
+	if q.f == nil || q.path == "" {
+		return
+	}
+	var liveIDs []string
+	liveDone := map[string]bool{}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, id := range q.order {
+		run := q.runs[id]
+		live := false
+		for _, j := range run.Jobs {
+			if !q.done[j.Key] {
+				live = true
+				break
+			}
+		}
+		if !live {
+			continue
+		}
+		liveIDs = append(liveIDs, id)
+		if enc.Encode(record{Op: "run", Run: run}) != nil {
+			return
+		}
+	}
+	for _, id := range liveIDs {
+		for _, j := range q.runs[id].Jobs {
+			if q.done[j.Key] && !liveDone[j.Key] {
+				liveDone[j.Key] = true
+				if enc.Encode(record{Op: "done", Key: j.Key}) != nil {
+					return
+				}
+			}
+		}
+	}
+	if int64(buf.Len()) >= q.bytes {
+		return // nothing to reclaim
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(q.path), ".journal-*")
+	if err == nil {
+		if _, err = tmp.Write(buf.Bytes()); err == nil {
+			err = tmp.Sync()
+		}
+		if cerr := tmp.Close(); err == nil {
+			err = cerr
+		}
+		if err == nil {
+			err = os.Rename(tmp.Name(), q.path)
+		}
+		if err != nil {
+			os.Remove(tmp.Name())
+		}
+	}
+	if err != nil {
+		if q.logf != nil {
+			q.logf("jobqueue: journal compaction failed (keeping old journal): %v", err)
+		}
+		return
+	}
+	// The old append handle points at the unlinked file; reopen on the new.
+	old := q.f
+	f, err := os.OpenFile(q.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		// The compacted journal is durable but unappendable — run degraded
+		// (memory-only appends) rather than crash; the next restart replays
+		// the compacted file.
+		q.f = nil
+		if q.logf != nil {
+			q.logf("jobqueue: reopening compacted journal failed, appends disabled: %v", err)
+		}
+	} else {
+		q.f = f
+	}
+	old.Close()
+	reclaimed := q.bytes - int64(buf.Len())
+	q.bytes = int64(buf.Len())
+	q.jbytes.Set(float64(q.bytes))
+	q.compacted.Inc()
+	if q.logf != nil {
+		q.logf("jobqueue: compacted journal %s: %d live runs kept, %d bytes reclaimed",
+			q.path, len(liveIDs), reclaimed)
+	}
+}
+
+// JournalBytes reports the journal's current size (0 for memory-only) —
+// the admin queue-status figure alongside Depth.
+func (q *Queue) JournalBytes() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.bytes
 }
 
 // Loaded reports how many runs the journal replayed and how many
@@ -352,6 +470,8 @@ func (q *Queue) append(rec record) error {
 	if _, err := q.f.Write(append(line, '\n')); err != nil {
 		return fmt.Errorf("jobqueue: appending journal record: %w", err)
 	}
+	q.bytes += int64(len(line) + 1)
+	q.jbytes.Set(float64(q.bytes))
 	return nil
 }
 

@@ -268,3 +268,116 @@ func TestConcurrentProducersConsumers(t *testing.T) {
 	cancel()
 	cg.Wait()
 }
+
+// Resume must compact the journal: completed runs and their done markers
+// drop out, live runs and their done markers survive, and the file shrinks
+// — while resumed semantics stay exactly as before.
+func TestResumeCompactsJournal(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "queue.jsonl")
+	reg := metrics.NewRegistry()
+	q, err := Open(path, reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One run fully completed, one half done.
+	if _, err := q.Submit(Run{ID: "complete", Jobs: []Job{job("li", "k1", ""), job("li", "k2", "")}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Submit(Run{ID: "partial", Jobs: []Job{job("go", "k3", ""), job("go", "k4", "")}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"k1", "k2", "k3"} {
+		if err := q.Done(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.Close()
+	before, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg2 := metrics.NewRegistry()
+	q2, err := Open(path, reg2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q2.Close()
+	if n := q2.Resume(nil); n != 1 {
+		t.Fatalf("resumed %d jobs, want 1 (only k4 is undone)", n)
+	}
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() >= before.Size() {
+		t.Errorf("journal did not shrink: %d -> %d bytes", before.Size(), after.Size())
+	}
+	if n := reg2.Counter("jobqueue_compactions_total").Value(); n != 1 {
+		t.Errorf("compactions = %d, want 1", n)
+	}
+	if got := q2.JournalBytes(); got != after.Size() {
+		t.Errorf("JournalBytes = %d, file is %d", got, after.Size())
+	}
+	if g := reg2.Gauge("jobqueue_journal_bytes").Value(); int64(g) != after.Size() {
+		t.Errorf("jobqueue_journal_bytes gauge = %v, file is %d", g, after.Size())
+	}
+
+	// The compacted journal must still be a correct journal: a third open
+	// sees the live run with k3 done and only k4 pending, and appends work.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	j, err := q2.Dequeue(ctx)
+	if err != nil || j.Key != "k4" {
+		t.Fatalf("Dequeue = %v, %v; want k4", j, err)
+	}
+	if err := q2.Done("k4"); err != nil {
+		t.Fatal(err)
+	}
+	q2.Close()
+
+	q3, err := Open(path, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q3.Close()
+	if n := q3.Resume(nil); n != 0 {
+		t.Errorf("third open resumed %d jobs, want 0", n)
+	}
+	if _, ok := q3.RunByID("complete"); ok {
+		t.Error("fully completed run survived compaction")
+	}
+	if !q3.IsDone("k4") {
+		t.Error("done marker appended after compaction was lost")
+	}
+}
+
+// A compaction with nothing to reclaim must leave the journal alone.
+func TestCompactionSkippedWhenNothingToReclaim(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "queue.jsonl")
+	q, err := Open(path, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Submit(Run{ID: "r", Jobs: []Job{job("li", "k1", "")}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+	before, _ := os.Stat(path)
+
+	reg := metrics.NewRegistry()
+	q2, err := Open(path, reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q2.Close()
+	q2.Resume(nil)
+	after, _ := os.Stat(path)
+	if before.Size() != after.Size() {
+		t.Errorf("journal changed size with nothing to reclaim: %d -> %d", before.Size(), after.Size())
+	}
+	if n := reg.Counter("jobqueue_compactions_total").Value(); n != 0 {
+		t.Errorf("compactions = %d, want 0", n)
+	}
+}

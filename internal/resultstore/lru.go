@@ -10,15 +10,21 @@ import (
 // wbserve result cache — a simulation costs tens of milliseconds and its
 // result is immutable, so repeated lookups must be O(1) without touching
 // disk; the bound keeps a long-lived server's memory flat.
+//
+// Entries additionally index by the machine's canonical machconf hash, so
+// EvictHash can surgically drop one configuration's cached payloads
+// without flushing unrelated hot entries.
 type lru struct {
-	mu    sync.Mutex
-	cap   int
-	order *list.List // front = most recently used; values are *lruEntry
-	items map[string]*list.Element
+	mu     sync.Mutex
+	cap    int
+	order  *list.List // front = most recently used; values are *lruEntry
+	items  map[string]*list.Element
+	byHash map[string]map[string]*list.Element // cfgHash → key → element
 }
 
 type lruEntry struct {
 	key     string
+	cfgHash string
 	payload []byte
 }
 
@@ -27,9 +33,10 @@ func newLRU(capacity int) *lru {
 		capacity = 1
 	}
 	return &lru{
-		cap:   capacity,
-		order: list.New(),
-		items: make(map[string]*list.Element, capacity),
+		cap:    capacity,
+		order:  list.New(),
+		items:  make(map[string]*list.Element, capacity),
+		byHash: make(map[string]map[string]*list.Element),
 	}
 }
 
@@ -47,20 +54,51 @@ func (c *lru) get(key string) ([]byte, bool) {
 
 // put inserts or refreshes a payload, evicting the least recently used
 // entry when over capacity.
-func (c *lru) put(key string, payload []byte) {
+func (c *lru) put(key, cfgHash string, payload []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*lruEntry).payload = payload
+		e := el.Value.(*lruEntry)
+		c.unindexLocked(e.cfgHash, key)
+		e.cfgHash, e.payload = cfgHash, payload
+		c.indexLocked(cfgHash, key, el)
 		c.order.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.order.PushFront(&lruEntry{key: key, payload: payload})
+	el := c.order.PushFront(&lruEntry{key: key, cfgHash: cfgHash, payload: payload})
+	c.items[key] = el
+	c.indexLocked(cfgHash, key, el)
 	if c.order.Len() > c.cap {
 		oldest := c.order.Back()
-		c.order.Remove(oldest)
-		delete(c.items, oldest.Value.(*lruEntry).key)
+		c.removeLocked(oldest)
 	}
+}
+
+// indexLocked and unindexLocked maintain the hash → keys secondary index.
+func (c *lru) indexLocked(cfgHash, key string, el *list.Element) {
+	m := c.byHash[cfgHash]
+	if m == nil {
+		m = make(map[string]*list.Element)
+		c.byHash[cfgHash] = m
+	}
+	m[key] = el
+}
+
+func (c *lru) unindexLocked(cfgHash, key string) {
+	if m := c.byHash[cfgHash]; m != nil {
+		delete(m, key)
+		if len(m) == 0 {
+			delete(c.byHash, cfgHash)
+		}
+	}
+}
+
+// removeLocked drops one element from every structure.
+func (c *lru) removeLocked(el *list.Element) {
+	e := el.Value.(*lruEntry)
+	c.order.Remove(el)
+	delete(c.items, e.key)
+	c.unindexLocked(e.cfgHash, e.key)
 }
 
 // len reports the current entry count.
@@ -70,10 +108,15 @@ func (c *lru) len() int {
 	return c.order.Len()
 }
 
-// clear empties the tier (EvictHash cannot search it by hash).
-func (c *lru) clear() {
+// evictHash removes exactly the entries carrying the given machconf hash,
+// leaving unrelated hot entries resident.  Returns how many were dropped.
+func (c *lru) evictHash(cfgHash string) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.order.Init()
-	c.items = make(map[string]*list.Element, c.cap)
+	victims := c.byHash[cfgHash]
+	n := len(victims)
+	for _, el := range victims {
+		c.removeLocked(el)
+	}
+	return n
 }

@@ -1,0 +1,312 @@
+package resultstore_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/resultstore"
+)
+
+func openReplicated(t *testing.T, dirs []string, reg *metrics.Registry) *resultstore.Replicated {
+	t.Helper()
+	r, err := resultstore.OpenReplicated(dirs, resultstore.Options{Metrics: reg, MemoryEntries: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+// entryFiles lists the entry files under one replica root.
+func entryFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	var out []string
+	filepath.Walk(dir, func(p string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && strings.HasSuffix(p, ".json") {
+			out = append(out, p)
+		}
+		return nil
+	})
+	return out
+}
+
+// corruptFile flips payload bytes in place, keeping the file parseable so
+// only the checksum catches it.
+func corruptFile(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	garbled := strings.Replace(string(data), `"cpi":`, `"cpi":9`, 1)
+	if garbled == string(data) {
+		garbled = "not json at all"
+	}
+	if err := os.WriteFile(path, []byte(garbled), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplicatedPutMirrorsAllReplicas(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	r := openReplicated(t, []string{dirA, dirB}, nil)
+	key := resultstore.Key("li", 1000, "aa")
+	if err := r.Put(key, "aa", []byte(`{"cpi":1.5}`)); err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range []string{dirA, dirB} {
+		if got := entryFiles(t, dir); len(got) != 1 {
+			t.Errorf("replica %s holds %d entries, want 1", dir, len(got))
+		}
+	}
+	if got, ok := r.Get(key); !ok || string(got) != `{"cpi":1.5}` {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+}
+
+// A corrupt copy in the first replica must never be served: the healthy
+// second replica answers, the corrupt copy is quarantined, and read-repair
+// rewrites it — all within one Get.
+func TestReplicatedReadRepair(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	key := resultstore.Key("li", 1000, "aa")
+	{
+		r := openReplicated(t, []string{dirA, dirB}, nil)
+		if err := r.Put(key, "aa", []byte(`{"cpi":1.5}`)); err != nil {
+			t.Fatal(err)
+		}
+		r.Close()
+	}
+	corruptFile(t, entryFiles(t, dirA)[0])
+
+	reg := metrics.NewRegistry()
+	fresh, err := resultstore.OpenReplicated([]string{dirA, dirB}, resultstore.Options{Metrics: reg, MemoryEntries: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	got, ok := fresh.Get(key)
+	if !ok || string(got) != `{"cpi":1.5}` {
+		t.Fatalf("Get through corrupt first replica = %q, %v", got, ok)
+	}
+	if n := reg.Counter("sim_store_repair_total").Value(); n != 1 {
+		t.Errorf("repairs = %d, want 1 (read-repair)", n)
+	}
+	// The repaired copy in replica A must be healthy again.
+	rep := fresh.Scrub()
+	if rep.Entries != 1 || rep.Healthy != 1 || rep.CorruptCopies != 0 {
+		t.Errorf("post-repair scrub = %+v, want 1 healthy entry", rep)
+	}
+	// The corrupt original was preserved for inspection.
+	if _, err := os.Stat(filepath.Join(dirA, resultstore.QuarantineDir)); err != nil {
+		t.Error("corrupt copy was not quarantined")
+	}
+}
+
+func TestReplicatedScrubRepairsBitrot(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	reg := metrics.NewRegistry()
+	r := openReplicated(t, []string{dirA, dirB}, reg)
+	var keys []string
+	for i := 0; i < 5; i++ {
+		k := resultstore.Key("li", uint64(1000+i), "aa")
+		keys = append(keys, k)
+		if err := r.Put(k, "aa", []byte(fmt.Sprintf(`{"cpi":1.%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victims := entryFiles(t, dirB)
+	corruptFile(t, victims[0])
+	corruptFile(t, victims[1])
+
+	rep := r.Scrub()
+	if rep.Entries != 5 || rep.CorruptCopies != 2 || rep.Repaired != 2 || rep.Unrecoverable != 0 {
+		t.Fatalf("scrub = %+v, want 5 entries, 2 corrupt, 2 repaired", rep)
+	}
+	if n := reg.Counter("sim_store_scrub_corrupt_total").Value(); n != 2 {
+		t.Errorf("sim_store_scrub_corrupt_total = %d, want 2", n)
+	}
+	// A second pass finds everything healthy.
+	rep = r.Scrub()
+	if rep.Healthy != 5 || rep.CorruptCopies != 0 || rep.Repaired != 0 {
+		t.Errorf("second scrub = %+v, want 5 healthy", rep)
+	}
+	for _, k := range keys {
+		if _, ok := r.Get(k); !ok {
+			t.Errorf("key %s lost after scrub", k)
+		}
+	}
+}
+
+// Deleting a replica wholesale — the disk died — must heal entirely from
+// the surviving replica, without re-simulating anything.
+func TestReplicatedWholeReplicaLoss(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	r := openReplicated(t, []string{dirA, dirB}, nil)
+	for i := 0; i < 4; i++ {
+		k := resultstore.Key("go", uint64(i), "bb")
+		if err := r.Put(k, "bb", []byte(fmt.Sprintf(`{"i":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.RemoveAll(dirB); err != nil {
+		t.Fatal(err)
+	}
+	rep := r.Scrub()
+	if rep.MissingCopies != 4 || rep.Repaired != 4 || rep.Unrecoverable != 0 {
+		t.Fatalf("scrub after replica loss = %+v, want 4 missing, 4 repaired", rep)
+	}
+	if got := entryFiles(t, dirB); len(got) != 4 {
+		t.Errorf("rebuilt replica holds %d entries, want 4", len(got))
+	}
+	rep = r.Scrub()
+	if rep.Healthy != 4 {
+		t.Errorf("post-heal scrub = %+v, want 4 healthy", rep)
+	}
+}
+
+// When every copy of an entry is corrupt there is nothing to repair from:
+// the copies are quarantined, the entry counts unrecoverable, and the next
+// Get is an honest miss (the job re-simulates).
+func TestReplicatedUnrecoverableEntry(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	key := resultstore.Key("li", 7, "cc")
+	{
+		r := openReplicated(t, []string{dirA, dirB}, nil)
+		if err := r.Put(key, "cc", []byte(`{"cpi":2.5}`)); err != nil {
+			t.Fatal(err)
+		}
+		r.Close()
+	}
+	corruptFile(t, entryFiles(t, dirA)[0])
+	corruptFile(t, entryFiles(t, dirB)[0])
+
+	fresh := openReplicated(t, []string{dirA, dirB}, nil)
+	rep := fresh.Scrub()
+	if rep.Unrecoverable != 1 || rep.CorruptCopies != 2 {
+		t.Fatalf("scrub = %+v, want 1 unrecoverable from 2 corrupt copies", rep)
+	}
+	if _, ok := fresh.Get(key); ok {
+		t.Error("unrecoverable entry served as a hit")
+	}
+}
+
+func TestReplicatedEvictHashAndPrune(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	r := openReplicated(t, []string{dirA, dirB}, nil)
+	r.Put(resultstore.Key("li", 1, "bad"), "bad", []byte(`{}`))
+	r.Put(resultstore.Key("li", 1, "good"), "good", []byte(`{}`))
+	n, err := r.EvictHash("bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 { // one copy per replica
+		t.Errorf("EvictHash removed %d copies, want 2", n)
+	}
+	if _, ok := r.Get(resultstore.Key("li", 1, "bad")); ok {
+		t.Error("evicted entry still served")
+	}
+	if _, ok := r.Get(resultstore.Key("li", 1, "good")); !ok {
+		t.Error("unrelated entry evicted")
+	}
+	removed, err := r.Prune(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 {
+		t.Errorf("Prune removed %d copies, want 2", removed)
+	}
+	if d, _, _ := r.Stats(); d != 0 {
+		t.Errorf("entries after full prune = %d, want 0", d)
+	}
+}
+
+// Close must stop the scrubber goroutine: no leak, and Close is idempotent
+// and safe concurrently with a running pass.
+func TestReplicatedScrubberShutdownNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	r, err := resultstore.OpenReplicated([]string{t.TempDir(), t.TempDir()}, resultstore.Options{
+		MemoryEntries: 8,
+		ScrubInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Put(resultstore.Key("li", 1, "h"), "h", []byte(`{}`))
+	time.Sleep(20 * time.Millisecond) // let a few passes run
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Errorf("goroutines after Close = %d, was %d before Open — scrubber leaked", now, before)
+	}
+	_, when, passes := r.LastScrub()
+	if passes == 0 || when.IsZero() {
+		t.Errorf("scrubber never ran: passes = %d", passes)
+	}
+}
+
+// Put/Get racing Verify, Prune, EvictHash, and Scrub — run under -race in
+// CI.  Correctness bar: no data race, and every key written before the
+// maintenance storm is still served afterwards.
+func TestReplicatedConcurrentMaintenance(t *testing.T) {
+	dirs := []string{t.TempDir(), t.TempDir()}
+	r := openReplicated(t, dirs, nil)
+	const keys = 32
+	for i := 0; i < keys; i++ {
+		k := resultstore.Key("li", uint64(i), "hot")
+		if err := r.Put(k, "hot", []byte(fmt.Sprintf(`{"i":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	worker := func(fn func(i int)) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					fn(i)
+				}
+			}
+		}()
+	}
+	worker(func(i int) { r.Get(resultstore.Key("li", uint64(i%keys), "hot")) })
+	worker(func(i int) {
+		r.Put(resultstore.Key("compress", uint64(i%keys), "cold"), "cold", []byte(`{}`))
+	})
+	worker(func(int) { r.Verify() })
+	worker(func(int) { r.Scrub() })
+	worker(func(int) { r.Prune(10 * keys) }) // bound above population: exercise scan, remove nothing
+	worker(func(int) { r.EvictHash("absent") })
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	for i := 0; i < keys; i++ {
+		if _, ok := r.Get(resultstore.Key("li", uint64(i), "hot")); !ok {
+			t.Errorf("key %d lost during concurrent maintenance", i)
+		}
+	}
+}
+
+// Replicated satisfies the full serving-layer interface.
+var _ resultstore.Interface = (*resultstore.Replicated)(nil)
+var _ resultstore.Interface = (*resultstore.Store)(nil)

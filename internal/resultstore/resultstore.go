@@ -19,7 +19,8 @@
 // PR 5 result-integrity format (hex SHA-256 over `hash\npayload`, the same
 // construction as dispatch.Checksum — asserted against it by test).  Reads
 // verify the checksum and the embedded key before returning; a corrupt
-// entry counts as a miss, is quarantined out of the lookup path, and the
+// entry counts as a miss, is quarantined into the root's `quarantine/`
+// subdirectory (out of the lookup path, preserved for inspection), and the
 // affected job simply re-simulates.  Writes are write-then-rename with an
 // fsync in between, so a torn write can never be read back as a valid
 // entry.
@@ -28,8 +29,15 @@
 // repeated-lookup behaviour the old wbserve cache provided.  Open with an
 // empty directory path for a memory-only store (the old behaviour exactly).
 //
+// Replication.  OpenReplicated (replicated.go) mirrors the same envelope
+// format across N directory replicas with first-healthy-copy-wins reads,
+// read-repair, and a background scrubber that detects bitrot and heals
+// replicas from each other — the store survives disk corruption and whole
+// replica loss without re-simulating anything.
+//
 // docs/SERVING.md is the operator guide: sizing, garbage collection
-// (Prune), and the cache-poisoning runbook built on Verify and EvictHash.
+// (Prune), replication, scrubbing, and the cache-poisoning and disk-fault
+// runbooks built on the admin API.
 package resultstore
 
 import (
@@ -45,6 +53,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/metrics"
 )
@@ -69,6 +78,11 @@ func Checksum(cfgHash string, payload []byte) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// QuarantineDir is the subdirectory of a store root that holds quarantined
+// corrupt entries (renamed with a ".corrupt" suffix so they never match the
+// entry scan).
+const QuarantineDir = "quarantine"
+
 // entry is the on-disk envelope, one JSON object per file.
 type entry struct {
 	V        int             `json:"v"`
@@ -76,6 +90,66 @@ type entry struct {
 	CfgHash  string          `json:"config_hash"`
 	Checksum string          `json:"checksum"`
 	Payload  json.RawMessage `json:"payload"`
+}
+
+// Disk is the store's filesystem seam: every entry read and every atomic
+// entry write goes through it, so deterministic disk faults — bitrot, torn
+// writes, ENOSPC, read errors — can be injected from the outside
+// (internal/faultline's DiskInjector implements this interface
+// structurally).  The zero value of a store uses the real filesystem.
+type Disk interface {
+	// ReadFile returns the file's bytes, os.ReadFile semantics.
+	ReadFile(path string) ([]byte, error)
+	// WriteFile atomically publishes data at path: temp file in the final
+	// directory, fsync, rename.
+	WriteFile(path string, data []byte) error
+}
+
+// osDisk is the real filesystem.
+type osDisk struct{}
+
+func (osDisk) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (osDisk) WriteFile(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".put-*")
+	if err != nil {
+		return err
+	}
+	if _, err = tmp.Write(data); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// KV is the minimal Get/Put surface the dispatch layer consumes
+// (dispatch.Cached); both Store and Replicated satisfy it.
+type KV interface {
+	Get(key string) ([]byte, bool)
+	Put(key, cfgHash string, payload []byte) error
+}
+
+// Interface is the full store surface the serving layer consumes: KV plus
+// the maintenance operations the wbserve admin API exposes.  Store and
+// Replicated both implement it, so `-store dir` and `-store dirA,dirB`
+// plug into the same platform.
+type Interface interface {
+	KV
+	Verify() (ok, corrupt int, err error)
+	EvictHash(cfgHash string) (int, error)
+	Prune(maxEntries int) (int, error)
+	Stats() (diskEntries int, diskBytes int64, memEntries int)
+	Close() error
 }
 
 // Options configures Open.
@@ -89,6 +163,15 @@ type Options struct {
 	// Logf, when non-nil, receives operational events: corrupt entries
 	// quarantined, GC sweeps, evictions by hash.
 	Logf func(format string, args ...any)
+	// Disk, when non-nil, replaces the real filesystem for entry reads and
+	// writes — the deterministic disk-fault seam.  Directory creation,
+	// renames, and scans stay real: faults target entry bytes, not the
+	// directory tree.
+	Disk Disk
+	// ScrubInterval, when positive, starts the background scrubber on a
+	// Replicated store (OpenReplicated); passes run on a ±20%-jittered
+	// interval until Close.  Ignored by a plain Store.
+	ScrubInterval time.Duration
 }
 
 // Store is the two-tier result store.  All methods are safe for concurrent
@@ -96,8 +179,9 @@ type Options struct {
 // directory (atomic rename makes concurrent writers last-write-wins with
 // identical content, which determinism guarantees).
 type Store struct {
-	dir string
-	mem *lru
+	dir  string
+	mem  *lru
+	disk Disk
 
 	logf func(format string, args ...any)
 
@@ -124,9 +208,14 @@ func Open(dir string, opts Options) (*Store, error) {
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
+	disk := opts.Disk
+	if disk == nil {
+		disk = osDisk{}
+	}
 	s := &Store{
 		dir:      dir,
 		mem:      newLRU(opts.MemoryEntries),
+		disk:     disk,
 		logf:     opts.Logf,
 		hitsMem:  reg.Counter(metrics.Label("resultstore_hits_total", "tier", "memory")),
 		hitsDisk: reg.Counter(metrics.Label("resultstore_hits_total", "tier", "disk")),
@@ -153,6 +242,10 @@ func Open(dir string, opts Options) (*Store, error) {
 // Dir reports the disk-tier root, empty for a memory-only store.
 func (s *Store) Dir() string { return s.dir }
 
+// Close releases nothing for a plain store — it exists so Store satisfies
+// Interface alongside Replicated, whose Close stops the scrubber.
+func (s *Store) Close() error { return nil }
+
 // path maps a key to its content-addressed entry file.
 func (s *Store) path(key string) string {
 	sum := sha256.Sum256([]byte(key))
@@ -163,54 +256,72 @@ func (s *Store) path(key string) string {
 // Get returns the stored payload for key.  The memory tier answers first;
 // a disk hit is checksum-verified, promoted into the memory tier, and
 // counted under its own tier label.  A corrupt disk entry is quarantined
-// (renamed aside so it stops matching) and reported as a miss.
+// (moved into quarantine/ so it stops matching) and reported as a miss.
 func (s *Store) Get(key string) ([]byte, bool) {
 	if p, ok := s.mem.get(key); ok {
 		s.hitsMem.Inc()
 		return p, true
 	}
-	if s.dir == "" {
+	payload, cfgHash, ok := s.getEntry(key)
+	if !ok {
 		s.misses.Inc()
 		return nil, false
 	}
-	path := s.path(key)
-	data, err := os.ReadFile(path)
-	if err != nil {
-		s.misses.Inc()
-		return nil, false
-	}
-	payload, err := decodeEntry(data, key)
-	if err != nil {
-		s.corrupt.Inc()
-		s.quarantine(path, err)
-		s.misses.Inc()
-		return nil, false
-	}
-	s.mem.put(key, payload)
+	s.mem.put(key, cfgHash, payload)
 	s.hitsDisk.Inc()
 	return payload, true
 }
 
-// decodeEntry validates one envelope against the key it was looked up by.
-func decodeEntry(data []byte, key string) ([]byte, error) {
-	var e entry
-	if err := json.Unmarshal(data, &e); err != nil {
-		return nil, fmt.Errorf("unparsable envelope: %w", err)
+// getEntry reads and validates one disk entry without touching the memory
+// tier, returning the payload and its attesting machconf hash — the
+// building block Replicated's first-healthy-copy-wins reads and read-repair
+// are made of.  A corrupt entry is quarantined and reported missing.
+func (s *Store) getEntry(key string) (payload []byte, cfgHash string, ok bool) {
+	if s.dir == "" {
+		return nil, "", false
 	}
-	if e.Key != key {
-		return nil, fmt.Errorf("entry key %q does not match lookup key %q", e.Key, key)
+	path := s.path(key)
+	data, err := s.disk.ReadFile(path)
+	if err != nil {
+		return nil, "", false
 	}
-	if got := Checksum(e.CfgHash, e.Payload); got != e.Checksum {
-		return nil, errors.New("checksum mismatch")
+	e, err := decodeEntry(data, key)
+	if err != nil {
+		s.corrupt.Inc()
+		s.quarantine(path, err)
+		return nil, "", false
 	}
-	return e.Payload, nil
+	return e.Payload, e.CfgHash, true
 }
 
-// quarantine moves a failed entry out of the lookup path so the corruption
-// is preserved for inspection but never served; the job re-simulates.
+// decodeEntry validates one envelope against the key it was looked up by.
+func decodeEntry(data []byte, key string) (entry, error) {
+	var e entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return entry{}, fmt.Errorf("unparsable envelope: %w", err)
+	}
+	if e.Key != key {
+		return entry{}, fmt.Errorf("entry key %q does not match lookup key %q", e.Key, key)
+	}
+	if got := Checksum(e.CfgHash, e.Payload); got != e.Checksum {
+		return entry{}, errors.New("checksum mismatch")
+	}
+	return e, nil
+}
+
+// quarantine moves a failed entry into the root's quarantine/ subdirectory
+// so the corruption is preserved for inspection but never served; the job
+// re-simulates (or, under a Replicated store, is repaired from a healthy
+// replica).  The ".corrupt" suffix keeps quarantined files out of entry
+// scans.
 func (s *Store) quarantine(path string, cause error) {
-	dst := path + ".corrupt"
-	if err := os.Rename(path, dst); err != nil {
+	qdir := filepath.Join(s.dir, QuarantineDir)
+	dst := filepath.Join(qdir, filepath.Base(path)+".corrupt")
+	err := os.MkdirAll(qdir, 0o755)
+	if err == nil {
+		err = os.Rename(path, dst)
+	}
+	if err != nil {
 		os.Remove(path) // last resort: make the bad bytes unreachable
 		dst = "(removed)"
 	}
@@ -219,15 +330,40 @@ func (s *Store) quarantine(path string, cause error) {
 	}
 }
 
+// Quarantined reports how many corrupt entries sit in the quarantine
+// subdirectory — the admin status endpoint's "how bad was it" figure.
+func (s *Store) Quarantined() int {
+	if s.dir == "" {
+		return 0
+	}
+	names, err := os.ReadDir(filepath.Join(s.dir, QuarantineDir))
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, d := range names {
+		if !d.IsDir() && strings.HasSuffix(d.Name(), ".corrupt") {
+			n++
+		}
+	}
+	return n
+}
+
 // Put stores a payload under key, attested by the machine's canonical
 // machconf hash.  The write is atomic: a temp file in the final directory,
 // fsync, then rename — a reader (or a crash) can never observe a torn
 // entry.  The memory tier is updated either way.
 func (s *Store) Put(key, cfgHash string, payload []byte) error {
-	s.mem.put(key, payload)
+	s.mem.put(key, cfgHash, payload)
 	if s.dir == "" {
 		return nil
 	}
+	return s.putDisk(key, cfgHash, payload)
+}
+
+// putDisk writes the disk entry only — the repair path, which must not
+// disturb the memory tier's recency order.
+func (s *Store) putDisk(key, cfgHash string, payload []byte) error {
 	e := entry{V: 1, Key: key, CfgHash: cfgHash, Checksum: Checksum(cfgHash, payload), Payload: payload}
 	blob, err := json.Marshal(e)
 	if err != nil {
@@ -237,27 +373,12 @@ func (s *Store) Put(key, cfgHash string, payload []byte) error {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return fmt.Errorf("resultstore: %w", err)
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".put-*")
-	if err != nil {
-		return fmt.Errorf("resultstore: %w", err)
-	}
-	if _, err = tmp.Write(blob); err == nil {
-		err = tmp.Sync()
-	}
-	if cerr := tmp.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("resultstore: writing %s: %w", key, err)
-	}
 	fresh := true
 	if _, err := os.Stat(path); err == nil {
 		fresh = false // deterministic overwrite of an identical entry
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("resultstore: publishing %s: %w", key, err)
+	if err := s.disk.WriteFile(path, blob); err != nil {
+		return fmt.Errorf("resultstore: writing %s: %w", key, err)
 	}
 	s.writes.Inc()
 	if fresh {
@@ -267,7 +388,8 @@ func (s *Store) Put(key, cfgHash string, payload []byte) error {
 }
 
 // scan walks the disk tier, counting entries and total bytes; visit, when
-// non-nil, is called with each entry path.
+// non-nil, is called with each entry path.  Quarantined files carry a
+// ".corrupt" suffix and never match.
 func (s *Store) scan(visit func(path string, info fs.FileInfo)) (int, int64, error) {
 	n, bytes := 0, int64(0)
 	err := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
@@ -289,6 +411,21 @@ func (s *Store) scan(visit func(path string, info fs.FileInfo)) (int, int64, err
 		return 0, 0, fmt.Errorf("resultstore: scanning %s: %w", s.dir, err)
 	}
 	return n, bytes, nil
+}
+
+// entryNames lists the relative entry paths ("ab/ab…cd.json") currently in
+// the disk tier — the scrubber's unit of work.
+func (s *Store) entryNames() ([]string, error) {
+	if s.dir == "" {
+		return nil, nil
+	}
+	var names []string
+	_, _, err := s.scan(func(p string, _ fs.FileInfo) {
+		if rel, err := filepath.Rel(s.dir, p); err == nil {
+			names = append(names, rel)
+		}
+	})
+	return names, err
 }
 
 // Stats reports the disk tier's entry count and total size in bytes, plus
@@ -317,7 +454,7 @@ func (s *Store) Verify() (ok, corrupt int, err error) {
 		return 0, 0, err
 	}
 	for _, p := range paths {
-		data, rerr := os.ReadFile(p)
+		data, rerr := s.disk.ReadFile(p)
 		if rerr != nil {
 			continue // raced with eviction
 		}
@@ -341,10 +478,11 @@ func (s *Store) Verify() (ok, corrupt int, err error) {
 // EvictHash removes every entry whose machine is the given canonical
 // machconf hash, across all benchmarks and instruction counts — the
 // runbook's targeted response when one configuration's results are
-// suspect.  The memory tier is cleared wholesale (it cannot be searched by
-// hash and rebuilding it is cheap).  Returns how many entries were removed.
+// suspect.  The memory tier drops exactly the entries carrying that hash;
+// unrelated hot entries stay resident.  Returns how many disk entries were
+// removed.
 func (s *Store) EvictHash(cfgHash string) (int, error) {
-	s.mem.clear()
+	s.mem.evictHash(cfgHash)
 	if s.dir == "" {
 		return 0, nil
 	}
@@ -352,7 +490,7 @@ func (s *Store) EvictHash(cfgHash string) (int, error) {
 	defer s.mu.Unlock()
 	var victims []string
 	_, _, err := s.scan(func(p string, _ fs.FileInfo) {
-		data, err := os.ReadFile(p)
+		data, err := s.disk.ReadFile(p)
 		if err != nil {
 			return
 		}

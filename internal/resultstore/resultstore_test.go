@@ -118,8 +118,12 @@ func TestCorruptEntryQuarantined(t *testing.T) {
 	if _, err := os.Stat(entryPath); !os.IsNotExist(err) {
 		t.Error("corrupt entry still in the lookup path")
 	}
-	if _, err := os.Stat(entryPath + ".corrupt"); err != nil {
-		t.Error("corrupt entry was not preserved for inspection")
+	quarantined := filepath.Join(dir, resultstore.QuarantineDir, filepath.Base(entryPath)+".corrupt")
+	if _, err := os.Stat(quarantined); err != nil {
+		t.Error("corrupt entry was not preserved in quarantine/ for inspection")
+	}
+	if n := fresh.Quarantined(); n != 1 {
+		t.Errorf("Quarantined() = %d, want 1", n)
 	}
 }
 

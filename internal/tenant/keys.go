@@ -1,0 +1,134 @@
+package tenant
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Authentication.  The platform's identity header (X-WB-Tenant) is honest
+// multi-tenancy, not security: anyone can claim any name.  A Keyring turns
+// it into an authenticated identity — a JSON file maps tenant names to
+// bearer tokens, requests present `Authorization: Bearer <token>`, and the
+// keyring resolves the token back to the tenant that owns it.  Admin-only
+// operations (the /admin store and queue surface) additionally require the
+// tenant's "admin" bit.
+//
+// Keys file format (wbserve -authkeys):
+//
+//	{
+//	  "alice": {"token": "s3cr3t-alice", "admin": false},
+//	  "ops":   {"token": "s3cr3t-ops",   "admin": true}
+//	}
+//
+// Lookup is by token, constant-time over the whole keyring: every stored
+// token is compared as a fixed-width SHA-256 digest, so neither token
+// length nor early-mismatch timing leaks which byte went wrong or which
+// tenants exist.  An empty keyring (no -authkeys flag) disables
+// authentication: identity stays header-declared and /admin refuses
+// everything — the safe default for the single-operator laptop case is
+// documented in docs/SERVING.md's auth section.
+
+// Key is one tenant's credential.
+type Key struct {
+	// Token is the bearer secret presented in the Authorization header.
+	Token string `json:"token"`
+	// Admin grants the /admin surface: store verify/evict/prune, queue
+	// status, scrub reports.
+	Admin bool `json:"admin,omitempty"`
+}
+
+// Identity is an authenticated caller.
+type Identity struct {
+	// Name is the tenant name the presented token belongs to.
+	Name string
+	// Admin reports whether the tenant holds the admin bit.
+	Admin bool
+}
+
+// Keyring resolves bearer tokens to tenant identities.  Immutable after
+// load; safe for concurrent use.
+type Keyring struct {
+	// byDigest keys tenants by the SHA-256 of their token, giving every
+	// comparison a fixed width regardless of token length.
+	entries []keyEntry
+}
+
+type keyEntry struct {
+	digest [sha256.Size]byte
+	id     Identity
+}
+
+// LoadKeyring reads a keys file.  An empty path returns a nil keyring
+// (authentication disabled); a missing or malformed file is an error —
+// silently serving unauthenticated because the keys file had a typo is the
+// one failure mode this API refuses to have.
+func LoadKeyring(path string) (*Keyring, error) {
+	if path == "" {
+		return nil, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("tenant: %w", err)
+	}
+	var raw map[string]Key
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&raw); err != nil {
+		return nil, fmt.Errorf("tenant: parsing keys file %s: %w", path, err)
+	}
+	k := &Keyring{}
+	seen := map[[sha256.Size]byte]string{}
+	for name, key := range raw {
+		if name == "" || key.Token == "" {
+			return nil, fmt.Errorf("tenant: keys file %s: every entry needs a tenant name and a token", path)
+		}
+		d := sha256.Sum256([]byte(key.Token))
+		if other, dup := seen[d]; dup {
+			return nil, fmt.Errorf("tenant: keys file %s: tenants %q and %q share a token", path, other, name)
+		}
+		seen[d] = name
+		k.entries = append(k.entries, keyEntry{digest: d, id: Identity{Name: name, Admin: key.Admin}})
+	}
+	if len(k.entries) == 0 {
+		return nil, fmt.Errorf("tenant: keys file %s holds no keys", path)
+	}
+	return k, nil
+}
+
+// Enabled reports whether authentication is on.  A nil keyring is off.
+func (k *Keyring) Enabled() bool { return k != nil && len(k.entries) > 0 }
+
+// Authenticate resolves a bearer token.  The scan is constant-time over
+// the whole keyring — every entry is compared, full width, regardless of
+// where (or whether) a match occurs.
+func (k *Keyring) Authenticate(token string) (Identity, bool) {
+	if !k.Enabled() || token == "" {
+		return Identity{}, false
+	}
+	d := sha256.Sum256([]byte(token))
+	var found Identity
+	ok := 0
+	for _, e := range k.entries {
+		if subtle.ConstantTimeCompare(d[:], e.digest[:]) == 1 {
+			found = e.id
+			ok = 1
+		}
+	}
+	return found, ok == 1
+}
+
+// BearerToken extracts the token from an Authorization header value,
+// accepting the standard `Bearer <token>` scheme (case-insensitive
+// scheme, per RFC 6750).  Empty when absent or malformed.
+func BearerToken(header string) string {
+	const scheme = "bearer "
+	if len(header) > len(scheme) && strings.EqualFold(header[:len(scheme)], scheme) {
+		return strings.TrimSpace(header[len(scheme):])
+	}
+	return ""
+}

@@ -1,0 +1,94 @@
+package tenant
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeKeys(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "keys.json")
+	if err := os.WriteFile(path, []byte(body), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadKeyringAndAuthenticate(t *testing.T) {
+	path := writeKeys(t, `{
+		"alice": {"token": "tok-alice"},
+		"ops":   {"token": "tok-ops", "admin": true}
+	}`)
+	k, err := LoadKeyring(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k.Enabled() {
+		t.Fatal("keyring loaded but not enabled")
+	}
+	id, ok := k.Authenticate("tok-ops")
+	if !ok || id.Name != "ops" || !id.Admin {
+		t.Fatalf("tok-ops resolved to %+v, ok=%v", id, ok)
+	}
+	id, ok = k.Authenticate("tok-alice")
+	if !ok || id.Name != "alice" || id.Admin {
+		t.Fatalf("tok-alice resolved to %+v, ok=%v", id, ok)
+	}
+	if _, ok := k.Authenticate("tok-nobody"); ok {
+		t.Fatal("unknown token authenticated")
+	}
+	if _, ok := k.Authenticate(""); ok {
+		t.Fatal("empty token authenticated")
+	}
+}
+
+func TestLoadKeyringEmptyPathDisablesAuth(t *testing.T) {
+	k, err := LoadKeyring("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Enabled() {
+		t.Fatal("nil keyring reports enabled")
+	}
+	if _, ok := k.Authenticate("anything"); ok {
+		t.Fatal("nil keyring authenticated a token")
+	}
+}
+
+func TestLoadKeyringRejectsBadFiles(t *testing.T) {
+	cases := map[string]string{
+		"missing file":  filepath.Join(t.TempDir(), "nope.json"),
+		"bad JSON":      writeKeys(t, `{"alice": `),
+		"empty token":   writeKeys(t, `{"alice": {"token": ""}}`),
+		"unknown field": writeKeys(t, `{"alice": {"token": "x", "superuser": true}}`),
+		"dup token":     writeKeys(t, `{"a": {"token": "same"}, "b": {"token": "same"}}`),
+		"no keys":       writeKeys(t, `{}`),
+	}
+	for name, path := range cases {
+		if _, err := LoadKeyring(path); err == nil {
+			t.Errorf("%s: LoadKeyring accepted it", name)
+		}
+	}
+}
+
+func TestBearerToken(t *testing.T) {
+	cases := []struct{ header, want string }{
+		{"Bearer tok-1", "tok-1"},
+		{"bearer tok-1", "tok-1"},
+		{"BEARER  tok-1 ", "tok-1"},
+		{"Basic dXNlcjpwYXNz", ""},
+		{"Bearer", ""},
+		{"", ""},
+		{"tok-1", ""},
+	}
+	for _, c := range cases {
+		if got := BearerToken(c.header); got != c.want {
+			t.Errorf("BearerToken(%q) = %q, want %q", c.header, got, c.want)
+		}
+	}
+	if got := BearerToken("Bearer " + strings.Repeat("x", 100)); got != strings.Repeat("x", 100) {
+		t.Errorf("long token mangled: %q", got)
+	}
+}

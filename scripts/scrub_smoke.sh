@@ -1,0 +1,173 @@
+#!/usr/bin/env bash
+# scrub_smoke.sh — self-healing smoke for the replicated store, the admin
+# surface, and the worker supervisor.
+#
+# One wbserve process runs the full robustness stack at once: a two-replica
+# result store with a fast background scrubber, bearer-token auth with the
+# /admin surface enabled, and -supervise managing local worker
+# subprocesses.  Mid-sweep the script flips a bit in a stored entry on the
+# first replica (the one reads hit first) and SIGKILLs a supervised
+# worker, then asserts:
+#
+#   1. the supervisor counts the crash and restarts the worker, keeping
+#      the pool within [minworkers, maxworkers],
+#   2. the sweep completes byte-identical to a baseline server that saw
+#      no faults at all,
+#   3. the scrubber (background or via POST /admin/store/verify) detects
+#      the corrupt copy, quarantines it, and repairs it from the healthy
+#      replica — the final verify reports zero corruption,
+#   4. the admin surface enforces auth: no token answers 401, a non-admin
+#      token answers 403.
+#
+# Run it from the repository root:  make scrub-smoke
+set -euo pipefail
+
+PORT="${WB_SCRUB_PORT:-8183}"
+WPORT="${WB_SCRUB_WORKER_PORT:-8290}"
+BASE="http://127.0.0.1:$PORT"
+TMP="$(mktemp -d)"
+BIN="$TMP/wbserve"
+SERVER_PID=""
+ADMIN='Authorization: Bearer tok-ops'
+USER='Authorization: Bearer tok-alice'
+
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  pkill -f "$BIN -worker" 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() { echo "scrub-smoke: FAIL: $*" >&2; sed -n '1,50p' "$TMP/server.log" >&2 || true; exit 1; }
+
+go build -o "$BIN" ./cmd/wbserve
+
+cat > "$TMP/keys.json" <<'EOF'
+{"alice": {"token": "tok-alice"}, "ops": {"token": "tok-ops", "admin": true}}
+EOF
+
+SWEEP='{"benches":["li","fft","compress","doduc","espresso","sc"],"n":10000000,"depth":8,"retire_at":4,"async":true}'
+
+wait_healthy() {
+  for _ in $(seq 1 100); do
+    curl -sf "$BASE/healthz" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  fail "server on $BASE never became healthy"
+}
+
+metric() { # $1 = metric name; prints its value or 0
+  curl -sf "$BASE/metrics" | sed -n "s/^$1 \([0-9.][0-9.]*\)\$/\1/p" | head -n 1
+}
+
+run_id() { sed -n 's/.*"id": *"\([0-9a-f]*\)".*/\1/p' | head -n 1; }
+
+wait_complete() { # $1 = run id, $2... = extra curl args; prints the final doc
+  local id="$1"; shift
+  for _ in $(seq 1 600); do
+    doc="$(curl -sf "$@" "$BASE/run/$id" || true)"
+    if printf '%s' "$doc" | grep -q '"complete": *true'; then
+      printf '%s' "$doc"
+      return 0
+    fi
+    sleep 0.1
+  done
+  fail "run $id did not complete within 60s"
+}
+
+# --- Pass 1: baseline — same sweep, plain single-replica server, no faults.
+mkdir -p "$TMP/baseline"
+"$BIN" -addr "127.0.0.1:$PORT" -store "$TMP/baseline/store" \
+  -queue "$TMP/baseline/queue.jsonl" -dispatchers 1 -cachesize 64 \
+  >>"$TMP/server.log" 2>&1 &
+SERVER_PID=$!
+wait_healthy
+# Declare the same tenant the authenticated pass will resolve to: run ids
+# are content-addressed over (tenant, jobs), so the two passes must match.
+ID="$(curl -sf -X POST "$BASE/run" -H 'X-WB-Tenant: alice' -H 'Content-Type: application/json' -d "$SWEEP" | run_id)"
+[ -n "$ID" ] || fail "baseline POST /run returned no run id"
+wait_complete "$ID" > "$TMP/baseline.json"
+kill "$SERVER_PID"; wait "$SERVER_PID" 2>/dev/null || true; SERVER_PID=""
+echo "scrub-smoke: baseline run $ID complete"
+
+# --- Pass 2: the robustness stack — replicated store, auth, supervisor.
+mkdir -p "$TMP/chaos"
+"$BIN" -addr "127.0.0.1:$PORT" -store "$TMP/chaos/a,$TMP/chaos/b" \
+  -queue "$TMP/chaos/queue.jsonl" -dispatchers 1 -cachesize 64 \
+  -authkeys "$TMP/keys.json" -scrubinterval 1s \
+  -supervise -minworkers 1 -maxworkers 2 -workerport "$WPORT" \
+  >>"$TMP/server.log" 2>&1 &
+SERVER_PID=$!
+wait_healthy
+
+# Auth gate: no token is 401, a non-admin token is 403, admin is 200.
+code="$(curl -s -o /dev/null -w '%{http_code}' "$BASE/admin/store/status")"
+[ "$code" = "401" ] || fail "admin without a token answered $code, want 401"
+code="$(curl -s -o /dev/null -w '%{http_code}' -H "$USER" "$BASE/admin/store/status")"
+[ "$code" = "403" ] || fail "admin with a non-admin token answered $code, want 403"
+code="$(curl -s -o /dev/null -w '%{http_code}' -H "$ADMIN" "$BASE/admin/store/status")"
+[ "$code" = "200" ] || fail "admin with the admin token answered $code, want 200"
+code="$(curl -s -o /dev/null -w '%{http_code}' -X POST -H 'Content-Type: application/json' \
+  -d "$SWEEP" "$BASE/run")"
+[ "$code" = "401" ] || fail "unauthenticated /run answered $code, want 401"
+echo "scrub-smoke: auth gate holds (401/403/200)"
+
+ID2="$(curl -sf -X POST "$BASE/run" -H "$USER" -H 'Content-Type: application/json' -d "$SWEEP" | run_id)"
+[ "$ID2" = "$ID" ] || fail "run ids differ ($ID vs $ID2) — content-addressed ids should match"
+
+# Wait until the store holds at least one entry, then flip one bit in a
+# copy on replica a — the replica reads consult first.
+entry=""
+for _ in $(seq 1 600); do
+  entry="$(find "$TMP/chaos/a" -name '*.json' -type f 2>/dev/null | head -n 1)"
+  [ -n "$entry" ] && break
+  sleep 0.1
+done
+[ -n "$entry" ] || fail "no store entry appeared within 60s"
+size="$(wc -c < "$entry")"
+printf '\377' | dd of="$entry" bs=1 seek="$((size / 2))" count=1 conv=notrunc 2>/dev/null
+echo "scrub-smoke: flipped a byte in $(basename "$entry") on replica a"
+
+# SIGKILL a supervised worker mid-sweep: a crash the supervisor must count
+# and heal.
+wpid="$(pgrep -f "$BIN -worker" | head -n 1 || true)"
+[ -n "$wpid" ] || fail "no supervised worker subprocess found to kill"
+kill -9 "$wpid"
+echo "scrub-smoke: SIGKILLed supervised worker (pid $wpid)"
+for _ in $(seq 1 100); do
+  crashes="$(metric wbserve_supervisor_crashes_total || echo 0)"
+  [ "${crashes%.*}" -ge 1 ] 2>/dev/null && break
+  sleep 0.1
+done
+[ "${crashes%.*}" -ge 1 ] || fail "supervisor never counted the crash"
+for _ in $(seq 1 100); do
+  w="$(metric wbserve_supervisor_workers || echo 0)"
+  w="${w%.*}"
+  [ "$w" -gt 2 ] && fail "supervisor ran $w workers, above maxworkers=2"
+  [ "$w" -ge 1 ] && break
+  sleep 0.1
+done
+[ "$w" -ge 1 ] || fail "supervisor never restarted the killed worker"
+echo "scrub-smoke: supervisor counted the crash and restarted ($w workers running)"
+
+# The sweep must still complete, byte-identical to the baseline.
+wait_complete "$ID" -H "$USER" > "$TMP/chaos.json"
+cmp "$TMP/baseline.json" "$TMP/chaos.json" \
+  || fail "run document under faults differs from the baseline"
+echo "scrub-smoke: sweep complete, byte-identical to baseline"
+
+# Scrub: a synchronous verify pass (the background scrubber may already
+# have healed it — either way the store must end corruption-free with at
+# least one repair recorded).
+curl -sf -X POST -H "$ADMIN" "$BASE/admin/store/verify" > "$TMP/verify1.json"
+repairs="$(metric sim_store_repair_total || echo 0)"
+[ "${repairs%.*}" -ge 1 ] || fail "no repair recorded after corrupting a replica copy"
+curl -sf -X POST -H "$ADMIN" "$BASE/admin/store/verify" > "$TMP/verify2.json"
+grep -q '"corrupt": *0' "$TMP/verify2.json" \
+  || fail "store still corrupt after repair: $(cat "$TMP/verify2.json")"
+find "$TMP/chaos/a/quarantine" -name '*.corrupt' | grep -q . \
+  || fail "corrupt copy was not quarantined"
+echo "scrub-smoke: corrupt copy quarantined and repaired from the healthy replica"
+
+kill "$SERVER_PID"; wait "$SERVER_PID" 2>/dev/null || true; SERVER_PID=""
+echo "scrub-smoke: PASS — self-healed through bitrot + worker SIGKILL, byte-identical"
