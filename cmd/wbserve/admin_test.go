@@ -214,6 +214,79 @@ func TestAdminQueueStatus(t *testing.T) {
 	}
 }
 
+// threeTenantKeyring extends testKeyring with "bob", a second plain tenant,
+// for cross-tenant authorization checks.
+func threeTenantKeyring(t *testing.T) *tenant.Keyring {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "keys.json")
+	body := `{"alice": {"token": "tok-alice"}, "bob": {"token": "tok-bob"}, "ops": {"token": "tok-ops", "admin": true}}`
+	if err := os.WriteFile(path, []byte(body), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	k, err := tenant.LoadKeyring(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// With a keyring configured, every read surface that can return stored
+// results or drive server work demands a token — run ids are
+// content-addressed (derivable from the sweep that created them), so an
+// open GET /run/{id} would leak any tenant's results to anyone who can
+// phrase the request.  Only /healthz stays open (load balancers carry no
+// credentials and readiness leaks nothing).
+func TestReadSurfacesRequireTokenWhenAuthEnabled(t *testing.T) {
+	_, ts := testServerCfg(t, serverConfig{CacheSize: 4, MaxN: 5_000_000, Keyring: testKeyring(t)})
+
+	if resp := adminReq(t, ts, "GET", "/healthz", "", ""); resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz without a token: status %d, want 200 (readiness stays open)", resp.StatusCode)
+	}
+	for _, path := range []string{"/experiments", "/metrics", "/debug/pprof/", "/debug/vars"} {
+		if resp := adminReq(t, ts, "GET", path, "", ""); resp.StatusCode != http.StatusUnauthorized {
+			t.Errorf("GET %s without a token: status %d, want 401", path, resp.StatusCode)
+		}
+		if resp := adminReq(t, ts, "GET", path, "tok-wrong", ""); resp.StatusCode != http.StatusUnauthorized {
+			t.Errorf("GET %s with an invalid token: status %d, want 401", path, resp.StatusCode)
+		}
+		if resp := adminReq(t, ts, "GET", path, "tok-alice", ""); resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s with a valid non-admin token: status %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
+// Run documents are tenant-scoped: the owning tenant and admins read them,
+// other tenants get 403, anonymous gets 401 — on both the document and its
+// SSE feed.
+func TestRunDocumentsAreTenantScoped(t *testing.T) {
+	_, ts := testServerCfg(t, serverConfig{CacheSize: 4, MaxN: 5_000_000, Keyring: threeTenantKeyring(t)})
+
+	resp := adminReq(t, ts, "POST", "/run", "tok-alice", `{"bench":"li","n":100000,"async":true}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async POST /run: status %d, want 202", resp.StatusCode)
+	}
+	var doc struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{"/run/" + doc.ID, "/run/" + doc.ID + "/events"} {
+		if resp := adminReq(t, ts, "GET", path, "", ""); resp.StatusCode != http.StatusUnauthorized {
+			t.Errorf("GET %s without a token: status %d, want 401", path, resp.StatusCode)
+		}
+		if resp := adminReq(t, ts, "GET", path, "tok-bob", ""); resp.StatusCode != http.StatusForbidden {
+			t.Errorf("GET %s as another tenant: status %d, want 403", path, resp.StatusCode)
+		}
+	}
+	if resp := adminReq(t, ts, "GET", "/run/"+doc.ID, "tok-alice", ""); resp.StatusCode != http.StatusOK {
+		t.Errorf("owner reading their run: status %d, want 200", resp.StatusCode)
+	}
+	if resp := adminReq(t, ts, "GET", "/run/"+doc.ID, "tok-ops", ""); resp.StatusCode != http.StatusOK {
+		t.Errorf("admin reading a tenant run: status %d, want 200", resp.StatusCode)
+	}
+}
+
 // TestAdminEndpointsAllRequireAuth sweeps every admin route with no token:
 // each must answer 401, not fall through to its handler.
 func TestAdminEndpointsAllRequireAuth(t *testing.T) {

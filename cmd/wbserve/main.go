@@ -26,14 +26,17 @@
 //	wbserve -worker -addr :8101               # also accept sweep jobs on POST /job
 //	wbserve -supervise -minworkers 1 -maxworkers 4   # self-managed worker pool
 //
-// Endpoints:
+// Endpoints (with -authkeys every surface except /healthz and /job demands
+// a bearer token; run documents are readable only by their owning tenant or
+// an admin — run ids are content-addressed and therefore derivable):
 //
 //	GET  /experiments      list the paper's experiment ids and titles
 //	POST /run              run a (benchmark, configuration) sweep: JSON in,
 //	                       JSON out; "async": true answers 202 with a run id
 //	GET  /run/{id}         run document: job status plus results from the store
 //	GET  /run/{id}/events  Server-Sent Events progress stream (ETA/MIPS series)
-//	POST /job              run one sweep job (wire format; -worker only)
+//	POST /job              run one sweep job (wire format; -worker only; never
+//	                       token-gated — keep workers on loopback or a private net)
 //	GET  /metrics          Prometheus text exposition of the metrics registry
 //	GET  /healthz          readiness probe: 200 while accepting work, 503 while
 //	                       starting or draining (the dispatcher's re-probe target)

@@ -54,6 +54,13 @@ type runUpdate struct {
 	EtaMS        int64  `json:"eta_ms"`
 	MIPS         float64 `json:"mips"`
 	Complete     bool    `json:"complete"`
+	// Failed marks this update as a job *failure*: the job identified by
+	// Bench/Label/Key errored instead of completing.  Failed jobs do not
+	// count toward Done or Complete — they carry no done marker, so the
+	// journal re-delivers them after a restart (or a resubmission retries
+	// them immediately).  FailedJobs is the run's current failure count.
+	Failed     bool `json:"failed,omitempty"`
+	FailedJobs int  `json:"failed_jobs,omitempty"`
 }
 
 // runState is one registered sweep's live view: which keys are done, the
@@ -64,9 +71,10 @@ type runState struct {
 
 	mu       sync.Mutex
 	done     map[string]bool
+	failed   map[string]bool // keys whose last attempt errored (retryable)
 	tracker  experiment.Tracker
 	subs     map[chan runUpdate]bool
-	finished chan struct{} // closed when every job is done
+	finished chan struct{} // closed when every job is done or failed
 	closed   bool
 	seq      uint64      // id of the most recent broadcast update
 	history  []runUpdate // last runHistory broadcasts, ascending Seq
@@ -74,11 +82,12 @@ type runState struct {
 
 func (st *runState) snapshotLocked(ev *experiment.ProgressEvent) runUpdate {
 	u := runUpdate{
-		RunID:    st.run.ID,
-		Seq:      st.seq,
-		Done:     len(st.done),
-		Total:    len(st.run.Jobs),
-		Complete: len(st.done) == len(st.run.Jobs),
+		RunID:      st.run.ID,
+		Seq:        st.seq,
+		Done:       len(st.done),
+		Total:      len(st.run.Jobs),
+		FailedJobs: len(st.failed),
+		Complete:   len(st.done) == len(st.run.Jobs),
 	}
 	if ev != nil {
 		s := st.tracker.Observe(*ev)
@@ -92,6 +101,28 @@ func (st *runState) snapshotLocked(ev *experiment.ProgressEvent) runUpdate {
 		if len(st.history) > runHistory {
 			st.history = append(st.history[:0:0], st.history[len(st.history)-runHistory:]...)
 		}
+	}
+	return u
+}
+
+// failureLocked records one job failure and builds its broadcast update.
+// The ETA tracker is not advanced — a failed job measured nothing — but the
+// update still takes a sequence number so Last-Event-ID replay covers it.
+func (st *runState) failureLocked(bench, label string) runUpdate {
+	u := runUpdate{
+		RunID:      st.run.ID,
+		Done:       len(st.done),
+		Total:      len(st.run.Jobs),
+		FailedJobs: len(st.failed),
+		Bench:      bench,
+		Label:      label,
+		Failed:     true,
+	}
+	st.seq++
+	u.Seq = st.seq
+	st.history = append(st.history, u)
+	if len(st.history) > runHistory {
+		st.history = append(st.history[:0:0], st.history[len(st.history)-runHistory:]...)
 	}
 	return u
 }
@@ -142,15 +173,21 @@ func (st *runState) subscribe() (<-chan runUpdate, func()) {
 	}
 }
 
-// doneKeys reports which of the run's keys are complete, in job order.
-func (st *runState) doneKeys() map[string]bool {
+// doneKeys reports which of the run's keys are complete and which are
+// currently failed (retryable — a resubmission or a post-restart replay
+// reruns them).
+func (st *runState) doneKeys() (done, failed map[string]bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	out := make(map[string]bool, len(st.done))
+	done = make(map[string]bool, len(st.done))
 	for k := range st.done {
-		out[k] = true
+		done[k] = true
 	}
-	return out
+	failed = make(map[string]bool, len(st.failed))
+	for k := range st.failed {
+		failed[k] = true
+	}
+	return done, failed
 }
 
 // runRegistry indexes live runs by id and pending result-store key, fanning
@@ -182,6 +219,7 @@ func (rr *runRegistry) register(run jobqueue.Run, isDone func(key string) bool) 
 	st := &runState{
 		run:      run,
 		done:     map[string]bool{},
+		failed:   map[string]bool{},
 		subs:     map[chan runUpdate]bool{},
 		finished: make(chan struct{}),
 	}
@@ -230,6 +268,7 @@ func (rr *runRegistry) complete(key string, ev experiment.ProgressEvent) {
 			continue
 		}
 		st.done[key] = true
+		delete(st.failed, key) // a retry succeeded; the failure is history
 		ev.Done, ev.Total = len(st.done), len(st.run.Jobs)
 		u := st.snapshotLocked(&ev)
 		for ch := range st.subs {
@@ -239,6 +278,42 @@ func (rr *runRegistry) complete(key string, ev experiment.ProgressEvent) {
 			}
 		}
 		if u.Complete && !st.closed {
+			st.closed = true
+			close(st.finished)
+		}
+		st.mu.Unlock()
+	}
+}
+
+// fail marks key failed in every run waiting on it.  Unlike complete, the
+// key is NOT removed from the waiting index and NOT counted done: a failed
+// job has no stored result and no done marker, so a resubmission (or the
+// journal replay after a restart) reruns it, and a later success flows
+// through complete and clears the failure.  Synchronous waiters are still
+// released — once every job is either done or failed there is nothing left
+// in flight to wait for, and the run document distinguishes the two.
+func (rr *runRegistry) fail(key string, ev experiment.ProgressEvent) {
+	rr.mu.Lock()
+	holders := make([]*runState, 0, len(rr.waiting[key]))
+	for st := range rr.waiting[key] {
+		holders = append(holders, st)
+	}
+	rr.mu.Unlock()
+	for _, st := range holders {
+		st.mu.Lock()
+		if st.done[key] || st.failed[key] {
+			st.mu.Unlock()
+			continue
+		}
+		st.failed[key] = true
+		u := st.failureLocked(ev.Bench, ev.Label)
+		for ch := range st.subs {
+			select {
+			case ch <- u:
+			default:
+			}
+		}
+		if len(st.done)+len(st.failed) == len(st.run.Jobs) && !st.closed {
 			st.closed = true
 			close(st.finished)
 		}

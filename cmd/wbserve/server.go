@@ -307,6 +307,12 @@ type serverConfig struct {
 	TenantOverrides map[string]tenant.Limits
 	// Logf receives operational events; nil discards them.
 	Logf func(format string, args ...any)
+	// testBackend, when non-nil, wraps the fully assembled backend —
+	// Cached(Local or Remote) — before the dispatcher pool starts.  Local
+	// execution cannot fail for an admitted config, so tests use this seam
+	// to exercise the dispatcher's failure and not-stored paths behind the
+	// real queue/store/registry stack.  Unexported: not reachable from flags.
+	testBackend func(dispatch.Backend) dispatch.Backend
 }
 
 // server ties the HTTP surface to the sweep platform: the shared result
@@ -393,6 +399,9 @@ func newServer(cfg serverConfig) (*server, error) {
 		backend: dispatch.NewCached(inner, store, reg),
 		logf:    logf,
 	}
+	if cfg.testBackend != nil {
+		s.backend = cfg.testBackend(s.backend)
+	}
 	// Recovery: re-register every journaled run (so GET /run/{id} answers
 	// across restarts), then rebuild the pending FIFO from jobs whose
 	// results are in neither the journal's done set nor the store.
@@ -460,11 +469,17 @@ func resolveBench(name string) (workload.Benchmark, bool) {
 // store-backed backend, journal the done marker, fan completion out to
 // every waiting run.  The store write happens inside backend.Run (the
 // Cached wrapper), strictly before the done marker — the ordering the
-// queue's recovery protocol trusts.
+// queue's recovery protocol trusts.  A job whose store write failed
+// (dispatch.ErrResultNotStored) still completes its runs — the measurement
+// is in hand and the memory tier serves it for this process's lifetime —
+// but gets NO done marker: the journal's documented invariant is "done =
+// the result is durably in the store", and replay re-runs the job once the
+// disk recovers.
 func (s *server) dispatchLoop(ctx context.Context) {
 	defer s.wg.Done()
 	dispatched := s.reg.Counter("wbserve_dispatched_jobs_total")
 	failures := s.reg.Counter("wbserve_job_failures_total")
+	unstored := s.reg.Counter("wbserve_store_put_failures_total")
 	for {
 		job, err := s.queue.Dequeue(ctx)
 		if err != nil {
@@ -477,6 +492,12 @@ func (s *server) dispatchLoop(ctx context.Context) {
 		if err == nil {
 			m, err = s.backend.Run(ctx, dispatch.Job{Bench: job.Bench, Label: job.Label, Cfg: cfg, N: job.N})
 		}
+		stored := err == nil
+		if errors.Is(err, dispatch.ErrResultNotStored) {
+			unstored.Inc()
+			s.logf("wbserve: job %s executed but was not durably stored (no done marker; it re-runs after a restart): %v", job.Key, err)
+			err = nil
+		}
 		if err != nil {
 			if ctx.Err() != nil {
 				// Shutdown took the job down with it; no done marker, so the
@@ -485,22 +506,27 @@ func (s *server) dispatchLoop(ctx context.Context) {
 			}
 			// Jobs are validated at admission and deterministic, so this is
 			// exceptional (disk full, config skew).  Leave the journal honest
-			// — no done marker — but wake waiters so requests fail fast
-			// instead of hanging.
+			// — no done marker — and record a distinct *failure* on every
+			// waiting run: waiters are released, but the job is not counted
+			// done, so the ledger never claims a result it does not have and
+			// a resubmission (or the post-restart replay) retries it.
 			failures.Inc()
 			s.logf("wbserve: job %s failed: %v", job.Key, err)
-		} else {
-			_ = s.queue.Done(job.Key)
-			jt := time.Since(start)
-			s.reg.Counter("experiment_jobs_total").Inc()
-			s.reg.Counter("experiment_instructions_total").Add(m.C.Instructions)
-			s.reg.Histogram("experiment_job_microseconds").Observe(uint64(jt.Microseconds()))
-			tn := job.Tenant
-			if tn == "" {
-				tn = tenant.DefaultName
-			}
-			s.reg.Counter(metrics.Label("wbserve_tenant_jobs_total", "tenant", tn)).Inc()
+			s.runs.fail(job.Key, experiment.ProgressEvent{Bench: job.Bench, Label: job.Label})
+			continue
 		}
+		if stored {
+			_ = s.queue.Done(job.Key)
+		}
+		jt := time.Since(start)
+		s.reg.Counter("experiment_jobs_total").Inc()
+		s.reg.Counter("experiment_instructions_total").Add(m.C.Instructions)
+		s.reg.Histogram("experiment_job_microseconds").Observe(uint64(jt.Microseconds()))
+		tn := job.Tenant
+		if tn == "" {
+			tn = tenant.DefaultName
+		}
+		s.reg.Counter(metrics.Label("wbserve_tenant_jobs_total", "tenant", tn)).Inc()
 		s.runs.complete(job.Key, experiment.ProgressEvent{
 			Bench:        job.Bench,
 			Label:        job.Label,
@@ -514,11 +540,11 @@ func (s *server) dispatchLoop(ctx context.Context) {
 // handler builds the route table.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /experiments", s.instrument("/experiments", s.handleExperiments))
+	mux.HandleFunc("GET /experiments", s.instrument("/experiments", s.requireAuth(s.handleExperiments)))
 	mux.HandleFunc("POST /run", s.instrument("/run", s.refuseWhenDraining(s.handleRun)))
 	mux.HandleFunc("GET /run/{id}", s.instrument("/run/{id}", s.handleRunStatus))
 	mux.HandleFunc("GET /run/{id}/events", s.instrument("/run/{id}/events", s.handleRunEvents))
-	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.requireAuth(s.handleMetrics)))
 	// The authenticated admin surface (admin.go): store maintenance and
 	// queue introspection, admin-bit tenants only.
 	mux.HandleFunc("POST /admin/store/verify", s.instrument("/admin/store/verify", s.requireAdmin(s.handleStoreVerify)))
@@ -545,12 +571,14 @@ func (s *server) handler() http.Handler {
 		jobs := dispatch.WorkerHandlerState(s.reg, s.ready)
 		mux.Handle("POST /job", s.instrument("/job", jobs.ServeHTTP))
 	}
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.Handle("/debug/vars", expvar.Handler())
+	// Profiles and expvar can read process internals and burn CPU; with a
+	// keyring configured they demand a token like every other read surface.
+	mux.HandleFunc("/debug/pprof/", s.requireAuth(pprof.Index))
+	mux.HandleFunc("/debug/pprof/cmdline", s.requireAuth(pprof.Cmdline))
+	mux.HandleFunc("/debug/pprof/profile", s.requireAuth(pprof.Profile))
+	mux.HandleFunc("/debug/pprof/symbol", s.requireAuth(pprof.Symbol))
+	mux.HandleFunc("/debug/pprof/trace", s.requireAuth(pprof.Trace))
+	mux.Handle("/debug/vars", s.requireAuth(expvar.Handler().ServeHTTP))
 	return mux
 }
 
@@ -634,6 +662,55 @@ func refuseUnidentified(w http.ResponseWriter, status int, msg string) {
 		w.Header().Set("WWW-Authenticate", `Bearer realm="wbserve"`)
 	}
 	httpError(w, status, "%s", msg)
+}
+
+// requireAuth gates a read surface on authentication: with a keyring
+// configured, any valid bearer token passes (no admin bit needed); without
+// one the handler stays open, same as it always was.  Run documents and
+// results are content-addressed — their ids are derivable from the request
+// that created them — so with -authkeys every surface that can return
+// stored results or drive server work (metrics, profiles) demands a token,
+// not just POST /run.  /healthz stays open: load balancers do not carry
+// credentials, and readiness leaks nothing.
+func (s *server) requireAuth(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.keys.Enabled() {
+			if _, status, msg := s.identify(r); status != 0 {
+				refuseUnidentified(w, status, msg)
+				return
+			}
+		}
+		h(w, r)
+	}
+}
+
+// lookupRun authenticates the caller (when a keyring is configured),
+// resolves {id} to a registered run, and enforces tenant scope: only the
+// owning tenant or an admin may read a run document or its event stream.
+// Authentication comes BEFORE the lookup, so anonymous callers always see
+// 401 and learn nothing about which run ids exist.  Writes the refusal and
+// reports false when the caller may not proceed.
+func (s *server) lookupRun(w http.ResponseWriter, r *http.Request) (*runState, bool) {
+	var id tenant.Identity
+	if s.keys.Enabled() {
+		var status int
+		var msg string
+		id, status, msg = s.identify(r)
+		if status != 0 {
+			refuseUnidentified(w, status, msg)
+			return nil, false
+		}
+	}
+	st, ok := s.runs.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown run %q", r.PathValue("id"))
+		return nil, false
+	}
+	if s.keys.Enabled() && !id.Admin && st.run.Tenant != id.Name {
+		httpError(w, http.StatusForbidden, "run %s belongs to tenant %q", st.run.ID, st.run.Tenant)
+		return nil, false
+	}
+	return st, true
 }
 
 // requireAdmin gates the /admin surface: 403 when authentication is off
@@ -804,13 +881,16 @@ func (s *server) responseFromPayload(payload []byte, job jobqueue.Job) (*RunResp
 	return responseFrom(m), nil
 }
 
-// runJobView is one job's row in the run document.
+// runJobView is one job's row in the run document.  Done and Failed are
+// mutually exclusive; a failed job has no stored result and no journal done
+// marker, so it retries on resubmission or after a restart.
 type runJobView struct {
-	Bench string `json:"bench"`
-	Label string `json:"label,omitempty"`
-	N     uint64 `json:"n"`
-	Key   string `json:"key"`
-	Done  bool   `json:"done"`
+	Bench  string `json:"bench"`
+	Label  string `json:"label,omitempty"`
+	N      uint64 `json:"n"`
+	Key    string `json:"key"`
+	Done   bool   `json:"done"`
+	Failed bool   `json:"failed,omitempty"`
 }
 
 // runView is the run document: POST /run's 202 body and GET /run/{id}'s
@@ -818,10 +898,13 @@ type runJobView struct {
 // order (null for jobs still pending), so the document is byte-identical
 // no matter which process — or which side of a kill -9 — serves it.
 type runView struct {
-	ID        string         `json:"id"`
-	Tenant    string         `json:"tenant,omitempty"`
-	Total     int            `json:"total"`
-	Done      int            `json:"done"`
+	ID     string `json:"id"`
+	Tenant string `json:"tenant,omitempty"`
+	Total  int    `json:"total"`
+	Done   int    `json:"done"`
+	// Failed counts jobs whose last attempt errored.  They are not Done —
+	// Complete stays false — and they rerun on resubmission or restart.
+	Failed    int            `json:"failed,omitempty"`
 	Complete  bool           `json:"complete"`
 	EventsURL string         `json:"events_url"`
 	Jobs      []runJobView   `json:"jobs"`
@@ -829,18 +912,20 @@ type runView struct {
 }
 
 func (s *server) runDoc(st *runState, withResults bool) runView {
-	done := st.doneKeys()
+	done, failed := st.doneKeys()
 	v := runView{
 		ID:        st.run.ID,
 		Tenant:    st.run.Tenant,
 		Total:     len(st.run.Jobs),
 		Done:      len(done),
+		Failed:    len(failed),
 		Complete:  len(done) == len(st.run.Jobs),
 		EventsURL: "/run/" + st.run.ID + "/events",
 	}
 	for _, j := range st.run.Jobs {
 		v.Jobs = append(v.Jobs, runJobView{
-			Bench: j.Bench, Label: j.Label, N: j.N, Key: j.Key, Done: done[j.Key],
+			Bench: j.Bench, Label: j.Label, N: j.N, Key: j.Key,
+			Done: done[j.Key], Failed: failed[j.Key],
 		})
 	}
 	if withResults {
@@ -860,9 +945,8 @@ func (s *server) runDoc(st *runState, withResults bool) runView {
 }
 
 func (s *server) handleRunStatus(w http.ResponseWriter, r *http.Request) {
-	st, ok := s.runs.get(r.PathValue("id"))
+	st, ok := s.lookupRun(w, r)
 	if !ok {
-		httpError(w, http.StatusNotFound, "unknown run %q", r.PathValue("id"))
 		return
 	}
 	writeJSON(w, http.StatusOK, s.runDoc(st, true))
@@ -880,9 +964,8 @@ func (s *server) handleRunStatus(w http.ResponseWriter, r *http.Request) {
 // behind than the replay buffer — or resuming across a server restart —
 // falls back to the catch-up snapshot, same as a fresh attach.
 func (s *server) handleRunEvents(w http.ResponseWriter, r *http.Request) {
-	st, ok := s.runs.get(r.PathValue("id"))
+	st, ok := s.lookupRun(w, r)
 	if !ok {
-		httpError(w, http.StatusNotFound, "unknown run %q", r.PathValue("id"))
 		return
 	}
 	flusher, ok := w.(http.Flusher)

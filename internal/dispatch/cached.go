@@ -3,12 +3,22 @@ package dispatch
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 
 	"repro/internal/machconf"
 	"repro/internal/metrics"
 	"repro/internal/resultstore"
 )
+
+// ErrResultNotStored reports that a job executed and its Measurement is
+// valid, but the result store rejected the write (disk full, every replica
+// sick), so the result is NOT durably shared.  Callers that only need the
+// measurement may treat it as success; callers that record durability —
+// wbserve's dispatcher journals queue done markers whose documented meaning
+// is "the result is in the store" — must not, or a restart would trust a
+// marker for a result that was never persisted.  Test with errors.Is.
+var ErrResultNotStored = errors.New("result not durably stored")
 
 // Cached wraps any Backend with the platform's shared content-addressed
 // result store (internal/resultstore).  Before a job reaches the inner
@@ -92,9 +102,11 @@ func (c *Cached) Run(ctx context.Context, job Job) (Measurement, error) {
 		return Measurement{}, fmt.Errorf("dispatch: encoding measurement for store: %w", err)
 	}
 	if err := c.store.Put(key, cfgHash, payload); err != nil {
-		// A full disk must not fail the sweep: the measurement is in hand.
-		// The store's own metrics/log record the write failure.
-		return m, nil
+		// A full disk must not lose the sweep: the measurement is in hand
+		// and is returned — but the caller must know durability failed, or
+		// it would record "stored" for a result that is not (the wbserve
+		// dispatcher's done-marker protocol depends on this distinction).
+		return m, fmt.Errorf("%w: %v", ErrResultNotStored, err)
 	}
 	return m, nil
 }

@@ -2,6 +2,7 @@ package dispatch
 
 import (
 	"context"
+	"errors"
 	"sync/atomic"
 	"testing"
 
@@ -88,6 +89,33 @@ func TestCachedRunsOncePerStore(t *testing.T) {
 	}
 	if counting2.runs.Load() != 0 {
 		t.Fatalf("restarted process re-simulated a stored job")
+	}
+}
+
+// failingKV is a store whose disk is gone: every Get misses, every Put is
+// rejected.
+type failingKV struct{}
+
+func (failingKV) Get(string) ([]byte, bool)        { return nil, false }
+func (failingKV) Put(string, string, []byte) error { return errors.New("injected: disk full") }
+
+// A rejected store write must not lose the sweep — the measurement is in
+// hand and returned — but the caller must be able to see durability failed:
+// Run reports ErrResultNotStored (via errors.Is) alongside the valid
+// measurement.  wbserve's done-marker protocol depends on this distinction.
+func TestCachedPutFailureReturnsMeasurementAndSentinel(t *testing.T) {
+	cached := NewCached(&Local{}, failingKV{}, nil)
+	job := Job{Bench: "li", Label: "nostore", Cfg: sim.Baseline(), N: 50_000}
+	want, err := Execute(job, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cached.Run(context.Background(), job)
+	if !errors.Is(err, ErrResultNotStored) {
+		t.Fatalf("Run with a failing store returned err = %v, want ErrResultNotStored", err)
+	}
+	if got != want {
+		t.Errorf("measurement alongside ErrResultNotStored differs from direct execution:\n got %+v\nwant %+v", got, want)
 	}
 }
 

@@ -29,6 +29,7 @@ package experiment
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -266,11 +267,14 @@ func RunMatrixCtx(ctx context.Context, benches []workload.Benchmark, specs []Con
 						Cfg:   specs[j.ci].Cfg,
 						N:     n,
 					})
-					if err != nil {
+					if err != nil && !errors.Is(err, dispatch.ErrResultNotStored) {
 						fail(fmt.Errorf("experiment: job %s/%s: %w",
 							benches[j.bi].Name, specs[j.ci].Label, err))
 						continue
 					}
+					// ErrResultNotStored: the measurement is valid, only
+					// the store write failed — a full disk must not fail
+					// the sweep; the store's metrics record the miss.
 				}
 				out[j.bi][j.ci] = mnt
 				report(mnt, time.Since(start))

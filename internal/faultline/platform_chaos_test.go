@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -94,13 +95,21 @@ func platformPump(t *testing.T, backend dispatch.Backend, store resultstore.Inte
 				if err == nil {
 					_, err = backend.Run(ctx, dispatch.Job{Bench: job.Bench, Label: job.Label, Cfg: cfg, N: job.N})
 				}
+				stored := err == nil
+				if errors.Is(err, dispatch.ErrResultNotStored) {
+					err = nil // measurement in hand; just no durable copy
+				}
 				if err != nil {
 					errc <- err
 					return
 				}
-				if err := q.Done(job.Key); err != nil {
-					errc <- err
-					return
+				// The done-marker protocol: journal only durably stored
+				// results; an unstored job stays live and re-runs later.
+				if stored {
+					if err := q.Done(job.Key); err != nil {
+						errc <- err
+						return
+					}
 				}
 				done := completed.Add(1)
 				if killAfter > 0 && done >= int64(killAfter) {

@@ -7,6 +7,7 @@ import (
 	"io/fs"
 	"math/rand"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -202,7 +203,10 @@ func (r *Replicated) Get(key string) ([]byte, bool) {
 // one replica accepted the write — degraded writes are counted and logged,
 // and the scrubber (or read-repair) completes the mirror once the sick
 // replica recovers.  Only a total failure is an error: with zero durable
-// copies the caller's "it is stored" assumption would be a lie.
+// copies the caller's "it is stored" assumption would be a lie.  The
+// shared memory tier is populated even then (the measurement is correct
+// and hot), so callers must key durability off the returned error, never
+// off a subsequent Get answering.
 func (r *Replicated) Put(key, cfgHash string, payload []byte) error {
 	r.mem.put(key, cfgHash, payload)
 	okCount := 0
@@ -422,20 +426,68 @@ func (r *Replicated) EvictHash(cfgHash string) (int, error) {
 	return total, firstErr
 }
 
-// Prune applies the entry bound to every replica independently (entries
-// are identical content, so the same bound converges to the same survivor
-// set as write times align).  Returns the total copies removed.
+// Prune applies the entry bound once, centrally: a single victim set is
+// computed over the union of every replica's entries — each entry aged by
+// the NEWEST copy any replica holds — and that same set is removed from
+// every replica.  Pruning each replica independently looks equivalent but
+// is not: repair and read-repair rewrites reset copy mtimes per replica, so
+// independent passes sort entries differently, each replica keeps a
+// different survivor set, and the scrubber then faithfully "heals" every
+// replica's victims back from the others — the bound never converges and
+// prune+scrub ping-pong forever.  One deterministic victim set (oldest
+// max-mtime first, entry name as the tie-break) keeps the replicas mirrors
+// of each other, which is the invariant the scrubber assumes.  Returns the
+// total copies removed across replicas.
 func (r *Replicated) Prune(maxEntries int) (int, error) {
-	total := 0
-	var firstErr error
+	if maxEntries < 0 {
+		return 0, nil
+	}
+	// Serialise with the scrubber: a pass walking the union while prune
+	// deletes from under it would count the victims missing and repair them
+	// straight back from a replica prune had not reached yet.
+	r.scrubMu.Lock()
+	defer r.scrubMu.Unlock()
+
+	newest := map[string]int64{} // rel name → newest copy mtime anywhere
 	for _, s := range r.replicas {
-		n, err := s.Prune(maxEntries)
-		total += n
-		if err != nil && firstErr == nil {
-			firstErr = err
+		err := s.scanRel(func(rel string, mod int64) {
+			if cur, ok := newest[rel]; !ok || mod > cur {
+				newest[rel] = mod
+			}
+		})
+		if err != nil {
+			return 0, err
 		}
 	}
-	return total, firstErr
+	if len(newest) <= maxEntries {
+		return 0, nil
+	}
+	type aged struct {
+		rel string
+		mod int64
+	}
+	all := make([]aged, 0, len(newest))
+	for rel, mod := range newest {
+		all = append(all, aged{rel, mod})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].mod != all[j].mod {
+			return all[i].mod < all[j].mod
+		}
+		return all[i].rel < all[j].rel
+	})
+	victims := make([]string, len(all)-maxEntries)
+	for i := range victims {
+		victims[i] = all[i].rel
+	}
+	total := 0
+	for _, s := range r.replicas {
+		total += s.removeEntries(victims)
+	}
+	if r.logf != nil && total > 0 {
+		r.logf("resultstore: pruned %d entries (%d copies) down to bound %d", len(victims), total, maxEntries)
+	}
+	return total, nil
 }
 
 // Stats reports the widest replica's disk figures (replicas converge on

@@ -228,6 +228,100 @@ func TestReplicatedEvictHashAndPrune(t *testing.T) {
 	}
 }
 
+// Prune must remove the SAME victim set from every replica even when copy
+// mtimes disagree — exactly what repair and read-repair rewrites produce.
+// Independent per-replica pruning would sort each replica differently,
+// keep different survivors, and the next scrub would "heal" every victim
+// back from the replica that kept it: the bound would never converge.
+func TestReplicatedPruneConvergesAcrossSkewedMtimes(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	reg := metrics.NewRegistry()
+	r := openReplicated(t, []string{dirA, dirB}, reg)
+	var keys []string
+	for i := 0; i < 4; i++ {
+		k := resultstore.Key("li", uint64(1000+i), "aa")
+		keys = append(keys, k)
+		if err := r.Put(k, "aa", []byte(fmt.Sprintf(`{"cpi":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Skew the copies so each replica, sorted alone, would pick a different
+	// oldest entry: replica A ages keys[0] hardest, replica B ages keys[3].
+	// (A read-repair into A resets A's copy mtime without touching B's —
+	// this is that state, constructed directly.)
+	base := time.Now().Add(-time.Hour)
+	stampsA := []time.Duration{0, 10 * time.Minute, 20 * time.Minute, 30 * time.Minute}
+	stampsB := []time.Duration{35 * time.Minute, 10 * time.Minute, 20 * time.Minute, 0}
+	// Entry file names are content-addressed, so locate each key's copy by
+	// its payload.
+	stamp := func(dir string, stamps []time.Duration) {
+		t.Helper()
+		files := entryFiles(t, dir)
+		if len(files) != 4 {
+			t.Fatalf("replica %s holds %d entries, want 4", dir, len(files))
+		}
+		for i, k := range keys {
+			found := false
+			for _, f := range files {
+				data, err := os.ReadFile(f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if strings.Contains(string(data), fmt.Sprintf(`{"cpi":%d}`, i)) {
+					when := base.Add(stamps[i])
+					if err := os.Chtimes(f, when, when); err != nil {
+						t.Fatal(err)
+					}
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("no entry file for key %s in %s", k, dir)
+			}
+		}
+	}
+	stamp(dirA, stampsA)
+	stamp(dirB, stampsB)
+
+	removed, err := r.Prune(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 { // one victim entry × two replicas
+		t.Errorf("Prune removed %d copies, want 2", removed)
+	}
+	names := func(dir string) map[string]bool {
+		out := map[string]bool{}
+		for _, f := range entryFiles(t, dir) {
+			out[filepath.Base(f)] = true
+		}
+		return out
+	}
+	nA, nB := names(dirA), names(dirB)
+	if len(nA) != 3 || len(nB) != 3 {
+		t.Fatalf("survivors per replica = %d/%d, want 3/3", len(nA), len(nB))
+	}
+	for n := range nA {
+		if !nB[n] {
+			t.Errorf("replicas diverged after prune: %s survives in A but not B", n)
+		}
+	}
+	// The scrubber must find nothing to heal: identical survivor sets mean
+	// zero missing copies and zero repairs — pruned entries stay pruned.
+	rep := r.Scrub()
+	if rep.MissingCopies != 0 || rep.Repaired != 0 {
+		t.Errorf("scrub after prune = %+v, want no missing copies and no repairs (prune+scrub must not ping-pong)", rep)
+	}
+	if rep.Entries != 3 {
+		t.Errorf("scrub saw %d entries after prune, want 3", rep.Entries)
+	}
+	// Convergence: the bound already holds, so a second pass is a no-op.
+	if again, err := r.Prune(3); err != nil || again != 0 {
+		t.Errorf("second Prune removed %d (err %v), want 0", again, err)
+	}
+}
+
 // Close must stop the scrubber goroutine: no leak, and Close is idempotent
 // and safe concurrently with a running pass.
 func TestReplicatedScrubberShutdownNoLeak(t *testing.T) {

@@ -193,8 +193,13 @@ type Store struct {
 	evicted  *metrics.Counter
 	entries  *metrics.Gauge
 
-	diskN atomic.Int64 // disk-tier entry count (kept so Put stays O(1))
-	mu    sync.Mutex   // serialises directory-wide maintenance (Prune, Verify)
+	// diskN approximates the disk-tier entry count so Put can keep the
+	// resultstore_disk_entries gauge without a scan.  It is best-effort:
+	// putDisk's stat-then-write freshness check races concurrent writers of
+	// the same key, so the count can drift.  Every full scan (Stats, Prune)
+	// resyncs it to ground truth; nothing load-bearing may read it directly.
+	diskN atomic.Int64
+	mu    sync.Mutex // serialises directory-wide maintenance (Prune, Verify)
 }
 
 // Open opens (creating if needed) the store rooted at dir.  An empty dir
@@ -352,7 +357,11 @@ func (s *Store) Quarantined() int {
 // Put stores a payload under key, attested by the machine's canonical
 // machconf hash.  The write is atomic: a temp file in the final directory,
 // fsync, then rename — a reader (or a crash) can never observe a torn
-// entry.  The memory tier is updated either way.
+// entry.  The memory tier is updated even when the disk write fails: the
+// result is correct and serving it for this process's lifetime is the
+// point.  Callers that need durability must treat the returned error as
+// "not stored" (dispatch.ErrResultNotStored wraps it) — membership in the
+// memory tier is NOT a durability signal.
 func (s *Store) Put(key, cfgHash string, payload []byte) error {
 	s.mem.put(key, cfgHash, payload)
 	if s.dir == "" {
@@ -373,6 +382,10 @@ func (s *Store) putDisk(key, cfgHash string, payload []byte) error {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return fmt.Errorf("resultstore: %w", err)
 	}
+	// Stat-then-write is racy when two writers land the same new key at
+	// once — both see "fresh" and diskN double-counts.  Tolerated: the count
+	// is advisory (see the field comment) and the next Stats/Prune scan
+	// resyncs it; taking s.mu here would serialise every Put instead.
 	fresh := true
 	if _, err := os.Stat(path); err == nil {
 		fresh = false // deterministic overwrite of an identical entry
@@ -428,14 +441,55 @@ func (s *Store) entryNames() ([]string, error) {
 	return names, err
 }
 
+// scanRel reports each entry's store-relative name and modification time —
+// the per-replica view the replicated pruner ages entries by.
+func (s *Store) scanRel(visit func(rel string, mod int64)) error {
+	if s.dir == "" {
+		return nil
+	}
+	_, _, err := s.scan(func(p string, info fs.FileInfo) {
+		if rel, rerr := filepath.Rel(s.dir, p); rerr == nil {
+			visit(rel, info.ModTime().UnixNano())
+		}
+	})
+	return err
+}
+
+// removeEntries deletes the named entries (store-relative, as produced by
+// scanRel/entryNames) and returns how many removes actually succeeded — the
+// only number the freshness accounting may trust.  Absent names are not an
+// error: a replica that never held the copy simply has nothing to remove.
+func (s *Store) removeEntries(rels []string) int {
+	if s.dir == "" {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	removed := 0
+	for _, rel := range rels {
+		if os.Remove(filepath.Join(s.dir, rel)) == nil {
+			removed++
+			s.evicted.Inc()
+		}
+	}
+	if removed > 0 {
+		s.entries.Set(float64(s.diskN.Add(int64(-removed))))
+	}
+	return removed
+}
+
 // Stats reports the disk tier's entry count and total size in bytes, plus
-// the memory tier's entry count.
+// the memory tier's entry count.  The scan is ground truth, so it also
+// resyncs the best-effort diskN counter (and its gauge) that concurrent
+// same-key Puts can drift.
 func (s *Store) Stats() (diskEntries int, diskBytes int64, memEntries int) {
 	memEntries = s.mem.len()
 	if s.dir == "" {
 		return 0, 0, memEntries
 	}
 	diskEntries, diskBytes, _ = s.scan(nil)
+	s.diskN.Store(int64(diskEntries))
+	s.entries.Set(float64(diskEntries))
 	return diskEntries, diskBytes, memEntries
 }
 
@@ -502,15 +556,21 @@ func (s *Store) EvictHash(cfgHash string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	removed := 0
 	for _, p := range victims {
-		os.Remove(p)
-		s.evicted.Inc()
+		// Only a successful Remove may decrement the freshness count; a
+		// victim that raced a concurrent prune (already gone) or hit an
+		// unremovable file is still on the scan's books.
+		if os.Remove(p) == nil {
+			removed++
+			s.evicted.Inc()
+		}
 	}
-	if s.logf != nil && len(victims) > 0 {
-		s.logf("resultstore: evicted %d entries for config hash %s", len(victims), cfgHash)
+	if s.logf != nil && removed > 0 {
+		s.logf("resultstore: evicted %d entries for config hash %s", removed, cfgHash)
 	}
-	s.entries.Set(float64(s.diskN.Add(int64(-len(victims)))))
-	return len(victims), nil
+	s.entries.Set(float64(s.diskN.Add(int64(-removed))))
+	return removed, nil
 }
 
 // Prune is the store's garbage collector: when the disk tier holds more

@@ -57,7 +57,9 @@ wait_healthy() {
 }
 
 metric() { # $1 = metric name; prints its value or 0
-  curl -sf "$BASE/metrics" | sed -n "s/^$1 \([0-9.][0-9.]*\)\$/\1/p" | head -n 1
+  # /metrics demands a token once -authkeys is on; sending one is harmless
+  # on the unauthenticated baseline server (it ignores Authorization).
+  curl -sf -H "$ADMIN" "$BASE/metrics" | sed -n "s/^$1 \([0-9.][0-9.]*\)\$/\1/p" | head -n 1
 }
 
 run_id() { sed -n 's/.*"id": *"\([0-9a-f]*\)".*/\1/p' | head -n 1; }
@@ -110,7 +112,13 @@ code="$(curl -s -o /dev/null -w '%{http_code}' -H "$ADMIN" "$BASE/admin/store/st
 code="$(curl -s -o /dev/null -w '%{http_code}' -X POST -H 'Content-Type: application/json' \
   -d "$SWEEP" "$BASE/run")"
 [ "$code" = "401" ] || fail "unauthenticated /run answered $code, want 401"
-echo "scrub-smoke: auth gate holds (401/403/200)"
+# Read surfaces are gated too: run ids are content-addressed (derivable from
+# the sweep), so unauthenticated reads would leak every tenant's results.
+code="$(curl -s -o /dev/null -w '%{http_code}' "$BASE/metrics")"
+[ "$code" = "401" ] || fail "unauthenticated /metrics answered $code, want 401"
+code="$(curl -s -o /dev/null -w '%{http_code}' "$BASE/run/$ID")"
+[ "$code" = "401" ] || fail "unauthenticated GET /run answered $code, want 401"
+echo "scrub-smoke: auth gate holds (401/403/200, reads gated)"
 
 ID2="$(curl -sf -X POST "$BASE/run" -H "$USER" -H 'Content-Type: application/json' -d "$SWEEP" | run_id)"
 [ "$ID2" = "$ID" ] || fail "run ids differ ($ID vs $ID2) — content-addressed ids should match"
